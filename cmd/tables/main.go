@@ -1,0 +1,39 @@
+// Command tables regenerates the paper's evaluation tables (4, 5 and 6)
+// at a configurable scale. See EXPERIMENTS.md for paper-vs-measured.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bugs"
+	"repro/internal/eval"
+)
+
+func main() {
+	table := flag.Int("table", 4, "table to regenerate: 4, 5 or 6")
+	full := flag.Bool("full", false, "use the full reproduction scale (slower)")
+	flag.Parse()
+
+	sc := eval.QuickScale()
+	if *full {
+		sc = eval.FullScale()
+	}
+	var err error
+	switch *table {
+	case 4:
+		err = eval.Table4(os.Stdout, eval.Columns(), bugs.All(), sc)
+	case 5:
+		err = eval.Table5(os.Stdout, eval.Columns(), bugs.All(), sc, []int{100, 400, 1000})
+	case 6:
+		sc.Samples = 2
+		err = eval.Table6(os.Stdout, eval.Columns(), sc)
+	default:
+		err = fmt.Errorf("unknown table %d", *table)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,314 @@
+// Package checker records candidate executions from the simulated
+// machine and verifies them against an axiomatic memory model (§4.1).
+//
+// The pre-silicon environment observes all conflict orders: read-from is
+// recovered from unique write IDs carried as data values, and coherence
+// order from the global serialization order of store performs. Each
+// iteration of a test-run is checked independently; the union of each
+// iteration's rf ∪ co accumulates into rfcoRUN, from which the
+// test-suitability metrics NDT and NDe (Definitions 1–3) and the
+// fitaddrs set driving the selective crossover are computed.
+package checker
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/memmodel"
+	"repro/internal/memsys"
+	"repro/internal/relation"
+)
+
+// Violation describes a detected MCM violation.
+type Violation struct {
+	// Iteration is the test-run iteration that failed.
+	Iteration int
+	// Result is the checker verdict.
+	Result memmodel.Result
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("checker: iteration %d: %s violation: %s",
+		v.Iteration, v.Result.Kind, v.Result.Detail)
+}
+
+// edge is one conflict-order pair of rfcoRUN, identified by the stable
+// per-iteration event keys.
+type edge struct {
+	pred, succ memmodel.Key
+}
+
+// Recorder implements cpu.Observer: it assembles one candidate execution
+// per iteration and accumulates run-level non-determinism state.
+type Recorder struct {
+	arch memmodel.Arch
+
+	// Per-iteration state.
+	exec       *memmodel.Execution
+	writeByVal map[uint64]relation.EventID
+	reads      []relation.EventID
+	serialized []memmodel.Key
+	eventByKey map[memmodel.Key]relation.EventID
+
+	// Run-level state (across iterations).
+	iteration int
+	rfcoRun   map[edge]struct{}
+	preds     map[memmodel.Key]map[memmodel.Key]struct{}
+	addrOf    map[memmodel.Key]memsys.Addr
+	allEvents map[memmodel.Key]struct{}
+}
+
+// NewRecorder returns a recorder checking against arch.
+func NewRecorder(arch memmodel.Arch) *Recorder {
+	r := &Recorder{arch: arch}
+	r.ResetAll()
+	return r
+}
+
+// ResetAll clears both iteration and run state (verify_reset_all).
+func (r *Recorder) ResetAll() {
+	r.resetIteration()
+	r.iteration = 0
+	r.rfcoRun = make(map[edge]struct{})
+	r.preds = make(map[memmodel.Key]map[memmodel.Key]struct{})
+	r.addrOf = make(map[memmodel.Key]memsys.Addr)
+	r.allEvents = make(map[memmodel.Key]struct{})
+}
+
+func (r *Recorder) resetIteration() {
+	r.exec = memmodel.NewExecution()
+	r.writeByVal = make(map[uint64]relation.EventID)
+	r.reads = r.reads[:0]
+	r.serialized = r.serialized[:0]
+	r.eventByKey = make(map[memmodel.Key]relation.EventID)
+}
+
+// Execution exposes the current iteration's execution (for inspection
+// before EndIteration resets it).
+func (r *Recorder) Execution() *memmodel.Execution { return r.exec }
+
+// Iteration returns the number of completed iterations this run.
+func (r *Recorder) Iteration() int { return r.iteration }
+
+// CommitRead implements cpu.Observer.
+func (r *Recorder) CommitRead(tid, instr, sub int, addr memsys.Addr, val uint64, atomic bool) {
+	key := memmodel.Key{TID: tid, Instr: instr, Sub: sub}
+	id := r.exec.AddEvent(memmodel.Event{
+		Key:    key,
+		Kind:   memmodel.KindRead,
+		Addr:   addr.WordAddr(),
+		Value:  val,
+		Atomic: atomic,
+	})
+	r.eventByKey[key] = id
+	r.reads = append(r.reads, id)
+	r.noteEvent(key, addr)
+}
+
+// CommitWrite implements cpu.Observer.
+func (r *Recorder) CommitWrite(tid, instr, sub int, addr memsys.Addr, val uint64, atomic bool) {
+	key := memmodel.Key{TID: tid, Instr: instr, Sub: sub}
+	id := r.exec.AddEvent(memmodel.Event{
+		Key:    key,
+		Kind:   memmodel.KindWrite,
+		Addr:   addr.WordAddr(),
+		Value:  val,
+		Atomic: atomic,
+	})
+	r.eventByKey[key] = id
+	r.writeByVal[val] = id
+	r.noteEvent(key, addr)
+}
+
+// WriteSerialized implements cpu.Observer: calls arrive in global
+// serialization order, which is the observed coherence order.
+func (r *Recorder) WriteSerialized(tid, instr, sub int, addr memsys.Addr, val uint64) {
+	r.serialized = append(r.serialized, memmodel.Key{TID: tid, Instr: instr, Sub: sub})
+}
+
+func (r *Recorder) noteEvent(key memmodel.Key, addr memsys.Addr) {
+	r.allEvents[key] = struct{}{}
+	r.addrOf[key] = addr.WordAddr()
+}
+
+// initKey identifies the initial write of addr in rfcoRUN edges.
+func initKey(addr memsys.Addr) memmodel.Key {
+	return memmodel.Key{TID: memmodel.InitTID, Instr: int(addr >> 3)}
+}
+
+func (r *Recorder) addRunEdge(pred, succ memmodel.Key) {
+	r.rfcoRun[edge{pred, succ}] = struct{}{}
+	m, ok := r.preds[succ]
+	if !ok {
+		m = make(map[memmodel.Key]struct{})
+		r.preds[succ] = m
+	}
+	m[pred] = struct{}{}
+}
+
+// EndIteration assembles the iteration's candidate execution, verifies
+// it, folds its conflict orders into rfcoRUN, and resets the iteration
+// state (verify_reset_conflict). A nil Violation means the iteration was
+// valid.
+func (r *Recorder) EndIteration() *Violation {
+	exec := r.exec
+	// Coherence order: serialization order per address. A write may
+	// serialize before its commit callback in rare schedules, so the
+	// event may be missing; that is a recorder invariant failure.
+	for _, key := range r.serialized {
+		id, ok := r.eventByKey[key]
+		if !ok {
+			return &Violation{
+				Iteration: r.iteration,
+				Result: memmodel.Result{
+					Kind:   memmodel.ViolationStructural,
+					Detail: fmt.Sprintf("serialized write %v never committed", key),
+				},
+			}
+		}
+		if err := exec.AppendCO(id); err != nil {
+			return &Violation{
+				Iteration: r.iteration,
+				Result:    memmodel.Result{Kind: memmodel.ViolationStructural, Detail: err.Error()},
+			}
+		}
+	}
+	// Read-from: map observed values back to producing writes; zero is
+	// the initial value.
+	for _, read := range r.reads {
+		ev := exec.Event(read)
+		var w relation.EventID
+		if ev.Value == 0 {
+			w = exec.InitWrite(ev.Addr)
+		} else {
+			var ok bool
+			w, ok = r.writeByVal[ev.Value]
+			if !ok {
+				// The read observed a value no write produced:
+				// corrupted data (e.g. a dropped writeback).
+				return &Violation{
+					Iteration: r.iteration,
+					Result: memmodel.Result{
+						Kind: memmodel.ViolationStructural,
+						Detail: fmt.Sprintf(
+							"read %v observed value %#x with no producing write", ev, ev.Value),
+					},
+				}
+			}
+		}
+		if err := exec.SetRF(read, w); err != nil {
+			return &Violation{
+				Iteration: r.iteration,
+				Result:    memmodel.Result{Kind: memmodel.ViolationStructural, Detail: err.Error()},
+			}
+		}
+	}
+
+	res := memmodel.Check(exec, r.arch)
+
+	// Fold this iteration's rf and co (immediate edges) into rfcoRUN
+	// (Definition 1), regardless of validity.
+	for _, read := range r.reads {
+		ev := exec.Event(read)
+		w, _ := exec.RF(read)
+		wev := exec.Event(w)
+		pk := wev.Key
+		if wev.IsInit() {
+			pk = initKey(wev.Addr)
+		}
+		r.addRunEdge(pk, ev.Key)
+	}
+	for _, addr := range exec.Addresses() {
+		order := exec.CO(addr)
+		for i, id := range order {
+			ev := exec.Event(id)
+			if ev.IsInit() {
+				continue
+			}
+			var pk memmodel.Key
+			if i == 0 {
+				pk = initKey(addr)
+			} else {
+				prev := exec.Event(order[i-1])
+				if prev.IsInit() {
+					pk = initKey(addr)
+				} else {
+					pk = prev.Key
+				}
+			}
+			r.addRunEdge(pk, ev.Key)
+		}
+	}
+
+	r.iteration++
+	iter := r.iteration - 1
+	r.resetIteration()
+	if !res.Valid {
+		return &Violation{Iteration: iter, Result: res}
+	}
+	return nil
+}
+
+// NDT returns the average non-determinism of the test-run
+// (Definition 2): |rfcoRUN| / n, over the distinct events executed.
+func (r *Recorder) NDT() float64 {
+	n := len(r.allEvents)
+	if n == 0 {
+		return 0
+	}
+	return float64(len(r.rfcoRun)) / float64(n)
+}
+
+// NDe returns the non-determinism of one event (Definition 3): the
+// number of distinct events conflict-ordered before it across the run.
+func (r *Recorder) NDe(key memmodel.Key) int {
+	return len(r.preds[key])
+}
+
+// FitAddrs returns the addresses of events whose NDe exceeds the rounded
+// NDT of the test (§3.3) — the selective crossover's preferred set.
+func (r *Recorder) FitAddrs() map[memsys.Addr]bool {
+	cut := int(math.Round(r.NDT()))
+	out := make(map[memsys.Addr]bool)
+	for key, preds := range r.preds {
+		if len(preds) > cut {
+			if addr, ok := r.addrOf[key]; ok {
+				out[addr] = true
+			}
+		}
+	}
+	return out
+}
+
+// LastSerializedValue returns the value of the last write serialized to
+// the given word address in the current (un-ended) iteration — the
+// location's final value. ok is false if no write serialized there.
+func (r *Recorder) LastSerializedValue(addr memsys.Addr) (uint64, bool) {
+	addr = addr.WordAddr()
+	for i := len(r.serialized) - 1; i >= 0; i-- {
+		id, ok := r.eventByKey[r.serialized[i]]
+		if !ok {
+			continue
+		}
+		ev := r.exec.Event(id)
+		if ev.Addr == addr {
+			return ev.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ReadValue returns the value committed by the read at (tid, instr, sub)
+// in the current (un-ended) iteration, for litmus outcome matching. It
+// must be called before EndIteration resets the iteration state.
+func (r *Recorder) ReadValue(tid, instr, sub int) (uint64, bool) {
+	id, ok := r.eventByKey[memmodel.Key{TID: tid, Instr: instr, Sub: sub}]
+	if !ok {
+		return 0, false
+	}
+	ev := r.exec.Event(id)
+	if !ev.IsRead() {
+		return 0, false
+	}
+	return ev.Value, true
+}

@@ -1,0 +1,181 @@
+package checker
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/memsys"
+)
+
+const (
+	ax memsys.Addr = 0x1000
+	ay memsys.Addr = 0x1040
+)
+
+// serialMP replays one valid MP iteration: writer thread then reader.
+func serialMP(r *Recorder, readY, readX uint64) {
+	r.CommitWrite(1, 0, 0, ax, 101, false)
+	r.WriteSerialized(1, 0, 0, ax, 101)
+	r.CommitWrite(1, 1, 0, ay, 102, false)
+	r.WriteSerialized(1, 1, 0, ay, 102)
+	r.CommitRead(2, 0, 0, ay, readY, false)
+	r.CommitRead(2, 1, 0, ax, readX, false)
+}
+
+func TestValidIterationAccepted(t *testing.T) {
+	r := NewRecorder(memmodel.TSO{})
+	serialMP(r, 102, 101)
+	if v := r.EndIteration(); v != nil {
+		t.Fatalf("valid iteration rejected: %v", v)
+	}
+	if r.Iteration() != 1 {
+		t.Fatalf("Iteration = %d", r.Iteration())
+	}
+}
+
+func TestForbiddenOutcomeRejected(t *testing.T) {
+	r := NewRecorder(memmodel.TSO{})
+	// r1 = fresh y, r2 = stale x: the Figure 1 forbidden outcome.
+	serialMP(r, 102, 0)
+	v := r.EndIteration()
+	if v == nil {
+		t.Fatal("MP violation accepted")
+	}
+	if v.Result.Kind != memmodel.ViolationGHB {
+		t.Fatalf("kind = %v, want ghb", v.Result.Kind)
+	}
+	if v.Error() == "" {
+		t.Error("empty violation message")
+	}
+}
+
+func TestCorruptValueRejected(t *testing.T) {
+	r := NewRecorder(memmodel.TSO{})
+	r.CommitRead(1, 0, 0, ax, 0xdeadbeef, false) // value no write produced
+	v := r.EndIteration()
+	if v == nil || v.Result.Kind != memmodel.ViolationStructural {
+		t.Fatalf("corrupt value not caught: %+v", v)
+	}
+}
+
+func TestSerializedButNeverCommittedRejected(t *testing.T) {
+	r := NewRecorder(memmodel.TSO{})
+	r.WriteSerialized(1, 0, 0, ax, 101)
+	v := r.EndIteration()
+	if v == nil || v.Result.Kind != memmodel.ViolationStructural {
+		t.Fatalf("orphan serialization not caught: %+v", v)
+	}
+}
+
+func TestNDTDeterministicRunIsOne(t *testing.T) {
+	r := NewRecorder(memmodel.TSO{})
+	for i := 0; i < 4; i++ {
+		serialMP(r, 102, 101)
+		if v := r.EndIteration(); v != nil {
+			t.Fatal(v)
+		}
+	}
+	// Every event has exactly one conflict-order predecessor across all
+	// iterations: NDT = 1 (Definition 2's baseline).
+	if got := r.NDT(); got != 1.0 {
+		t.Fatalf("NDT = %v, want 1.0", got)
+	}
+	if len(r.FitAddrs()) != 0 {
+		t.Fatalf("deterministic run has fitaddrs: %v", r.FitAddrs())
+	}
+}
+
+func TestNDTGrowsWithRacyOutcomes(t *testing.T) {
+	r := NewRecorder(memmodel.TSO{})
+	// Iteration 1: reader sees both writes; iteration 2: neither.
+	serialMP(r, 102, 101)
+	if v := r.EndIteration(); v != nil {
+		t.Fatal(v)
+	}
+	serialMP(r, 0, 0)
+	if v := r.EndIteration(); v != nil {
+		t.Fatal(v)
+	}
+	got := r.NDT()
+	if got <= 1.0 {
+		t.Fatalf("NDT = %v, want > 1 for racy outcomes", got)
+	}
+	// The reads observed two distinct rf sources each: their addresses
+	// become fitaddrs when NDe > round(NDT).
+	fit := r.FitAddrs()
+	if math.Round(got) == 1 && len(fit) == 0 {
+		t.Fatalf("no fitaddrs despite NDe=2 > round(NDT)=%v", math.Round(got))
+	}
+}
+
+func TestNDeCountsDistinctPredecessors(t *testing.T) {
+	r := NewRecorder(memmodel.TSO{})
+	serialMP(r, 102, 101)
+	r.EndIteration()
+	serialMP(r, 0, 101)
+	r.EndIteration()
+	keyY := memmodel.Key{TID: 2, Instr: 0}
+	if got := r.NDe(keyY); got != 2 {
+		t.Fatalf("NDe(reader of y) = %d, want 2 (init and writer)", got)
+	}
+	keyX := memmodel.Key{TID: 2, Instr: 1}
+	if got := r.NDe(keyX); got != 1 {
+		t.Fatalf("NDe(reader of x) = %d, want 1", got)
+	}
+}
+
+func TestResetAllClearsRunState(t *testing.T) {
+	r := NewRecorder(memmodel.TSO{})
+	serialMP(r, 102, 101)
+	r.EndIteration()
+	r.ResetAll()
+	if r.NDT() != 0 || r.Iteration() != 0 || len(r.FitAddrs()) != 0 {
+		t.Fatal("ResetAll left run state behind")
+	}
+}
+
+func TestReadValueAndLastSerialized(t *testing.T) {
+	r := NewRecorder(memmodel.TSO{})
+	r.CommitWrite(0, 0, 0, ax, 7, false)
+	r.WriteSerialized(0, 0, 0, ax, 7)
+	r.CommitWrite(0, 1, 0, ax, 9, false)
+	r.WriteSerialized(0, 1, 0, ax, 9)
+	r.CommitRead(1, 0, 0, ax, 9, false)
+	if got, ok := r.ReadValue(1, 0, 0); !ok || got != 9 {
+		t.Fatalf("ReadValue = %d,%v", got, ok)
+	}
+	if _, ok := r.ReadValue(5, 5, 0); ok {
+		t.Error("missing read reported present")
+	}
+	if got, ok := r.LastSerializedValue(ax); !ok || got != 9 {
+		t.Fatalf("LastSerializedValue = %d,%v, want 9", got, ok)
+	}
+	if _, ok := r.LastSerializedValue(ay); ok {
+		t.Error("unwritten address reported serialized")
+	}
+}
+
+func TestRMWEventsRecorded(t *testing.T) {
+	r := NewRecorder(memmodel.TSO{})
+	r.CommitWrite(0, 0, 0, ax, 5, false)
+	r.WriteSerialized(0, 0, 0, ax, 5)
+	// RMW on thread 1 reads 5, writes 6 — atomic pair.
+	r.CommitRead(1, 0, 0, ax, 5, true)
+	r.CommitWrite(1, 0, 1, ax, 6, true)
+	r.WriteSerialized(1, 0, 1, ax, 6)
+	if v := r.EndIteration(); v != nil {
+		t.Fatalf("valid RMW rejected: %v", v)
+	}
+	// Broken atomicity: RMW reads the initial value although another
+	// write serialized in between.
+	r2 := NewRecorder(memmodel.TSO{})
+	r2.CommitRead(1, 0, 0, ax, 0, true)
+	r2.CommitWrite(1, 0, 1, ax, 6, true)
+	r2.CommitWrite(0, 0, 0, ax, 5, false)
+	r2.WriteSerialized(0, 0, 0, ax, 5)
+	r2.WriteSerialized(1, 0, 1, ax, 6)
+	if v := r2.EndIteration(); v == nil {
+		t.Fatal("broken RMW atomicity accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/memsys"
+)
+
+// Array is a set-associative cache structure with LRU replacement,
+// parameterized over the per-line protocol state. Victim selection takes
+// a predicate so controllers never evict lines in transient states.
+type Array[L any] struct {
+	sets, ways int
+	entries    []arrayEntry[L]
+	clock      uint64
+}
+
+type arrayEntry[L any] struct {
+	valid bool
+	addr  memsys.Addr
+	lru   uint64
+	line  L
+}
+
+// NewArray returns a sets×ways cache array. Both dimensions must be
+// powers of two are not required, but sets must be positive.
+func NewArray[L any](sets, ways int) *Array[L] {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("coherence: invalid geometry %dx%d", sets, ways))
+	}
+	return &Array[L]{
+		sets:    sets,
+		ways:    ways,
+		entries: make([]arrayEntry[L], sets*ways),
+	}
+}
+
+// GeomFor returns (sets, ways) for a cache of the given total size with
+// the given associativity and 64B lines.
+func GeomFor(sizeBytes, ways int) (int, int) {
+	lines := sizeBytes / memsys.LineSize
+	return lines / ways, ways
+}
+
+func (a *Array[L]) set(addr memsys.Addr) []arrayEntry[L] {
+	idx := int(uint64(addr) / memsys.LineSize % uint64(a.sets))
+	return a.entries[idx*a.ways : (idx+1)*a.ways]
+}
+
+// Lookup returns the line for addr if present, touching LRU state.
+func (a *Array[L]) Lookup(addr memsys.Addr) (*L, bool) {
+	addr = addr.LineAddr()
+	set := a.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].addr == addr {
+			a.clock++
+			set[i].lru = a.clock
+			return &set[i].line, true
+		}
+	}
+	return nil, false
+}
+
+// Peek returns the line for addr without touching LRU state.
+func (a *Array[L]) Peek(addr memsys.Addr) (*L, bool) {
+	addr = addr.LineAddr()
+	set := a.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].addr == addr {
+			return &set[i].line, true
+		}
+	}
+	return nil, false
+}
+
+// HasFree reports whether addr's set has an unused way.
+func (a *Array[L]) HasFree(addr memsys.Addr) bool {
+	set := a.set(addr.LineAddr())
+	for i := range set {
+		if !set[i].valid {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert allocates a way for addr with a zero line and returns it. It
+// panics if the line is already present or the set is full; callers must
+// evict first.
+func (a *Array[L]) Insert(addr memsys.Addr) *L {
+	addr = addr.LineAddr()
+	set := a.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].addr == addr {
+			panic(fmt.Sprintf("coherence: double insert of %s", addr))
+		}
+	}
+	for i := range set {
+		if !set[i].valid {
+			a.clock++
+			set[i] = arrayEntry[L]{valid: true, addr: addr, lru: a.clock}
+			return &set[i].line
+		}
+	}
+	panic(fmt.Sprintf("coherence: insert into full set for %s", addr))
+}
+
+// Victim returns the least-recently-used line in addr's set satisfying
+// the predicate, or ok=false if none qualifies.
+func (a *Array[L]) Victim(addr memsys.Addr, canEvict func(*L) bool) (memsys.Addr, *L, bool) {
+	set := a.set(addr.LineAddr())
+	best := -1
+	for i := range set {
+		if !set[i].valid || !canEvict(&set[i].line) {
+			continue
+		}
+		if best < 0 || set[i].lru < set[best].lru {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, nil, false
+	}
+	return set[best].addr, &set[best].line, true
+}
+
+// Remove invalidates addr's entry if present.
+func (a *Array[L]) Remove(addr memsys.Addr) {
+	addr = addr.LineAddr()
+	set := a.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].addr == addr {
+			set[i] = arrayEntry[L]{}
+			return
+		}
+	}
+}
+
+// Range calls fn for every valid line until fn returns false.
+func (a *Array[L]) Range(fn func(addr memsys.Addr, line *L) bool) {
+	for i := range a.entries {
+		if a.entries[i].valid {
+			if !fn(a.entries[i].addr, &a.entries[i].line) {
+				return
+			}
+		}
+	}
+}
+
+// Clear invalidates every entry.
+func (a *Array[L]) Clear() {
+	for i := range a.entries {
+		a.entries[i] = arrayEntry[L]{}
+	}
+}
+
+// Count returns the number of valid lines.
+func (a *Array[L]) Count() int {
+	n := 0
+	for i := range a.entries {
+		if a.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,237 @@
+// Package coherence implements the two cache-coherence protocols under
+// study (§5.3): a two-level directory MESI modeled after gem5 Ruby's
+// MESI_Two_Level, and TSO-CC, a lazy consistency-directed protocol that
+// deliberately violates the Single-Writer–Multiple-Reader invariant.
+//
+// Both protocols are table-driven state machines: every (state, event)
+// pair a controller can legally process is an entry in an explicit
+// transition table. This mirrors Ruby's generated controllers and gives
+// three properties the framework depends on:
+//
+//  1. structural transition coverage — the fitness signal of §3.2 — is
+//     exact: the denominator is the table size, the numerator the
+//     distinct entries exercised;
+//  2. an arriving event with no table entry is an *invalid transition*,
+//     reported through the ErrorSink exactly like Ruby aborts on the
+//     MESI+PUTX-Race bug;
+//  3. protocols are functionally accurate: data values move through the
+//     caches, so stale data from a protocol bug corrupts functional
+//     execution (§5.1).
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/interconnect"
+	"repro/internal/memsys"
+)
+
+// CoverageSink receives one record per executed protocol transition.
+// Identical controllers are not distinguished (§3.2: "we do not
+// distinguish between identical controllers, and instead consider the
+// sum of their transitions").
+type CoverageSink interface {
+	RecordTransition(controller, state, event string)
+}
+
+// ErrorSink receives protocol-level failures: invalid transitions and
+// data-integrity violations detected by the protocol machinery itself.
+type ErrorSink interface {
+	ProtocolError(err error)
+}
+
+// NopCoverage discards coverage records.
+type NopCoverage struct{}
+
+// RecordTransition implements CoverageSink.
+func (NopCoverage) RecordTransition(controller, state, event string) {}
+
+// PanicErrors panics on protocol errors; useful in tests.
+type PanicErrors struct{}
+
+// ProtocolError implements ErrorSink.
+func (PanicErrors) ProtocolError(err error) { panic(err) }
+
+// CollectErrors accumulates protocol errors.
+type CollectErrors struct {
+	Errors []error
+}
+
+// ProtocolError implements ErrorSink.
+func (c *CollectErrors) ProtocolError(err error) { c.Errors = append(c.Errors, err) }
+
+// CacheL1 is the interface the core model uses to talk to its private L1
+// regardless of protocol. Completion callbacks fire at the time the
+// operation performs in the memory system:
+//
+//   - Load's callback delivers the loaded value; invalidated=true means
+//     the line was invalidated concurrently with the fill (the IS_I
+//     "use data once" path) and the LQ must treat the load as
+//     immediately invalidated.
+//   - Store's callback fires when the store is written into the cache at
+//     the coherence point — the store's serialization (co) point.
+//   - Atomic applies fn at the coherence point and returns the old value.
+//   - Flush evicts the line (clflush).
+type CacheL1 interface {
+	Load(addr memsys.Addr, cb func(val uint64, invalidated bool))
+	Store(addr memsys.Addr, val uint64, cb func())
+	Atomic(addr memsys.Addr, apply func(old uint64) uint64, cb func(old uint64))
+	Flush(addr memsys.Addr, cb func())
+	// SetInvalListener registers the LQ notification hook: it is
+	// invoked with a line address whenever the protocol (correctly)
+	// forwards an invalidation of that line to the core. The studied
+	// LQ bugs suppress exactly these calls in specific states.
+	SetInvalListener(fn func(line memsys.Addr))
+	// ResetCaches invalidates all lines without traffic, used by
+	// reset_test_mem between test executions (§4, Table 1).
+	ResetCaches()
+}
+
+// Node numbering: cores own NodeIDs [0, cores); L2 tiles [64, 64+tiles);
+// the memory controller is node 128.
+const (
+	l2NodeBase = 64
+	// MemNode is the memory controller's network node.
+	MemNode interconnect.NodeID = 128
+)
+
+// L1Node returns the network node of core i's L1.
+func L1Node(core int) interconnect.NodeID { return interconnect.NodeID(core) }
+
+// L2Node returns the network node of L2 tile t.
+func L2Node(tile int) interconnect.NodeID { return interconnect.NodeID(l2NodeBase + tile) }
+
+// TileOf maps a line address to its home L2 tile: consecutive lines
+// interleave across tiles (NUCA), which together with the 1MB partition
+// separation makes same-offset lines of different partitions collide on
+// one tile and one set — the L2 conflict-eviction driver of §5.2.1.
+func TileOf(addr memsys.Addr, tiles int) int {
+	return int(uint64(addr) / memsys.LineSize % uint64(tiles))
+}
+
+// MsgType enumerates all message types of both protocols.
+type MsgType uint8
+
+// Message types. The MESI set mirrors MESI_Two_Level's virtual channels;
+// the TSO-CC set carries timestamp metadata.
+const (
+	// Requests (VNetRequest).
+	MsgGETS MsgType = iota
+	MsgGETX
+	MsgPUTS // S replacement notice (no data)
+	MsgPUTE // clean owner replacement (no data)
+	MsgPUTX // dirty owner writeback (data)
+	MsgUnblock
+	// Responses (VNetResponse).
+	MsgDataS    // shared data (no unblock expected)
+	MsgDataSB   // shared data, directory blocked (unblock expected)
+	MsgDataE    // exclusive clean data
+	MsgDataM    // data with ack count for GETX
+	MsgInvAck   // invalidation ack (to requestor or L2)
+	MsgWBAck    // writeback ack
+	MsgPutStale // the PUT raced with a forward; treated as handled
+	MsgWBData   // owner's data copy to L2 on FwdGETS
+	MsgRecallData
+	MsgRecallAck
+	MsgRecallStale
+	MsgMemData
+	// Forwards (VNetForward).
+	MsgInv
+	MsgFwdGETS
+	MsgFwdGETX
+	MsgRecall
+	// Memory controller.
+	MsgMemRead
+	MsgMemWrite
+	// TSO-CC messages.
+	MsgTGetS
+	MsgTGetX
+	MsgTData     // data + timestamp metadata
+	MsgTDataEx   // exclusive grant
+	MsgTWB       // owner writeback (replacement or flush)
+	MsgTFetch    // L2 asks owner for current data (owner downgrades)
+	MsgTFetchInv // L2 asks owner for data and full invalidation
+	MsgTFetchAck // owner's response to TFetch/TFetchInv
+	MsgTWBAck
+	MsgTTsReset // timestamp reset broadcast
+
+	numMsgTypes
+)
+
+var msgNames = map[MsgType]string{
+	MsgGETS: "GETS", MsgGETX: "GETX", MsgPUTS: "PUTS", MsgPUTE: "PUTE",
+	MsgPUTX: "PUTX", MsgUnblock: "Unblock", MsgDataS: "DataS",
+	MsgDataSB: "DataSB", MsgDataE: "DataE", MsgDataM: "DataM",
+	MsgInvAck: "InvAck", MsgWBAck: "WBAck", MsgPutStale: "PutStale",
+	MsgWBData: "WBData", MsgRecallData: "RecallData",
+	MsgRecallAck: "RecallAck", MsgRecallStale: "RecallStale",
+	MsgMemData: "MemData", MsgInv: "Inv", MsgFwdGETS: "FwdGETS",
+	MsgFwdGETX: "FwdGETX", MsgRecall: "Recall", MsgMemRead: "MemRead",
+	MsgMemWrite: "MemWrite", MsgTGetS: "TGetS", MsgTGetX: "TGetX",
+	MsgTData: "TData", MsgTDataEx: "TDataEx", MsgTWB: "TWB",
+	MsgTFetch: "TFetch", MsgTFetchInv: "TFetchInv",
+	MsgTFetchAck: "TFetchAck", MsgTWBAck: "TWBAck",
+	MsgTTsReset: "TTsReset",
+}
+
+func (t MsgType) String() string {
+	if s, ok := msgNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Msg is a coherence message. Fields are used per message type.
+type Msg struct {
+	Type MsgType
+	// Addr is the line address.
+	Addr memsys.Addr
+	// Src is the sending node.
+	Src interconnect.NodeID
+	// Requestor is the core whose request caused this message.
+	Requestor int
+	// AckTo is where invalidation acks must be sent.
+	AckTo interconnect.NodeID
+	// Data carries line data where applicable.
+	Data *memsys.LineData
+	// Dirty marks data newer than memory.
+	Dirty bool
+	// AckCount is the number of invalidation acks the requestor must
+	// collect before its GETX completes.
+	AckCount int
+	// Ts, Epoch, Writer carry TSO-CC timestamp metadata.
+	Ts     uint32
+	Epoch  uint32
+	Writer int
+}
+
+func (m *Msg) String() string {
+	return fmt.Sprintf("%s[%s req=%d acks=%d dirty=%v]", m.Type, m.Addr, m.Requestor, m.AckCount, m.Dirty)
+}
+
+// InvalidTransitionError is raised when a controller receives an event
+// its table has no entry for — the Ruby-style fatal protocol error that
+// the MESI+PUTX-Race bug manifests as.
+type InvalidTransitionError struct {
+	Controller string
+	State      string
+	Event      string
+	Addr       memsys.Addr
+}
+
+func (e *InvalidTransitionError) Error() string {
+	return fmt.Sprintf("coherence: invalid transition: %s in state %s on event %s (line %s)",
+		e.Controller, e.State, e.Event, e.Addr)
+}
+
+// Transition names one (controller, state, event) entry of a protocol's
+// transition table, the unit of structural coverage (§3.2).
+type Transition struct {
+	Controller string
+	State      string
+	Event      string
+}
+
+func (t Transition) String() string {
+	return t.Controller + ":" + t.State + ":" + t.Event
+}

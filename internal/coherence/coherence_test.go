@@ -1,0 +1,573 @@
+package coherence
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/interconnect"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+)
+
+// covCounter counts distinct and total transitions.
+type covCounter struct {
+	seen  map[Transition]uint64
+	total uint64
+}
+
+func newCovCounter() *covCounter { return &covCounter{seen: make(map[Transition]uint64)} }
+
+func (c *covCounter) RecordTransition(controller, state, event string) {
+	c.seen[Transition{controller, state, event}]++
+	c.total++
+}
+
+// testSys assembles a small coherent system for protocol-level tests:
+// 4 cores, 4 L2 tiles, tiny caches so evictions are frequent.
+type testSys struct {
+	t      *testing.T
+	sim    *sim.Sim
+	net    *interconnect.Network
+	mem    *memsys.Memory
+	l1s    []CacheL1
+	mesi   []*MESIL1
+	tso    []*TSOCCL1
+	mesiL2 []*MESIL2
+	tsoL2  []*TSOCCL2
+	cov    *covCounter
+	errs   *CollectErrors
+}
+
+const (
+	tCores = 4
+	tTiles = 4
+)
+
+func newSys(t *testing.T, proto string, seed int64, bug bugs.Set) *testSys {
+	t.Helper()
+	s := sim.New(seed)
+	net := interconnect.New(s, interconnect.DefaultConfig())
+	mem := memsys.NewMemory()
+	ts := &testSys{
+		t: t, sim: s, net: net, mem: mem,
+		cov: newCovCounter(), errs: &CollectErrors{},
+	}
+	if _, err := NewMemCtrl(s, net, mem); err != nil {
+		t.Fatalf("NewMemCtrl: %v", err)
+	}
+	for i := 0; i < tCores; i++ {
+		switch proto {
+		case "MESI":
+			l1, err := NewMESIL1(s, net, MESIL1Config{
+				CoreID: i, Tiles: tTiles, SizeBytes: 1024, Ways: 2,
+				Bugs: bug, Coverage: ts.cov, Errors: ts.errs,
+			}, 0, i)
+			if err != nil {
+				t.Fatalf("NewMESIL1: %v", err)
+			}
+			ts.mesi = append(ts.mesi, l1)
+			ts.l1s = append(ts.l1s, l1)
+		case "TSO-CC":
+			l1, err := NewTSOCCL1(s, net, TSOCCL1Config{
+				CoreID: i, Cores: tCores, Tiles: tTiles,
+				SizeBytes: 1024, Ways: 2,
+				Bugs: bug, Coverage: ts.cov, Errors: ts.errs,
+			}, 0, i)
+			if err != nil {
+				t.Fatalf("NewTSOCCL1: %v", err)
+			}
+			ts.tso = append(ts.tso, l1)
+			ts.l1s = append(ts.l1s, l1)
+		}
+	}
+	for j := 0; j < tTiles; j++ {
+		switch proto {
+		case "MESI":
+			l2, err := NewMESIL2(s, net, MESIL2Config{
+				Tile: j, Cores: tCores, SizeBytes: 2048, Ways: 2,
+				Bugs: bug, Coverage: ts.cov, Errors: ts.errs,
+			}, 1, j)
+			if err != nil {
+				t.Fatalf("NewMESIL2: %v", err)
+			}
+			ts.mesiL2 = append(ts.mesiL2, l2)
+		case "TSO-CC":
+			l2, err := NewTSOCCL2(s, net, TSOCCL2Config{
+				Tile: j, Cores: tCores, SizeBytes: 2048, Ways: 2,
+				Bugs: bug, Coverage: ts.cov, Errors: ts.errs,
+			}, 1, j)
+			if err != nil {
+				t.Fatalf("NewTSOCCL2: %v", err)
+			}
+			ts.tsoL2 = append(ts.tsoL2, l2)
+		}
+	}
+	return ts
+}
+
+// resetAllCaches drops every cache level, as the host's reset_test_mem
+// does between tests.
+func (ts *testSys) resetAllCaches() {
+	for _, l1 := range ts.l1s {
+		l1.ResetCaches()
+	}
+	for _, l2 := range ts.mesiL2 {
+		l2.ResetCaches()
+	}
+	for _, l2 := range ts.tsoL2 {
+		l2.ResetCaches()
+	}
+}
+
+const opDeadline = 2_000_000
+
+// load performs a blocking load on core and returns the value.
+func (ts *testSys) load(core int, addr memsys.Addr) uint64 {
+	ts.t.Helper()
+	var val uint64
+	done := false
+	ts.l1s[core].Load(addr, func(v uint64, _ bool) { val, done = v, true })
+	if err := ts.sim.RunUntil(func() bool { return done }, opDeadline); err != nil {
+		ts.t.Fatalf("load(%d, %v): %v (protocol errors: %v)", core, addr, err, ts.errs.Errors)
+	}
+	return val
+}
+
+// store performs a blocking store on core.
+func (ts *testSys) store(core int, addr memsys.Addr, v uint64) {
+	ts.t.Helper()
+	done := false
+	ts.l1s[core].Store(addr, v, func() { done = true })
+	if err := ts.sim.RunUntil(func() bool { return done }, opDeadline); err != nil {
+		ts.t.Fatalf("store(%d, %v): %v (protocol errors: %v)", core, addr, err, ts.errs.Errors)
+	}
+}
+
+// atomic performs a blocking RMW on core and returns the old value.
+func (ts *testSys) atomic(core int, addr memsys.Addr, newVal uint64) uint64 {
+	ts.t.Helper()
+	var old uint64
+	done := false
+	ts.l1s[core].Atomic(addr, func(o uint64) uint64 { return newVal }, func(o uint64) { old, done = o, true })
+	if err := ts.sim.RunUntil(func() bool { return done }, opDeadline); err != nil {
+		ts.t.Fatalf("atomic(%d, %v): %v (errors: %v)", core, addr, err, ts.errs.Errors)
+	}
+	return old
+}
+
+// flush performs a blocking clflush on core.
+func (ts *testSys) flush(core int, addr memsys.Addr) {
+	ts.t.Helper()
+	done := false
+	ts.l1s[core].Flush(addr, func() { done = true })
+	if err := ts.sim.RunUntil(func() bool { return done }, opDeadline); err != nil {
+		ts.t.Fatalf("flush(%d, %v): %v (errors: %v)", core, addr, err, ts.errs.Errors)
+	}
+}
+
+// quiesce drains all in-flight traffic.
+func (ts *testSys) quiesce() {
+	ts.sim.Run()
+}
+
+// checkNoErrors fails the test on any accumulated protocol error.
+func (ts *testSys) checkNoErrors() {
+	ts.t.Helper()
+	for _, err := range ts.errs.Errors {
+		ts.t.Errorf("protocol error: %v", err)
+	}
+}
+
+var protocols = []string{"MESI", "TSO-CC"}
+
+func TestBasicReadWrite(t *testing.T) {
+	for _, proto := range protocols {
+		t.Run(proto, func(t *testing.T) {
+			ts := newSys(t, proto, 1, bugs.Set{})
+			a := memsys.Addr(0x10000)
+			if got := ts.load(0, a); got != 0 {
+				t.Fatalf("initial load = %d, want 0", got)
+			}
+			ts.store(0, a, 42)
+			if got := ts.load(0, a); got != 42 {
+				t.Fatalf("own read = %d, want 42", got)
+			}
+			ts.checkNoErrors()
+		})
+	}
+}
+
+func TestCrossCoreVisibility(t *testing.T) {
+	for _, proto := range protocols {
+		t.Run(proto, func(t *testing.T) {
+			ts := newSys(t, proto, 2, bugs.Set{})
+			a := memsys.Addr(0x10000)
+			ts.store(0, a, 7)
+			ts.quiesce()
+			// Under TSO-CC the first remote read fetches (no cached
+			// copy), so it must observe the write; under MESI any
+			// read does.
+			if got := ts.load(1, a); got != 7 {
+				t.Fatalf("remote read = %d, want 7", got)
+			}
+			ts.checkNoErrors()
+		})
+	}
+}
+
+func TestWriteToSharedLine(t *testing.T) {
+	for _, proto := range protocols {
+		t.Run(proto, func(t *testing.T) {
+			ts := newSys(t, proto, 3, bugs.Set{})
+			a := memsys.Addr(0x10000)
+			// All cores read (shared everywhere), then one writes,
+			// then everyone re-reads until fresh.
+			ts.store(0, a, 1)
+			for c := 0; c < tCores; c++ {
+				ts.load(c, a)
+			}
+			ts.store(1, a, 2)
+			ts.quiesce()
+			for c := 0; c < tCores; c++ {
+				// TSO-CC may serve a bounded number of stale
+				// reads; MaxReads re-reads force a fetch.
+				var got uint64
+				for i := 0; i < 6; i++ {
+					got = ts.load(c, a)
+				}
+				if got != 2 {
+					t.Fatalf("%s: core %d final read = %d, want 2", proto, c, got)
+				}
+			}
+			ts.checkNoErrors()
+		})
+	}
+}
+
+func TestAtomicChain(t *testing.T) {
+	for _, proto := range protocols {
+		t.Run(proto, func(t *testing.T) {
+			ts := newSys(t, proto, 4, bugs.Set{})
+			a := memsys.Addr(0x20000)
+			// Chained atomics across cores must read each other's
+			// values exactly.
+			prev := uint64(0)
+			for i := 0; i < 12; i++ {
+				core := i % tCores
+				old := ts.atomic(core, a, uint64(i+1))
+				if old != prev {
+					t.Fatalf("atomic %d on core %d read %d, want %d", i, core, old, prev)
+				}
+				prev = uint64(i + 1)
+			}
+			ts.checkNoErrors()
+		})
+	}
+}
+
+func TestFlushWritesBack(t *testing.T) {
+	for _, proto := range protocols {
+		t.Run(proto, func(t *testing.T) {
+			ts := newSys(t, proto, 5, bugs.Set{})
+			a := memsys.Addr(0x30000)
+			ts.store(0, a, 99)
+			ts.flush(0, a)
+			ts.quiesce()
+			// After flush + quiesce the data must be recoverable by
+			// any core (L2 or memory holds it).
+			if got := ts.load(2, a); got != 99 {
+				t.Fatalf("read after flush = %d, want 99", got)
+			}
+			ts.checkNoErrors()
+		})
+	}
+}
+
+// TestSequentialOracle drives globally-serialized random traffic; every
+// read must return exactly the current value (writes are fully performed
+// before the next op starts). For TSO-CC, reads are repeated MaxReads+1
+// times to defeat bounded staleness.
+func TestSequentialOracle(t *testing.T) {
+	for _, proto := range protocols {
+		t.Run(proto, func(t *testing.T) {
+			ts := newSys(t, proto, 6, bugs.Set{})
+			rng := rand.New(rand.NewSource(6))
+			layout := memsys.MustLayout(2048, 16)
+			pool := layout.Pool()
+			oracle := make(map[memsys.Addr]uint64)
+			for i := 0; i < 400; i++ {
+				core := rng.Intn(tCores)
+				addr := pool[rng.Intn(len(pool))]
+				switch rng.Intn(4) {
+				case 0, 1:
+					v := uint64(i + 1)
+					ts.store(core, addr, v)
+					oracle[addr] = v
+					ts.quiesce()
+				case 2:
+					var got uint64
+					reads := 1
+					if proto == "TSO-CC" {
+						reads = 6
+					}
+					for r := 0; r < reads; r++ {
+						got = ts.load(core, addr)
+					}
+					if got != oracle[addr] {
+						t.Fatalf("op %d: read(%v) = %d, want %d", i, addr, got, oracle[addr])
+					}
+				case 3:
+					ts.flush(core, addr)
+					ts.quiesce()
+				}
+			}
+			ts.checkNoErrors()
+		})
+	}
+}
+
+// TestConcurrentStress fires racing traffic from all cores and checks
+// that the system quiesces without protocol errors and that every read
+// observed either zero or some written value.
+func TestConcurrentStress(t *testing.T) {
+	for _, proto := range protocols {
+		for seed := int64(0); seed < 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", proto, seed), func(t *testing.T) {
+				ts := newSys(t, proto, seed, bugs.Set{})
+				rng := rand.New(rand.NewSource(seed))
+				layout := memsys.MustLayout(1024, 16)
+				pool := layout.Pool()
+				written := make(map[memsys.Addr]map[uint64]bool)
+				type obs struct {
+					addr memsys.Addr
+					val  uint64
+				}
+				var reads []obs
+				outstanding := 0
+				for i := 0; i < 600; i++ {
+					core := rng.Intn(tCores)
+					addr := pool[rng.Intn(len(pool))]
+					outstanding++
+					switch rng.Intn(5) {
+					case 0, 1:
+						v := uint64(i)<<8 | uint64(core+1)
+						if written[addr] == nil {
+							written[addr] = make(map[uint64]bool)
+						}
+						written[addr][v] = true
+						ts.l1s[core].Store(addr, v, func() { outstanding-- })
+					case 2, 3:
+						a := addr
+						ts.l1s[core].Load(addr, func(v uint64, _ bool) {
+							reads = append(reads, obs{a, v})
+							outstanding--
+						})
+					case 4:
+						ts.l1s[core].Flush(addr, func() { outstanding-- })
+					}
+					// Let a little traffic overlap.
+					if rng.Intn(3) == 0 {
+						if err := ts.sim.RunUntil(func() bool { return outstanding < 8 }, opDeadline); err != nil {
+							t.Fatalf("op %d: %v (errors: %v)", i, err, ts.errs.Errors)
+						}
+					}
+				}
+				if err := ts.sim.RunUntil(func() bool { return outstanding == 0 }, 10*opDeadline); err != nil {
+					t.Fatalf("drain: %v (errors: %v)", err, ts.errs.Errors)
+				}
+				ts.quiesce()
+				ts.checkNoErrors()
+				for _, o := range reads {
+					if o.val == 0 {
+						continue
+					}
+					if !written[o.addr][o.val] {
+						t.Fatalf("read of %v returned %d, never written there", o.addr, o.val)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMESISWMRInvariant: with bugs off, at quiescence at most one L1 may
+// hold a line in E/M, and then no other L1 may hold it at all.
+func TestMESISWMRInvariant(t *testing.T) {
+	ts := newSys(t, "MESI", 7, bugs.Set{})
+	rng := rand.New(rand.NewSource(7))
+	layout := memsys.MustLayout(1024, 16)
+	pool := layout.Pool()
+	for i := 0; i < 300; i++ {
+		core := rng.Intn(tCores)
+		addr := pool[rng.Intn(len(pool))]
+		if rng.Intn(2) == 0 {
+			ts.store(core, addr, uint64(i+1))
+		} else {
+			ts.load(core, addr)
+		}
+		ts.quiesce()
+		holders := make(map[memsys.Addr][]l1State)
+		for _, l1 := range ts.mesi {
+			l1.array.Range(func(a memsys.Addr, line *mesiL1Line) bool {
+				holders[a] = append(holders[a], line.state)
+				return true
+			})
+		}
+		for a, states := range holders {
+			exclusive := 0
+			for _, st := range states {
+				if st == l1E || st == l1M {
+					exclusive++
+				}
+			}
+			if exclusive > 1 || (exclusive == 1 && len(states) > 1) {
+				t.Fatalf("op %d: SWMR violated at %v: states %v", i, a, states)
+			}
+		}
+	}
+	ts.checkNoErrors()
+}
+
+// TestTSOCCViolatesSWMR: TSO-CC must be able to hold an exclusive copy
+// while stale shared copies survive elsewhere — the paper's motivation
+// for why SWMR-based verification cannot cover it.
+func TestTSOCCViolatesSWMR(t *testing.T) {
+	ts := newSys(t, "TSO-CC", 8, bugs.Set{})
+	a := memsys.Addr(0x40000)
+	ts.store(0, a, 1)
+	ts.quiesce()
+	ts.load(1, a) // core 1 caches a shared copy
+	ts.quiesce()
+	ts.store(0, a, 2) // core 0 re-acquires exclusive; core 1 keeps its copy
+	ts.quiesce()
+	var exclusives, shared int
+	for _, l1 := range ts.tso {
+		l1.array.Range(func(addr memsys.Addr, line *tsoL1Line) bool {
+			if addr != a.LineAddr() {
+				return true
+			}
+			switch line.state {
+			case tsoEX:
+				exclusives++
+			case tsoSH:
+				shared++
+			}
+			return true
+		})
+	}
+	if exclusives != 1 || shared == 0 {
+		t.Fatalf("expected SWMR violation (Ex=1, Sh>0), got Ex=%d Sh=%d", exclusives, shared)
+	}
+	ts.checkNoErrors()
+}
+
+// TestTSOCCEventualVisibility: bounded reads force refetch, so a reader
+// polling a flag sees a new value within MaxReads+1 reads.
+func TestTSOCCEventualVisibility(t *testing.T) {
+	ts := newSys(t, "TSO-CC", 9, bugs.Set{})
+	a := memsys.Addr(0x50000)
+	ts.store(0, a, 1)
+	ts.load(1, a)
+	ts.store(0, a, 2)
+	ts.quiesce()
+	maxReads := ts.tso[1].MaxReads
+	for i := 0; ; i++ {
+		if got := ts.load(1, a); got == 2 {
+			break
+		}
+		if i > maxReads+1 {
+			t.Fatalf("value still stale after %d reads", i)
+		}
+	}
+	ts.checkNoErrors()
+}
+
+func TestTransitionTablesEnumerate(t *testing.T) {
+	mesi := MESITransitions()
+	tso := TSOCCTransitions()
+	if len(mesi) < 40 {
+		t.Errorf("MESI table suspiciously small: %d", len(mesi))
+	}
+	if len(tso) < 25 {
+		t.Errorf("TSO-CC table suspiciously small: %d", len(tso))
+	}
+	for _, set := range [][]Transition{mesi, tso} {
+		seen := make(map[Transition]bool)
+		for _, tr := range set {
+			if seen[tr] {
+				t.Errorf("duplicate transition %v", tr)
+			}
+			seen[tr] = true
+			if tr.Controller == "" || tr.State == "" || tr.Event == "" {
+				t.Errorf("incomplete transition %v", tr)
+			}
+		}
+	}
+}
+
+// TestCoverageSubsetOfTable: every transition recorded during stress runs
+// must be an enumerated table entry (numerator ⊆ denominator).
+func TestCoverageSubsetOfTable(t *testing.T) {
+	for _, proto := range protocols {
+		t.Run(proto, func(t *testing.T) {
+			ts := newSys(t, proto, 10, bugs.Set{})
+			rng := rand.New(rand.NewSource(10))
+			layout := memsys.MustLayout(1024, 16)
+			pool := layout.Pool()
+			for i := 0; i < 300; i++ {
+				core := rng.Intn(tCores)
+				addr := pool[rng.Intn(len(pool))]
+				switch rng.Intn(4) {
+				case 0, 1:
+					ts.store(core, addr, uint64(i+1))
+				case 2:
+					ts.load(core, addr)
+				case 3:
+					ts.flush(core, addr)
+				}
+			}
+			ts.quiesce()
+			table := make(map[Transition]bool)
+			var all []Transition
+			if proto == "MESI" {
+				all = MESITransitions()
+			} else {
+				all = TSOCCTransitions()
+			}
+			for _, tr := range all {
+				table[tr] = true
+			}
+			for tr := range ts.cov.seen {
+				if !table[tr] {
+					t.Errorf("recorded transition %v not in table", tr)
+				}
+			}
+			if len(ts.cov.seen) < 10 {
+				t.Errorf("too few distinct transitions recorded: %d", len(ts.cov.seen))
+			}
+			ts.checkNoErrors()
+		})
+	}
+}
+
+func TestResetCaches(t *testing.T) {
+	for _, proto := range protocols {
+		t.Run(proto, func(t *testing.T) {
+			ts := newSys(t, proto, 11, bugs.Set{})
+			a := memsys.Addr(0x60000)
+			ts.store(0, a, 5)
+			// Resets only happen at quiescence (the host interface
+			// barriers guarantee this).
+			ts.quiesce()
+			ts.resetAllCaches()
+			// After a cache reset with zeroed memory, reads return 0.
+			ts.mem.Clear()
+			if got := ts.load(0, a); got != 0 {
+				t.Fatalf("read after reset = %d, want 0", got)
+			}
+			ts.checkNoErrors()
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package coherence
+
+import (
+	"repro/internal/interconnect"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+)
+
+// MemCtrl is the memory controller: it owns the flat functional memory
+// and services line reads and writebacks with the Table 2 memory latency
+// band (the access latency below plus network traversal lands round
+// trips in the 120–230 cycle range).
+type MemCtrl struct {
+	sim *sim.Sim
+	net *interconnect.Network
+	mem *memsys.Memory
+
+	// meta retains per-line writer/timestamp metadata written back by
+	// the TSO-CC L2, so the acquire rule keeps working across L2
+	// evictions. MESI writebacks carry Writer = -1 and clear it.
+	meta map[memsys.Addr]memMeta
+
+	// AccessMin/AccessJitter give a uniform access latency in
+	// [AccessMin, AccessMin+AccessJitter].
+	AccessMin    sim.Tick
+	AccessJitter sim.Tick
+
+	reads, writes uint64
+}
+
+type memMeta struct {
+	writer    int
+	ts, epoch uint32
+}
+
+// NewMemCtrl creates the controller and registers it on the network at
+// position (0, 0).
+func NewMemCtrl(s *sim.Sim, net *interconnect.Network, mem *memsys.Memory) (*MemCtrl, error) {
+	m := &MemCtrl{
+		sim:          s,
+		net:          net,
+		mem:          mem,
+		meta:         make(map[memsys.Addr]memMeta),
+		AccessMin:    100,
+		AccessJitter: 80,
+	}
+	if err := net.Register(MemNode, m, 0, 0); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Memory returns the backing store (for reset and direct inspection by
+// the host interface).
+func (m *MemCtrl) Memory() *memsys.Memory { return m.mem }
+
+// ClearMeta forgets the timestamp metadata of a line, used when the host
+// interface re-initializes test memory (the old writer/timestamp pairing
+// no longer describes the zeroed contents).
+func (m *MemCtrl) ClearMeta(addr memsys.Addr) { delete(m.meta, addr.LineAddr()) }
+
+// Stats returns the served read and write counts.
+func (m *MemCtrl) Stats() (reads, writes uint64) { return m.reads, m.writes }
+
+// Deliver implements interconnect.Handler.
+func (m *MemCtrl) Deliver(vnet interconnect.VNet, payload interface{}) {
+	msg := payload.(*Msg)
+	switch msg.Type {
+	case MsgMemRead:
+		m.reads++
+		lat := m.AccessMin
+		if m.AccessJitter > 0 {
+			lat += sim.Tick(m.sim.Rand().Int63n(int64(m.AccessJitter) + 1))
+		}
+		addr, src := msg.Addr, msg.Src
+		m.sim.Schedule(lat, func() {
+			data := m.mem.ReadLine(addr)
+			meta, ok := m.meta[addr.LineAddr()]
+			if !ok {
+				meta = memMeta{writer: -1}
+			}
+			m.net.Send(MemNode, src, interconnect.VNetResponse, &Msg{
+				Type:   MsgMemData,
+				Addr:   addr,
+				Src:    MemNode,
+				Data:   &data,
+				Writer: meta.writer,
+				Ts:     meta.ts,
+				Epoch:  meta.epoch,
+			})
+		})
+	case MsgMemWrite:
+		m.writes++
+		m.mem.WriteLine(msg.Addr, *msg.Data)
+		m.meta[msg.Addr.LineAddr()] = memMeta{writer: msg.Writer, ts: msg.Ts, epoch: msg.Epoch}
+	default:
+		panic("memctrl: unexpected message " + msg.Type.String())
+	}
+}

@@ -1,0 +1,526 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/bugs"
+	"repro/internal/interconnect"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+)
+
+// TSO-CC (Elver & Nagarajan, HPCA 2014) is a lazy consistency-directed
+// coherence protocol for TSO. It deliberately violates the SWMR
+// invariant: shared copies are not tracked and writers never invalidate
+// readers. TSO is instead enforced by
+//
+//   - bounded reads: a Shared line may be read MaxReads times before it
+//     must be re-fetched (eventual visibility);
+//   - per-writer timestamps: every data response carries the writer's
+//     timestamp; "where the requested line's timestamp is larger or
+//     equal than the last-seen timestamp from the writer of that line,
+//     self-invalidate all Shared lines" (§5.3, quoting the TSO-CC rule —
+//     the TSO-CC+compare bug changes ≥ to >);
+//   - epoch ids: timestamps are periodically reset; epoch ids guard
+//     against races between reset messages and in-flight responses
+//     (removed by the TSO-CC+no-epoch-ids bug).
+type tsoL1State uint8
+
+const (
+	tsoI tsoL1State = iota
+	tsoSH
+	tsoEX
+	tsoISD // load fetch outstanding
+	tsoIXD // store fetch outstanding
+	tsoWBI // exclusive writeback in flight
+)
+
+var tsoL1StateNames = [...]string{"I", "Sh", "Ex", "ISD", "IXD", "WB_I"}
+
+func (s tsoL1State) String() string { return tsoL1StateNames[s] }
+
+func (s tsoL1State) stable() bool { return s <= tsoEX }
+
+type tsoL1Event uint8
+
+const (
+	tLoad tsoL1Event = iota
+	tStore
+	tAtomic
+	tFlush
+	tReplace
+	tData
+	tDataEx
+	tFetch
+	tFetchInv
+	tWBAck
+	tTsReset
+)
+
+var tsoL1EventNames = [...]string{
+	"Load", "Store", "Atomic", "Flush", "Replacement",
+	"Data", "DataEx", "Fetch", "FetchInv", "WB_Ack", "TsReset",
+}
+
+func (e tsoL1Event) String() string { return tsoL1EventNames[e] }
+
+// tsoL1Line is the per-line L1 state.
+type tsoL1Line struct {
+	state     tsoL1State
+	data      memsys.LineData
+	dirty     bool
+	readsLeft int
+	// wts/wepoch record the owner's timestamp at the time of the last
+	// write to this line. Fetch responses must report the write-time
+	// timestamp (not the current one): the ≥-vs-> comparison bug only
+	// manifests when a reader's last-seen group equals the line's
+	// write group.
+	wts      uint32
+	wepoch   uint32
+	primary  *l1Op
+	deferred []*l1Op
+}
+
+// tsoSeen is the last-seen timestamp record a core keeps per writer.
+type tsoSeen struct {
+	epoch uint32
+	ts    uint32
+}
+
+// TSOCCL1 is one core's private L1 under TSO-CC.
+type TSOCCL1 struct {
+	id    int
+	cores int
+	tiles int
+	array *Array[tsoL1Line]
+	sim   *sim.Sim
+	net   *interconnect.Network
+	bugs  bugs.Set
+	cov   CoverageSink
+	errs  ErrorSink
+
+	// Timestamp machinery (per core, §5.3).
+	ts            uint32
+	epoch         uint32
+	writesInGroup int
+	lastSeen      []tsoSeen
+
+	// MaxReads bounds consecutive hits on a Shared line.
+	MaxReads int
+	// GroupSize is the number of writes per timestamp increment
+	// (timestamp groups).
+	GroupSize int
+	// TsMax triggers a timestamp reset (and epoch increment) when
+	// exceeded; small values make reset races frequent.
+	TsMax uint32
+
+	HitLatency sim.Tick
+	RetryDelay sim.Tick
+
+	invalNotify func(line memsys.Addr)
+
+	hits, misses, selfInvs, resets uint64
+}
+
+// TSOCCL1Config configures a TSO-CC L1.
+type TSOCCL1Config struct {
+	CoreID          int
+	Cores           int
+	Tiles           int
+	SizeBytes, Ways int
+	Bugs            bugs.Set
+	Coverage        CoverageSink
+	Errors          ErrorSink
+}
+
+// NewTSOCCL1 creates the controller and registers it on the network.
+func NewTSOCCL1(s *sim.Sim, net *interconnect.Network, cfg TSOCCL1Config, row, col int) (*TSOCCL1, error) {
+	sets, ways := GeomFor(cfg.SizeBytes, cfg.Ways)
+	c := &TSOCCL1{
+		id:          cfg.CoreID,
+		cores:       cfg.Cores,
+		tiles:       cfg.Tiles,
+		array:       NewArray[tsoL1Line](sets, ways),
+		sim:         s,
+		net:         net,
+		bugs:        cfg.Bugs,
+		cov:         cfg.Coverage,
+		errs:        cfg.Errors,
+		lastSeen:    make([]tsoSeen, cfg.Cores),
+		MaxReads:    4,
+		GroupSize:   4,
+		TsMax:       8,
+		HitLatency:  3,
+		RetryDelay:  8,
+		invalNotify: func(memsys.Addr) {},
+	}
+	if c.cov == nil {
+		c.cov = NopCoverage{}
+	}
+	if c.errs == nil {
+		c.errs = PanicErrors{}
+	}
+	if err := net.Register(L1Node(cfg.CoreID), c, row, col); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SetInvalListener implements CacheL1.
+func (c *TSOCCL1) SetInvalListener(fn func(line memsys.Addr)) { c.invalNotify = fn }
+
+// ResetCaches implements CacheL1. Timestamps and last-seen state are
+// deliberately kept: they are non-test simulation state (§5.1).
+func (c *TSOCCL1) ResetCaches() { c.array.Clear() }
+
+// Stats returns hit/miss/self-invalidation/reset counters.
+func (c *TSOCCL1) Stats() (hits, misses, selfInvs, resets uint64) {
+	return c.hits, c.misses, c.selfInvs, c.resets
+}
+
+// Load implements CacheL1.
+func (c *TSOCCL1) Load(addr memsys.Addr, cb func(val uint64, invalidated bool)) {
+	c.cpuOp(&l1Op{kind: opLoad, addr: addr, loadCB: cb})
+}
+
+// Store implements CacheL1.
+func (c *TSOCCL1) Store(addr memsys.Addr, val uint64, cb func()) {
+	c.cpuOp(&l1Op{kind: opStore, addr: addr, storeVal: val, doneCB: func(uint64) { cb() }})
+}
+
+// Atomic implements CacheL1.
+func (c *TSOCCL1) Atomic(addr memsys.Addr, apply func(old uint64) uint64, cb func(old uint64)) {
+	c.cpuOp(&l1Op{kind: opAtomic, addr: addr, apply: apply, doneCB: cb})
+}
+
+// Flush implements CacheL1.
+func (c *TSOCCL1) Flush(addr memsys.Addr, cb func()) {
+	c.cpuOp(&l1Op{kind: opFlush, addr: addr, doneCB: func(uint64) { cb() }})
+}
+
+// cpuOp pays the access latency, then processes atomically (see the
+// MESI counterpart for the capture/perform atomicity argument).
+func (c *TSOCCL1) cpuOp(op *l1Op) {
+	c.sim.Schedule(c.HitLatency, func() { c.cpuOpNow(op) })
+}
+
+func (c *TSOCCL1) cpuOpNow(op *l1Op) {
+	lineAddr := op.addr.LineAddr()
+	line, ok := c.array.Lookup(lineAddr)
+	if ok && !line.state.stable() {
+		line.deferred = append(line.deferred, op)
+		return
+	}
+	if !ok {
+		if op.kind == opFlush {
+			done := op.doneCB
+			c.sim.Schedule(c.HitLatency, func() { done(0) })
+			return
+		}
+		var retry bool
+		line, retry = c.allocate(lineAddr)
+		if line == nil {
+			if retry {
+				c.sim.Schedule(c.RetryDelay, func() { c.cpuOp(op) })
+			}
+			return
+		}
+	}
+	c.dispatch(tsoOpEvent(op.kind), lineAddr, line, nil, op)
+}
+
+func tsoOpEvent(k l1OpKind) tsoL1Event {
+	switch k {
+	case opLoad:
+		return tLoad
+	case opStore:
+		return tStore
+	case opAtomic:
+		return tAtomic
+	default:
+		return tFlush
+	}
+}
+
+func (c *TSOCCL1) allocate(lineAddr memsys.Addr) (*tsoL1Line, bool) {
+	if !c.array.HasFree(lineAddr) {
+		vAddr, vLine, ok := c.array.Victim(lineAddr, func(l *tsoL1Line) bool {
+			return l.state.stable()
+		})
+		if !ok {
+			return nil, true
+		}
+		c.dispatch(tReplace, vAddr, vLine, nil, nil)
+		if !c.array.HasFree(lineAddr) {
+			return nil, true
+		}
+	}
+	line := c.array.Insert(lineAddr)
+	line.state = tsoI
+	return line, false
+}
+
+// Deliver implements interconnect.Handler.
+func (c *TSOCCL1) Deliver(vnet interconnect.VNet, payload interface{}) {
+	msg := payload.(*Msg)
+	if msg.Type == MsgTTsReset {
+		// Timestamp resets are core-level, not per-line.
+		c.cov.RecordTransition("L1Cache", "core", tTsReset.String())
+		c.handleTsReset(msg)
+		return
+	}
+	lineAddr := msg.Addr.LineAddr()
+	line, ok := c.array.Peek(lineAddr)
+	if !ok {
+		line = &tsoL1Line{state: tsoI}
+	}
+	ev, ok := tsoL1MsgEvent(msg.Type)
+	if !ok {
+		panic(fmt.Sprintf("tsocc l1: unroutable message %s", msg))
+	}
+	c.dispatch(ev, lineAddr, line, msg, nil)
+}
+
+func tsoL1MsgEvent(t MsgType) (tsoL1Event, bool) {
+	switch t {
+	case MsgTData:
+		return tData, true
+	case MsgTDataEx:
+		return tDataEx, true
+	case MsgTFetch:
+		return tFetch, true
+	case MsgTFetchInv:
+		return tFetchInv, true
+	case MsgTWBAck:
+		return tWBAck, true
+	default:
+		return 0, false
+	}
+}
+
+type tsoL1Key struct {
+	state tsoL1State
+	ev    tsoL1Event
+}
+
+type tsoL1Ctx struct {
+	addr memsys.Addr
+	line *tsoL1Line
+	msg  *Msg
+	op   *l1Op
+}
+
+type tsoL1Handler func(c *TSOCCL1, x *tsoL1Ctx)
+
+func (c *TSOCCL1) dispatch(ev tsoL1Event, addr memsys.Addr, line *tsoL1Line, msg *Msg, op *l1Op) {
+	h, ok := tsoccL1Table[tsoL1Key{line.state, ev}]
+	if !ok {
+		c.errs.ProtocolError(&InvalidTransitionError{
+			Controller: "L1Cache",
+			State:      line.state.String(),
+			Event:      ev.String(),
+			Addr:       addr,
+		})
+		return
+	}
+	c.cov.RecordTransition("L1Cache", line.state.String(), ev.String())
+	h(c, &tsoL1Ctx{addr: addr, line: line, msg: msg, op: op})
+}
+
+func (c *TSOCCL1) send(dst interconnect.NodeID, vnet interconnect.VNet, m *Msg) {
+	m.Src = L1Node(c.id)
+	c.net.Send(L1Node(c.id), dst, vnet, m)
+}
+
+func (c *TSOCCL1) homeTile(addr memsys.Addr) interconnect.NodeID {
+	return L2Node(TileOf(addr, c.tiles))
+}
+
+// tsGroup quantizes a timestamp into its timestamp group.
+func (c *TSOCCL1) tsGroup(ts uint32) uint32 {
+	if c.GroupSize <= 1 {
+		return ts
+	}
+	return ts / uint32(c.GroupSize)
+}
+
+// decideSelfInvalidate applies the TSO-CC acquire rule to a data
+// response's (writer, epoch, ts) metadata and returns whether all Shared
+// lines must be self-invalidated. It also updates lastSeen.
+//
+// The fixed protocol applies the conservative acquire: every fill whose
+// last writer is another core (or unknown) self-invalidates. The
+// timestamp machinery still runs (groups, resets, epochs), but its
+// *filtering* — skipping the self-invalidation when the reader already
+// synchronized past the writer's timestamp — is exactly where the two
+// studied TSO-CC bugs live, so the filter is only active under those
+// injections (see DESIGN.md §1 for this substitution):
+//
+//   - Bug TSO-CC+no-epoch-ids: the filter compares raw timestamp groups
+//     with no epoch guard, so a response generated after a timestamp
+//     reset but processed before the reset broadcast compares a small
+//     new timestamp against a large stale last-seen value and misses
+//     the self-invalidation.
+//   - Bug TSO-CC+compare: the filter uses > instead of the required ≥,
+//     missing self-invalidation when the writer's later writes share
+//     the timestamp group of the last-seen value.
+func (c *TSOCCL1) decideSelfInvalidate(writer int, epoch, ts uint32) bool {
+	if writer == c.id {
+		return false // own writes need no acquire
+	}
+	if writer < 0 {
+		// Unknown writer (initial data): the faulty filters cannot
+		// evaluate and skip; the fixed protocol stays conservative.
+		return !c.bugs.TSOCCNoEpochIDs && !c.bugs.TSOCCCompare
+	}
+	seen := &c.lastSeen[writer]
+	switch {
+	case c.bugs.TSOCCNoEpochIDs:
+		selfInv := c.tsGroup(ts) >= c.tsGroup(seen.ts)
+		if ts > seen.ts {
+			seen.ts = ts
+		}
+		return selfInv
+	case c.bugs.TSOCCCompare:
+		if epoch != seen.epoch {
+			seen.epoch = epoch
+			seen.ts = ts
+			return true
+		}
+		selfInv := c.tsGroup(ts) > c.tsGroup(seen.ts)
+		if ts > seen.ts {
+			seen.ts = ts
+		}
+		return selfInv
+	default:
+		// Fixed: conservative acquire.
+		seen.epoch = epoch
+		if ts > seen.ts {
+			seen.ts = ts
+		}
+		return true
+	}
+}
+
+// selfInvalidate drops every Shared line and notifies the LQ for each —
+// self-invalidation is the only invalidation Shared lines ever receive
+// under TSO-CC, so this notification carries the whole Peekaboo burden.
+func (c *TSOCCL1) selfInvalidate() {
+	c.selfInvs++
+	var victims []memsys.Addr
+	c.array.Range(func(addr memsys.Addr, line *tsoL1Line) bool {
+		if line.state == tsoSH && len(line.deferred) == 0 && line.primary == nil {
+			victims = append(victims, addr)
+		}
+		return true
+	})
+	for _, addr := range victims {
+		c.array.Remove(addr)
+		c.invalNotify(addr)
+	}
+}
+
+// tsOnWrite advances the write-group timestamp machinery and triggers a
+// reset broadcast when TsMax is exceeded.
+func (c *TSOCCL1) tsOnWrite() {
+	c.writesInGroup++
+	if c.writesInGroup < c.GroupSize {
+		return
+	}
+	c.writesInGroup = 0
+	c.ts++
+	if c.ts <= c.TsMax {
+		return
+	}
+	// Timestamp reset: new epoch, broadcast to all other cores.
+	c.resets++
+	c.ts = 0
+	c.epoch++
+	for core := 0; core < c.cores; core++ {
+		if core == c.id {
+			continue
+		}
+		c.send(L1Node(core), interconnect.VNetForward, &Msg{
+			Type:   MsgTTsReset,
+			Writer: c.id,
+			Epoch:  c.epoch,
+		})
+	}
+}
+
+// handleTsReset processes a writer's reset broadcast.
+func (c *TSOCCL1) handleTsReset(msg *Msg) {
+	seen := &c.lastSeen[msg.Writer]
+	if c.bugs.TSOCCNoEpochIDs {
+		// Without epoch ids the receiver can only zero its record;
+		// responses in flight race with this update.
+		seen.ts = 0
+		return
+	}
+	seen.epoch = msg.Epoch
+	seen.ts = 0
+}
+
+// completeLoad captures and completes synchronously: the capture is the
+// perform point (no invalidation window before the LQ sees it).
+func (c *TSOCCL1) completeLoad(line *tsoL1Line, op *l1Op, invalidated bool) {
+	op.loadCB(line.data.Word(op.addr), invalidated)
+}
+
+func (c *TSOCCL1) performStore(line *tsoL1Line, op *l1Op) {
+	line.data.SetWord(op.addr, op.storeVal)
+	line.dirty = true
+	line.wts, line.wepoch = c.ts, c.epoch
+	c.tsOnWrite()
+	done := op.doneCB
+	c.sim.Schedule(0, func() { done(0) })
+}
+
+func (c *TSOCCL1) performAtomic(line *tsoL1Line, op *l1Op) {
+	old := line.data.Word(op.addr)
+	line.data.SetWord(op.addr, op.apply(old))
+	line.dirty = true
+	line.wts, line.wepoch = c.ts, c.epoch
+	c.tsOnWrite()
+	// RMWs are fences: the acquire side self-invalidates all Shared
+	// lines (the release side is the CPU's store-buffer drain).
+	c.selfInvalidate()
+	done := op.doneCB
+	c.sim.Schedule(0, func() { done(old) })
+}
+
+func (c *TSOCCL1) settle(line *tsoL1Line) {
+	ops := line.deferred
+	line.deferred = nil
+	line.primary = nil
+	for _, op := range ops {
+		op := op
+		c.sim.Schedule(0, func() { c.cpuOp(op) })
+	}
+}
+
+func (c *TSOCCL1) removeLine(addr memsys.Addr, line *tsoL1Line) {
+	deferred := line.deferred
+	line.deferred = nil
+	c.array.Remove(addr)
+	for _, op := range deferred {
+		op := op
+		c.sim.Schedule(0, func() { c.cpuOp(op) })
+	}
+}
+
+func (c *TSOCCL1) satisfyPrimary(line *tsoL1Line) {
+	op := line.primary
+	if op == nil {
+		return
+	}
+	line.primary = nil
+	switch op.kind {
+	case opLoad:
+		c.completeLoad(line, op, false)
+	case opStore:
+		c.performStore(line, op)
+	case opAtomic:
+		c.performAtomic(line, op)
+	}
+}

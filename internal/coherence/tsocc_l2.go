@@ -1,0 +1,463 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/bugs"
+	"repro/internal/interconnect"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+)
+
+// tsoL2State enumerates the TSO-CC L2/directory states. TSO-CC tracks
+// only the exclusive owner (if any) — shared copies are untracked, which
+// is the deliberate SWMR violation.
+type tsoL2State uint8
+
+const (
+	tsoNP  tsoL2State = iota
+	tsoTV             // valid data, no exclusive owner
+	tsoTX             // exclusive owner
+	tsoIFS            // memory fetch for a GetS
+	tsoIFX            // memory fetch for a GetX
+	tsoFO             // fetching from owner for a GetS
+	tsoFOX            // fetching from owner for a GetX
+	tsoFOI            // fetching from owner for an L2 eviction
+)
+
+var tsoL2StateNames = [...]string{"NP", "V", "X", "IFS", "IFX", "FO", "FOX", "FO_I"}
+
+func (s tsoL2State) String() string { return tsoL2StateNames[s] }
+
+func (s tsoL2State) stable() bool { return s == tsoTV || s == tsoTX }
+
+type tsoL2Event uint8
+
+const (
+	tGetS tsoL2Event = iota
+	tGetX
+	tWB
+	tFetchAck
+	tMemData
+	tL2Replace
+)
+
+var tsoL2EventNames = [...]string{
+	"GetS", "GetX", "WB", "FetchAck", "Mem_Data", "Replacement",
+}
+
+func (e tsoL2Event) String() string { return tsoL2EventNames[e] }
+
+// tsoL2Line is the per-line directory state, carrying the last writer's
+// timestamp metadata served with every data response.
+type tsoL2Line struct {
+	state   tsoL2State
+	data    memsys.LineData
+	dirty   bool
+	writer  int
+	ts      uint32
+	epoch   uint32
+	owner   int
+	reqCore int
+	// fetchSeq correlates owner fetches with their acks: a TFetchAck
+	// whose echoed sequence does not match the line's current fetch is
+	// stale (its generation already resolved through a writeback) and
+	// must be dropped, not absorbed.
+	fetchSeq int
+}
+
+// TSOCCL2 is one L2/directory tile under TSO-CC.
+type TSOCCL2 struct {
+	tile  int
+	cores int
+	array *Array[tsoL2Line]
+	sim   *sim.Sim
+	net   *interconnect.Network
+	bugs  bugs.Set
+	cov   CoverageSink
+	errs  ErrorSink
+
+	AccessLatency sim.Tick
+	RecycleDelay  sim.Tick
+
+	recycles uint64
+}
+
+// TSOCCL2Config configures a TSO-CC L2 tile.
+type TSOCCL2Config struct {
+	Tile            int
+	Cores           int
+	SizeBytes, Ways int
+	Bugs            bugs.Set
+	Coverage        CoverageSink
+	Errors          ErrorSink
+}
+
+// NewTSOCCL2 creates the tile and registers it on the network.
+func NewTSOCCL2(s *sim.Sim, net *interconnect.Network, cfg TSOCCL2Config, row, col int) (*TSOCCL2, error) {
+	sets, ways := GeomFor(cfg.SizeBytes, cfg.Ways)
+	c := &TSOCCL2{
+		tile:          cfg.Tile,
+		cores:         cfg.Cores,
+		array:         NewArray[tsoL2Line](sets, ways),
+		sim:           s,
+		net:           net,
+		bugs:          cfg.Bugs,
+		cov:           cfg.Coverage,
+		errs:          cfg.Errors,
+		AccessLatency: 18,
+		RecycleDelay:  10,
+	}
+	if c.cov == nil {
+		c.cov = NopCoverage{}
+	}
+	if c.errs == nil {
+		c.errs = PanicErrors{}
+	}
+	if err := net.Register(L2Node(cfg.Tile), c, row, col); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ResetCaches drops all tile state.
+func (c *TSOCCL2) ResetCaches() { c.array.Clear() }
+
+// Recycles returns the recycled-request count.
+func (c *TSOCCL2) Recycles() uint64 { return c.recycles }
+
+func (c *TSOCCL2) node() interconnect.NodeID { return L2Node(c.tile) }
+
+// Deliver implements interconnect.Handler.
+func (c *TSOCCL2) Deliver(vnet interconnect.VNet, payload interface{}) {
+	msg := payload.(*Msg)
+	switch msg.Type {
+	case MsgTGetS, MsgTGetX:
+		c.sim.Schedule(c.AccessLatency, func() { c.process(msg) })
+	default:
+		c.process(msg)
+	}
+}
+
+func (c *TSOCCL2) process(msg *Msg) {
+	lineAddr := msg.Addr.LineAddr()
+	line, ok := c.array.Peek(lineAddr)
+	if !ok {
+		switch msg.Type {
+		case MsgTGetS, MsgTGetX:
+			var retry bool
+			line, retry = c.allocate(lineAddr)
+			if line == nil {
+				if retry {
+					c.recycle(msg)
+				}
+				return
+			}
+		default:
+			line = &tsoL2Line{state: tsoNP, owner: -1, writer: -1}
+		}
+	}
+	ev, ok := tsoL2MsgEvent(msg.Type)
+	if !ok {
+		panic(fmt.Sprintf("tsocc l2: unroutable message %s", msg))
+	}
+	c.dispatch(ev, lineAddr, line, msg)
+}
+
+func tsoL2MsgEvent(t MsgType) (tsoL2Event, bool) {
+	switch t {
+	case MsgTGetS:
+		return tGetS, true
+	case MsgTGetX:
+		return tGetX, true
+	case MsgTWB:
+		return tWB, true
+	case MsgTFetchAck:
+		return tFetchAck, true
+	case MsgMemData:
+		return tMemData, true
+	default:
+		return 0, false
+	}
+}
+
+func (c *TSOCCL2) allocate(lineAddr memsys.Addr) (*tsoL2Line, bool) {
+	if !c.array.HasFree(lineAddr) {
+		vAddr, vLine, ok := c.array.Victim(lineAddr, func(l *tsoL2Line) bool {
+			return l.state.stable()
+		})
+		if !ok {
+			return nil, true
+		}
+		c.dispatch(tL2Replace, vAddr, vLine, nil)
+		if !c.array.HasFree(lineAddr) {
+			return nil, true
+		}
+	}
+	line := c.array.Insert(lineAddr)
+	line.state = tsoNP
+	line.owner = -1
+	line.writer = -1
+	return line, false
+}
+
+func (c *TSOCCL2) recycle(msg *Msg) {
+	c.recycles++
+	c.net.LocalDeliver(c.node(), interconnect.VNetRequest, c.RecycleDelay, msg)
+}
+
+type tsoL2Key struct {
+	state tsoL2State
+	ev    tsoL2Event
+}
+
+type tsoL2Ctx struct {
+	addr memsys.Addr
+	line *tsoL2Line
+	msg  *Msg
+}
+
+type tsoL2Handler func(c *TSOCCL2, x *tsoL2Ctx)
+
+func (c *TSOCCL2) dispatch(ev tsoL2Event, addr memsys.Addr, line *tsoL2Line, msg *Msg) {
+	h, ok := tsoccL2Table[tsoL2Key{line.state, ev}]
+	if !ok {
+		c.errs.ProtocolError(&InvalidTransitionError{
+			Controller: "L2Cache",
+			State:      line.state.String(),
+			Event:      ev.String(),
+			Addr:       addr,
+		})
+		return
+	}
+	c.cov.RecordTransition("L2Cache", line.state.String(), ev.String())
+	h(c, &tsoL2Ctx{addr: addr, line: line, msg: msg})
+}
+
+func (c *TSOCCL2) send(dst interconnect.NodeID, vnet interconnect.VNet, m *Msg) {
+	m.Src = c.node()
+	c.net.Send(c.node(), dst, vnet, m)
+}
+
+// writeMem writes data and timestamp metadata back to memory so the
+// acquire rule keeps working across L2 evictions.
+func (c *TSOCCL2) writeMem(x *tsoL2Ctx) {
+	d := x.line.data
+	c.send(MemNode, interconnect.VNetRequest, &Msg{
+		Type: MsgMemWrite, Addr: x.addr, Data: &d,
+		Writer: x.line.writer, Ts: x.line.ts, Epoch: x.line.epoch,
+	})
+}
+
+// respondData sends a TData with the line's writer metadata.
+func (c *TSOCCL2) respondData(x *tsoL2Ctx, core int) {
+	data := x.line.data
+	c.send(L1Node(core), interconnect.VNetResponse, &Msg{
+		Type: MsgTData, Addr: x.addr, Data: &data,
+		Writer: x.line.writer, Ts: x.line.ts, Epoch: x.line.epoch,
+	})
+}
+
+func (c *TSOCCL2) respondDataEx(x *tsoL2Ctx, core int) {
+	data := x.line.data
+	c.send(L1Node(core), interconnect.VNetResponse, &Msg{
+		Type: MsgTDataEx, Addr: x.addr, Data: &data,
+	})
+}
+
+// absorb captures data and metadata from an owner's response.
+func (c *TSOCCL2) absorb(x *tsoL2Ctx) {
+	x.line.data = *x.msg.Data
+	x.line.dirty = x.line.dirty || x.msg.Dirty
+	x.line.writer = x.msg.Writer
+	x.line.ts = x.msg.Ts
+	x.line.epoch = x.msg.Epoch
+}
+
+// tsoccL2Table is the complete TSO-CC L2 transition table.
+var tsoccL2Table map[tsoL2Key]tsoL2Handler
+
+func init() {
+	recycleReq := func(c *TSOCCL2, x *tsoL2Ctx) { c.recycle(x.msg) }
+	dropMsg := func(c *TSOCCL2, x *tsoL2Ctx) {}
+
+	tsoccL2Table = map[tsoL2Key]tsoL2Handler{
+		// ---- NP ---------------------------------------------------
+		{tsoNP, tGetS}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			x.line.state = tsoIFS
+			x.line.reqCore = x.msg.Requestor
+			c.send(MemNode, interconnect.VNetRequest, &Msg{Type: MsgMemRead, Addr: x.addr})
+		},
+		{tsoNP, tGetX}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			x.line.state = tsoIFX
+			x.line.reqCore = x.msg.Requestor
+			c.send(MemNode, interconnect.VNetRequest, &Msg{Type: MsgMemRead, Addr: x.addr})
+		},
+		{tsoNP, tWB}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			// A writeback reaching an absent line is stale: the
+			// owner's data was already captured when its ownership
+			// generation resolved. Absorbing (or writing memory)
+			// here would overwrite newer data with older data.
+			c.send(x.msg.Src, interconnect.VNetResponse, &Msg{Type: MsgTWBAck, Addr: x.addr})
+		},
+		{tsoNP, tFetchAck}: dropMsg, // stale
+
+		// ---- IFS --------------------------------------------------
+		{tsoIFS, tMemData}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			c.absorb(x)
+			x.line.dirty = false
+			x.line.state = tsoTV
+			c.respondData(x, x.line.reqCore)
+		},
+		{tsoIFS, tGetS}:     recycleReq,
+		{tsoIFS, tGetX}:     recycleReq,
+		{tsoIFS, tFetchAck}: dropMsg, // stale ack from a closed fetch generation
+
+		// ---- IFX --------------------------------------------------
+		{tsoIFX, tMemData}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			c.absorb(x)
+			x.line.dirty = false
+			x.line.owner = x.line.reqCore
+			x.line.state = tsoTX
+			c.respondDataEx(x, x.line.reqCore)
+		},
+		{tsoIFX, tGetS}:     recycleReq,
+		{tsoIFX, tGetX}:     recycleReq,
+		{tsoIFX, tFetchAck}: dropMsg, // stale ack from a closed fetch generation
+
+		// ---- V ----------------------------------------------------
+		{tsoTV, tGetS}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			c.respondData(x, x.msg.Requestor)
+		},
+		{tsoTV, tGetX}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			x.line.owner = x.msg.Requestor
+			x.line.state = tsoTX
+			c.respondDataEx(x, x.msg.Requestor)
+		},
+		{tsoTV, tWB}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			// Stale writeback (the fetch-ack path already captured
+			// this data, and the line may have been rewritten by a
+			// newer owner since): ack without absorbing.
+			c.send(x.msg.Src, interconnect.VNetResponse, &Msg{Type: MsgTWBAck, Addr: x.addr})
+		},
+		{tsoTV, tFetchAck}: dropMsg, // late ack after a WB race
+		{tsoTV, tL2Replace}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			if x.line.dirty {
+				c.writeMem(x)
+			}
+			c.array.Remove(x.addr)
+		},
+
+		// ---- X ----------------------------------------------------
+		{tsoTX, tGetS}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			x.line.state = tsoFO
+			x.line.reqCore = x.msg.Requestor
+			x.line.fetchSeq++
+			c.send(L1Node(x.line.owner), interconnect.VNetForward,
+				&Msg{Type: MsgTFetch, Addr: x.addr, AckCount: x.line.fetchSeq})
+		},
+		{tsoTX, tGetX}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			x.line.state = tsoFOX
+			x.line.reqCore = x.msg.Requestor
+			x.line.fetchSeq++
+			c.send(L1Node(x.line.owner), interconnect.VNetForward,
+				&Msg{Type: MsgTFetchInv, Addr: x.addr, AckCount: x.line.fetchSeq})
+		},
+		{tsoTX, tWB}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			if x.msg.Src != L1Node(x.line.owner) {
+				c.send(x.msg.Src, interconnect.VNetResponse, &Msg{Type: MsgTWBAck, Addr: x.addr})
+				return
+			}
+			c.absorb(x)
+			x.line.owner = -1
+			x.line.state = tsoTV
+			c.send(x.msg.Src, interconnect.VNetResponse, &Msg{Type: MsgTWBAck, Addr: x.addr})
+		},
+		{tsoTX, tFetchAck}: dropMsg, // late ack after a WB race
+		{tsoTX, tL2Replace}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			x.line.state = tsoFOI
+			x.line.fetchSeq++
+			c.send(L1Node(x.line.owner), interconnect.VNetForward,
+				&Msg{Type: MsgTFetchInv, Addr: x.addr, AckCount: x.line.fetchSeq})
+		},
+
+		// ---- FO (owner fetch for GetS) ----------------------------
+		{tsoFO, tFetchAck}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			if x.msg.AckCount != x.line.fetchSeq {
+				return // stale generation
+			}
+			c.absorb(x)
+			x.line.owner = -1
+			x.line.state = tsoTV
+			c.respondData(x, x.line.reqCore)
+		},
+		{tsoFO, tWB}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			// The owner replaced the line while our fetch was in
+			// flight; its writeback doubles as the fetch response.
+			c.absorb(x)
+			c.send(x.msg.Src, interconnect.VNetResponse, &Msg{Type: MsgTWBAck, Addr: x.addr})
+			x.line.owner = -1
+			x.line.state = tsoTV
+			c.respondData(x, x.line.reqCore)
+		},
+		{tsoFO, tGetS}: recycleReq,
+		{tsoFO, tGetX}: recycleReq,
+
+		// ---- FOX (owner fetch for GetX) ---------------------------
+		{tsoFOX, tFetchAck}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			if x.msg.AckCount != x.line.fetchSeq {
+				return // stale generation
+			}
+			c.absorb(x)
+			x.line.owner = x.line.reqCore
+			x.line.state = tsoTX
+			c.respondDataEx(x, x.line.reqCore)
+		},
+		{tsoFOX, tWB}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			c.absorb(x)
+			c.send(x.msg.Src, interconnect.VNetResponse, &Msg{Type: MsgTWBAck, Addr: x.addr})
+			x.line.owner = x.line.reqCore
+			x.line.state = tsoTX
+			c.respondDataEx(x, x.line.reqCore)
+		},
+		{tsoFOX, tGetS}: recycleReq,
+		{tsoFOX, tGetX}: recycleReq,
+
+		// ---- FO_I (owner fetch for L2 eviction) -------------------
+		{tsoFOI, tFetchAck}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			if x.msg.AckCount != x.line.fetchSeq {
+				return // stale generation
+			}
+			c.absorb(x)
+			c.writeMem(x)
+			c.array.Remove(x.addr)
+		},
+		{tsoFOI, tWB}: func(c *TSOCCL2, x *tsoL2Ctx) {
+			c.absorb(x)
+			c.send(x.msg.Src, interconnect.VNetResponse, &Msg{Type: MsgTWBAck, Addr: x.addr})
+			c.writeMem(x)
+			c.array.Remove(x.addr)
+		},
+		{tsoFOI, tGetS}: recycleReq,
+		{tsoFOI, tGetX}: recycleReq,
+	}
+}
+
+// TSOCCL2Transitions enumerates the TSO-CC L2 transition table.
+func TSOCCL2Transitions() []Transition {
+	out := make([]Transition, 0, len(tsoccL2Table))
+	for k := range tsoccL2Table {
+		out = append(out, Transition{
+			Controller: "L2Cache",
+			State:      k.state.String(),
+			Event:      k.ev.String(),
+		})
+	}
+	return out
+}
+
+// TSOCCTransitions enumerates the full TSO-CC transition table, the
+// Table 6 coverage denominator for the TSO-CC rows.
+func TSOCCTransitions() []Transition {
+	return append(TSOCCL1Transitions(), TSOCCL2Transitions()...)
+}

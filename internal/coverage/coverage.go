@@ -1,0 +1,209 @@
+// Package coverage implements the structural-coverage fitness signal of
+// §3.2: transitions of the coherence protocol's controllers are counted
+// since simulation start, frequent transitions are adaptively excluded,
+// and each test-run's fitness is the fraction of currently-rare
+// transitions it covered. The cut-off doubles when adaptive coverage
+// stays low for too long, steering the population towards unexplored
+// transitions and away from local maxima.
+package coverage
+
+import (
+	"sort"
+	"sync"
+)
+
+// Transition identifies one (controller, state, event) coverage unit.
+// It mirrors coherence.Transition without importing it, so the tracker
+// satisfies coherence.CoverageSink structurally.
+type Transition struct {
+	Controller, State, Event string
+}
+
+// Params tunes the adaptive cut-off behaviour.
+type Params struct {
+	// InitialCutoff is the low initial transition-count cut-off; a
+	// transition with fewer global occurrences counts as rare.
+	InitialCutoff uint64
+	// LowFitness is the adaptive-coverage threshold below which a run
+	// counts as unproductive.
+	LowFitness float64
+	// Patience is how many consecutive unproductive evaluations
+	// trigger an exponential cut-off increase.
+	Patience int
+}
+
+// DefaultParams returns the parameters used in the evaluation.
+func DefaultParams() Params {
+	return Params{InitialCutoff: 4, LowFitness: 0.02, Patience: 25}
+}
+
+// Tracker accumulates transition counts and computes per-run fitness.
+// It is safe for single-threaded simulation use; a mutex guards the
+// occasional cross-goroutine inspection in tests.
+type Tracker struct {
+	mu     sync.Mutex
+	params Params
+
+	all    map[Transition]struct{}
+	counts map[Transition]uint64
+	runSet map[Transition]struct{}
+
+	cutoff    uint64
+	lowStreak int
+	evals     uint64
+	doubled   int
+}
+
+// NewTracker returns a tracker whose denominator is the given full
+// transition table.
+func NewTracker(all []Transition, params Params) *Tracker {
+	if params.InitialCutoff == 0 {
+		params = DefaultParams()
+	}
+	t := &Tracker{
+		params: params,
+		all:    make(map[Transition]struct{}, len(all)),
+		counts: make(map[Transition]uint64, len(all)),
+		runSet: make(map[Transition]struct{}),
+		cutoff: params.InitialCutoff,
+	}
+	for _, tr := range all {
+		t.all[tr] = struct{}{}
+	}
+	return t
+}
+
+// RecordTransition implements coherence.CoverageSink.
+func (t *Tracker) RecordTransition(controller, state, event string) {
+	tr := Transition{controller, state, event}
+	t.mu.Lock()
+	t.counts[tr]++
+	t.runSet[tr] = struct{}{}
+	t.mu.Unlock()
+}
+
+// StartRun clears the per-run covered set.
+func (t *Tracker) StartRun() {
+	t.mu.Lock()
+	t.runSet = make(map[Transition]struct{})
+	t.mu.Unlock()
+}
+
+// EndRun computes the run's adaptive fitness: of the t transitions that
+// were rare when the run started being scored (global count below the
+// cut-off), the fraction n/t this run covered. It also advances the
+// adaptive cut-off machinery.
+func (t *Tracker) EndRun() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evals++
+
+	rare := 0
+	covered := 0
+	for tr := range t.all {
+		// A transition is rare if its pre-run count was below the
+		// cut-off; the run's own contribution is subtracted back out.
+		total := t.counts[tr]
+		inRun := uint64(0)
+		if _, ok := t.runSet[tr]; ok {
+			inRun = 1 // at least once; exact pre-count not needed beyond cutoff math
+		}
+		pre := total
+		if inRun > 0 && pre > 0 {
+			// Approximate the pre-run count: the run contributed at
+			// least one occurrence.
+			pre--
+		}
+		if pre < t.cutoff {
+			rare++
+			if inRun > 0 {
+				covered++
+			}
+		}
+	}
+	var fitness float64
+	if rare > 0 {
+		fitness = float64(covered) / float64(rare)
+	}
+	if rare == 0 || fitness < t.params.LowFitness {
+		t.lowStreak++
+	} else {
+		t.lowStreak = 0
+	}
+	if t.lowStreak >= t.params.Patience {
+		t.cutoff *= 2
+		t.doubled++
+		t.lowStreak = 0
+	}
+	return fitness
+}
+
+// TotalCoverage returns the fraction of the full transition table
+// covered at least once since simulation start (the Table 6 metric).
+func (t *Tracker) TotalCoverage() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.all) == 0 {
+		return 0
+	}
+	covered := 0
+	for tr := range t.all {
+		if t.counts[tr] > 0 {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(t.all))
+}
+
+// Covered returns how many distinct table transitions have occurred.
+func (t *Tracker) Covered() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for tr := range t.all {
+		if t.counts[tr] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TableSize returns the denominator.
+func (t *Tracker) TableSize() int { return len(t.all) }
+
+// Cutoff returns the current adaptive cut-off.
+func (t *Tracker) Cutoff() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cutoff
+}
+
+// Doublings returns how many times the cut-off doubled.
+func (t *Tracker) Doublings() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.doubled
+}
+
+// Uncovered lists never-seen transitions, sorted, for reporting.
+func (t *Tracker) Uncovered() []Transition {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Transition
+	for tr := range t.all {
+		if t.counts[tr] == 0 {
+			out = append(out, tr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Controller != b.Controller {
+			return a.Controller < b.Controller
+		}
+		if a.State != b.State {
+			return a.State < b.State
+		}
+		return a.Event < b.Event
+	})
+	return out
+}

@@ -1,0 +1,133 @@
+package coverage
+
+import (
+	"fmt"
+	"testing"
+)
+
+func table(n int) []Transition {
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = Transition{"C", fmt.Sprintf("S%d", i), "E"}
+	}
+	return out
+}
+
+func TestTotalCoverage(t *testing.T) {
+	tr := NewTracker(table(10), DefaultParams())
+	if tr.TotalCoverage() != 0 {
+		t.Fatal("fresh tracker nonzero coverage")
+	}
+	tr.RecordTransition("C", "S0", "E")
+	tr.RecordTransition("C", "S1", "E")
+	tr.RecordTransition("C", "S1", "E") // repeat
+	if got := tr.TotalCoverage(); got != 0.2 {
+		t.Fatalf("TotalCoverage = %v, want 0.2", got)
+	}
+	if tr.Covered() != 2 || tr.TableSize() != 10 {
+		t.Fatal("Covered/TableSize wrong")
+	}
+}
+
+func TestRecordOutsideTableIgnoredInCoverage(t *testing.T) {
+	tr := NewTracker(table(4), DefaultParams())
+	tr.RecordTransition("X", "weird", "E")
+	if tr.TotalCoverage() != 0 {
+		t.Fatal("transition outside the table affected total coverage")
+	}
+}
+
+func TestRunFitness(t *testing.T) {
+	tr := NewTracker(table(10), DefaultParams())
+	tr.StartRun()
+	tr.RecordTransition("C", "S0", "E")
+	tr.RecordTransition("C", "S1", "E")
+	f := tr.EndRun()
+	// All 10 are rare at first; run covered 2.
+	if f != 0.2 {
+		t.Fatalf("fitness = %v, want 0.2", f)
+	}
+}
+
+func TestAdaptiveCutoffExcludesFrequent(t *testing.T) {
+	params := Params{InitialCutoff: 2, LowFitness: 0.5, Patience: 1000}
+	tr := NewTracker(table(2), params)
+	// Hammer S0 until it is no longer rare.
+	for i := 0; i < 5; i++ {
+		tr.StartRun()
+		tr.RecordTransition("C", "S0", "E")
+		tr.EndRun()
+	}
+	// Now a run covering only S0 gets 0 fitness contribution from it:
+	// rare set = {S1}, covered = 0.
+	tr.StartRun()
+	tr.RecordTransition("C", "S0", "E")
+	if f := tr.EndRun(); f != 0 {
+		t.Fatalf("fitness = %v, want 0 (S0 is frequent)", f)
+	}
+	// Covering the rare S1 yields 1.0.
+	tr.StartRun()
+	tr.RecordTransition("C", "S1", "E")
+	if f := tr.EndRun(); f != 1.0 {
+		t.Fatalf("fitness = %v, want 1.0", f)
+	}
+}
+
+func TestCutoffDoubling(t *testing.T) {
+	params := Params{InitialCutoff: 1, LowFitness: 0.9, Patience: 3}
+	tr := NewTracker(table(4), params)
+	// Saturate all transitions so everything is frequent.
+	for i := 0; i < 4; i++ {
+		tr.RecordTransition("C", fmt.Sprintf("S%d", i), "E")
+	}
+	start := tr.Cutoff()
+	for i := 0; i < 3; i++ {
+		tr.StartRun()
+		tr.EndRun() // empty runs: rare set empty → unproductive
+	}
+	if tr.Cutoff() <= start {
+		t.Fatalf("cutoff did not double: %d -> %d", start, tr.Cutoff())
+	}
+	if tr.Doublings() == 0 {
+		t.Fatal("Doublings = 0")
+	}
+}
+
+func TestCoverageMonotonic(t *testing.T) {
+	tr := NewTracker(table(20), DefaultParams())
+	last := 0.0
+	for i := 0; i < 20; i++ {
+		tr.StartRun()
+		tr.RecordTransition("C", fmt.Sprintf("S%d", i%20), "E")
+		tr.EndRun()
+		cur := tr.TotalCoverage()
+		if cur < last {
+			t.Fatalf("coverage decreased: %v -> %v", last, cur)
+		}
+		last = cur
+	}
+	if last != 1.0 {
+		t.Fatalf("final coverage = %v, want 1.0", last)
+	}
+}
+
+func TestUncoveredSorted(t *testing.T) {
+	tr := NewTracker(table(5), DefaultParams())
+	tr.RecordTransition("C", "S2", "E")
+	un := tr.Uncovered()
+	if len(un) != 4 {
+		t.Fatalf("Uncovered = %d entries, want 4", len(un))
+	}
+	for i := 1; i < len(un); i++ {
+		if un[i].State < un[i-1].State {
+			t.Fatal("Uncovered not sorted")
+		}
+	}
+}
+
+func TestZeroParamsGetDefaults(t *testing.T) {
+	tr := NewTracker(table(1), Params{})
+	if tr.Cutoff() != DefaultParams().InitialCutoff {
+		t.Fatal("zero params did not default")
+	}
+}

@@ -1,0 +1,523 @@
+// Package cpu models the out-of-order cores of Table 2 at the level of
+// detail memory-consistency enforcement depends on:
+//
+//   - loads issue speculatively and out of order within an instruction
+//     window (ROB 40 / LSQ 32) and may complete before older loads — the
+//     Peekaboo window;
+//   - the load queue snoops invalidations forwarded by the coherence
+//     protocol and squashes speculatively-performed loads (TSO R→R
+//     enforcement); the LQ+no-TSO bug disables the squash;
+//   - stores commit in order into a FIFO store buffer that drains to the
+//     cache at the coherence point (TSO W→W enforcement; the W→R
+//     relaxation); the SQ+no-FIFO bug drains out of order;
+//   - locked RMWs drain the store buffer and execute atomically (full
+//     fence), clflush likewise;
+//   - loads forward from earlier same-address stores (TSO rfi).
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/bugs"
+	"repro/internal/coherence"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+	"repro/internal/testgen"
+)
+
+// Observer receives architectural events from a core. Commit callbacks
+// arrive in program order per thread; WriteSerialized arrives when the
+// store reaches its coherence point (the co stamp) and may precede or
+// follow the commit callback of the same instruction.
+type Observer interface {
+	// CommitRead reports a committed load (sub=0, or 0 for the read
+	// half of an RMW with atomic=true).
+	CommitRead(tid, instr, sub int, addr memsys.Addr, val uint64, atomic bool)
+	// CommitWrite reports a committed store in program order.
+	CommitWrite(tid, instr, sub int, addr memsys.Addr, val uint64, atomic bool)
+	// WriteSerialized reports that the store of (tid, instr, sub)
+	// performed at the coherence point; calls across all cores arrive
+	// in global serialization order.
+	WriteSerialized(tid, instr, sub int, addr memsys.Addr, val uint64)
+}
+
+// nopObserver discards events.
+type nopObserver struct{}
+
+func (nopObserver) CommitRead(int, int, int, memsys.Addr, uint64, bool)  {}
+func (nopObserver) CommitWrite(int, int, int, memsys.Addr, uint64, bool) {}
+func (nopObserver) WriteSerialized(int, int, int, memsys.Addr, uint64)   {}
+
+// Config holds the core parameters (Table 2).
+type Config struct {
+	// ROBSize bounds how far past the oldest uncommitted instruction
+	// the core looks for issueable loads (reorder window).
+	ROBSize int
+	// LSQSize bounds outstanding loads.
+	LSQSize int
+	// SBSize bounds the store buffer.
+	SBSize int
+	// NoFIFOWays is how many store-buffer entries drain concurrently
+	// under the SQ+no-FIFO bug.
+	NoFIFOWays int
+	Bugs       bugs.Set
+}
+
+// DefaultConfig returns the Table 2 core configuration.
+func DefaultConfig() Config {
+	return Config{ROBSize: 40, LSQSize: 32, SBSize: 8, NoFIFOWays: 4}
+}
+
+type instState struct {
+	issued    bool
+	performed bool
+	violated  bool
+	forwarded bool
+	val       uint64
+	gen       uint32 // invalidates in-flight callbacks after a squash
+}
+
+type sbEntry struct {
+	addr     memsys.Addr
+	val      uint64
+	instr    int
+	sub      int
+	draining bool
+}
+
+// Core executes one compiled thread program against its L1.
+type Core struct {
+	id  int
+	sim *sim.Sim
+	l1  coherence.CacheL1
+	cfg Config
+	obs Observer
+
+	prog testgen.Program
+	// progGen invalidates callbacks that survive across Load calls
+	// (e.g. a squashed load's L1 response landing after the next
+	// iteration's program was installed).
+	progGen    uint64
+	status     []instState
+	nextCommit int
+	outLoads   int
+	sb         []sbEntry
+	sbDrains   int
+	flushBusy  bool
+	delayUntil sim.Tick
+
+	running bool
+	done    bool
+	onDone  func()
+
+	committed uint64
+	squashes  uint64
+}
+
+// New creates a core bound to its L1. The LQ invalidation listener is
+// registered here.
+func New(id int, s *sim.Sim, l1 coherence.CacheL1, cfg Config, obs Observer) *Core {
+	if obs == nil {
+		obs = nopObserver{}
+	}
+	c := &Core{id: id, sim: s, l1: l1, cfg: cfg, obs: obs, done: true}
+	l1.SetInvalListener(c.onInvalidation)
+	return c
+}
+
+// ID returns the core's hardware thread id.
+func (c *Core) ID() int { return c.id }
+
+// Committed returns the number of committed instructions over the core's
+// lifetime.
+func (c *Core) Committed() uint64 { return c.committed }
+
+// Squashes returns the number of LQ squash events.
+func (c *Core) Squashes() uint64 { return c.squashes }
+
+// Load installs a program; Start must be called to run it. Mirrors the
+// guest workload's make_test_thread (Table 1).
+func (c *Core) Load(prog testgen.Program) {
+	c.prog = prog
+	c.progGen++
+	c.status = make([]instState, len(prog))
+	c.nextCommit = 0
+	c.outLoads = 0
+	c.sb = c.sb[:0]
+	c.sbDrains = 0
+	c.flushBusy = false
+	c.done = len(prog) == 0
+	c.running = false
+}
+
+// Done reports whether the program has fully committed and drained.
+func (c *Core) Done() bool { return c.done }
+
+// Start begins execution after offset ticks (the barrier-release skew).
+func (c *Core) Start(offset sim.Tick, onDone func()) {
+	if len(c.prog) == 0 {
+		c.done = true
+		if onDone != nil {
+			c.sim.Schedule(offset, onDone)
+		}
+		return
+	}
+	c.onDone = onDone
+	c.done = false
+	c.running = true
+	c.sim.Schedule(offset, c.advance)
+}
+
+func (c *Core) schedule() {
+	c.sim.Schedule(0, c.advance)
+}
+
+// onInvalidation is the LQ snoop: the protocol forwarded an invalidation
+// of lineAddr. All speculatively-performed, uncommitted loads on that
+// line are marked violated and will squash at commit.
+//
+// Bug LQ+no-TSO: the squash is skipped entirely.
+func (c *Core) onInvalidation(lineAddr memsys.Addr) {
+	if c.cfg.Bugs.LQNoTSO || !c.running {
+		return
+	}
+	dirty := false
+	// Every performed, uncommitted load on the line squashes — the head
+	// load included: its value was captured at perform time, and older
+	// instructions (or fences) may have completed after that, so
+	// committing the pre-invalidation value would order the load too
+	// early. Forwarded loads are squashed too: a load forwarded from
+	// the store buffer whose source store has since drained would
+	// otherwise commit a value older than the invalidating write.
+	for j := c.nextCommit; j < len(c.prog) && j < c.nextCommit+c.cfg.ROBSize; j++ {
+		st := &c.status[j]
+		if !st.performed || st.violated {
+			continue
+		}
+		if !c.prog[j].IsLoad() || c.prog[j].Kind == testgen.OpRMW {
+			continue
+		}
+		if c.prog[j].Addr.LineAddr() == lineAddr {
+			st.violated = true
+			dirty = true
+		}
+	}
+	if dirty {
+		c.schedule()
+	}
+}
+
+// squash re-executes everything from instruction from onward.
+func (c *Core) squash(from int) {
+	c.squashes++
+	for j := from; j < len(c.prog); j++ {
+		st := &c.status[j]
+		if !st.issued {
+			continue
+		}
+		if st.issued && !st.performed && c.prog[j].IsLoad() && c.prog[j].Kind != testgen.OpRMW {
+			// An in-flight L1 request exists; its callback must be
+			// ignored.
+			c.outLoads--
+		}
+		st.gen++
+		st.issued = false
+		st.performed = false
+		st.violated = false
+		st.forwarded = false
+		st.val = 0
+	}
+}
+
+// forwardSource finds the youngest older store (Write or RMW) to the
+// same word — store-to-load forwarding. Forwarding is only legal while
+// the source store has not yet reached the coherence point: once it has
+// drained, the load must read the cache (the coherent value), otherwise
+// it could commit a value that is coherence-older than a write it is
+// already ordered after.
+func (c *Core) forwardSource(loadIdx int) (uint64, bool) {
+	addr := c.prog[loadIdx].Addr.WordAddr()
+	for j := loadIdx - 1; j >= 0; j-- {
+		in := &c.prog[j]
+		if (in.Kind == testgen.OpWrite || in.Kind == testgen.OpRMW) && in.Addr.WordAddr() == addr {
+			if c.status[j].performed {
+				return 0, false // already serialized: read the cache
+			}
+			return in.WriteID, true
+		}
+	}
+	return 0, false
+}
+
+// depReady reports whether a ReadAddrDp's producing load has a value.
+func (c *Core) depReady(idx int) bool {
+	dep := c.prog[idx].DepLoad
+	if dep < 0 {
+		return true
+	}
+	if dep < c.nextCommit {
+		return true // committed
+	}
+	return c.status[dep].performed
+}
+
+// issueLoad sends one load to the L1 (or forwards from an older store).
+func (c *Core) issueLoad(idx int) {
+	st := &c.status[idx]
+	st.issued = true
+	pg := c.progGen
+	if val, ok := c.forwardSource(idx); ok {
+		st.forwarded = true
+		gen := st.gen
+		c.sim.Schedule(1, func() {
+			if c.progGen != pg || c.status[idx].gen != gen {
+				return
+			}
+			c.status[idx].performed = true
+			c.status[idx].val = val
+			c.schedule()
+		})
+		return
+	}
+	c.outLoads++
+	gen := st.gen
+	addr := c.prog[idx].Addr
+	c.l1.Load(addr, func(val uint64, invalidated bool) {
+		if c.progGen != pg || c.status[idx].gen != gen {
+			return // squashed or reloaded while in flight
+		}
+		c.outLoads--
+		st := &c.status[idx]
+		st.performed = true
+		st.val = val
+		if invalidated && !c.cfg.Bugs.LQNoTSO {
+			// The fill arrived with a pending invalidation (IS_I):
+			// the data predates the invalidation, and a fence or an
+			// older operation may already have completed after the
+			// data left the coherence point — retry unconditionally.
+			st.violated = true
+		}
+		if idx == c.nextCommit && !st.violated {
+			// The load is the oldest uncommitted instruction and its
+			// value was captured synchronously by the cache: commit
+			// immediately, leaving no window for an invalidation to
+			// arrive between capture and commit. This is the
+			// non-speculative at-retirement load that guarantees
+			// forward progress under heavy invalidation traffic.
+			c.advance()
+			return
+		}
+		c.schedule()
+	})
+}
+
+// issueWindow issues eligible loads out of order within the ROB window.
+func (c *Core) issueWindow() {
+	limit := c.nextCommit + c.cfg.ROBSize
+	if limit > len(c.prog) {
+		limit = len(c.prog)
+	}
+	for j := c.nextCommit; j < limit; j++ {
+		if c.outLoads >= c.cfg.LSQSize {
+			return
+		}
+		in := &c.prog[j]
+		st := &c.status[j]
+		if st.issued {
+			continue
+		}
+		switch in.Kind {
+		case testgen.OpRead:
+			c.issueLoad(j)
+		case testgen.OpReadAddrDp:
+			if c.depReady(j) {
+				c.issueLoad(j)
+			}
+		}
+	}
+}
+
+// drainSB issues store-buffer entries to the L1. FIFO by default; the
+// SQ+no-FIFO bug drains several entries concurrently so younger stores
+// can reach the coherence point first.
+func (c *Core) drainSB() {
+	ways := 1
+	if c.cfg.Bugs.SQNoFIFO {
+		ways = c.cfg.NoFIFOWays
+	}
+	for i := 0; i < len(c.sb) && c.sbDrains < ways; i++ {
+		e := &c.sb[i]
+		if e.draining {
+			continue
+		}
+		e.draining = true
+		c.sbDrains++
+		instr, sub, addr, val := e.instr, e.sub, e.addr, e.val
+		pg := c.progGen
+		c.l1.Store(addr, val, func() {
+			if c.progGen != pg {
+				return
+			}
+			// The store reached its coherence point: it is no longer
+			// a legal forwarding source.
+			c.status[instr].performed = true
+			c.obs.WriteSerialized(c.id, instr, sub, addr, val)
+			c.sbDrains--
+			for k := range c.sb {
+				if c.sb[k].instr == instr && c.sb[k].sub == sub {
+					c.sb = append(c.sb[:k], c.sb[k+1:]...)
+					break
+				}
+			}
+			c.schedule()
+		})
+		if !c.cfg.Bugs.SQNoFIFO {
+			return
+		}
+	}
+}
+
+// advance is the core's main engine: commit from the head, issue the
+// window, drain the store buffer.
+func (c *Core) advance() {
+	if c.done || !c.running {
+		return
+	}
+	for c.nextCommit < len(c.prog) {
+		if !c.commitHead() {
+			break
+		}
+	}
+	if c.nextCommit >= len(c.prog) && len(c.sb) == 0 && !c.flushBusy {
+		c.running = false
+		c.done = true
+		if c.onDone != nil {
+			c.onDone()
+		}
+		return
+	}
+	c.issueWindow()
+	c.drainSB()
+}
+
+// commitHead tries to commit the oldest instruction; reports whether
+// commit advanced.
+func (c *Core) commitHead() bool {
+	idx := c.nextCommit
+	in := &c.prog[idx]
+	st := &c.status[idx]
+	switch in.Kind {
+	case testgen.OpRead, testgen.OpReadAddrDp:
+		if !st.issued {
+			c.issueWindow()
+		}
+		if !st.performed {
+			return false
+		}
+		if st.violated {
+			c.squash(idx)
+			c.issueWindow()
+			return false
+		}
+		c.obs.CommitRead(c.id, idx, 0, in.Addr, st.val, false)
+		c.committed++
+		c.nextCommit++
+		return true
+
+	case testgen.OpWrite:
+		if len(c.sb) >= c.cfg.SBSize {
+			return false
+		}
+		c.sb = append(c.sb, sbEntry{addr: in.Addr, val: in.WriteID, instr: idx, sub: 0})
+		c.obs.CommitWrite(c.id, idx, 0, in.Addr, in.WriteID, false)
+		c.committed++
+		c.nextCommit++
+		c.drainSB()
+		return true
+
+	case testgen.OpRMW:
+		// Locked RMW: full fence. Wait for the store buffer to
+		// drain, then execute atomically at the cache.
+		if len(c.sb) > 0 {
+			c.drainSB()
+			return false
+		}
+		if !st.issued {
+			st.issued = true
+			gen := st.gen
+			pg := c.progGen
+			newVal := in.WriteID
+			addr, instr := in.Addr, idx
+			c.l1.Atomic(in.Addr, func(old uint64) uint64 { return newVal }, func(old uint64) {
+				if c.progGen != pg || c.status[instr].gen != gen {
+					return
+				}
+				c.status[instr].performed = true
+				c.status[instr].val = old
+				c.obs.WriteSerialized(c.id, instr, 1, addr, newVal)
+				c.schedule()
+			})
+			return false
+		}
+		if !st.performed {
+			return false
+		}
+		c.obs.CommitRead(c.id, idx, 0, in.Addr, st.val, true)
+		c.obs.CommitWrite(c.id, idx, 1, in.Addr, in.WriteID, true)
+		c.committed++
+		c.nextCommit++
+		return true
+
+	case testgen.OpCacheFlush:
+		if len(c.sb) > 0 {
+			c.drainSB()
+			return false
+		}
+		if !st.issued {
+			st.issued = true
+			c.flushBusy = true
+			gen := st.gen
+			pg := c.progGen
+			c.l1.Flush(in.Addr, func() {
+				if c.progGen != pg || c.status[idx].gen != gen {
+					return
+				}
+				c.status[idx].performed = true
+				c.flushBusy = false
+				c.schedule()
+			})
+			return false
+		}
+		if !st.performed {
+			return false
+		}
+		c.committed++
+		c.nextCommit++
+		return true
+
+	case testgen.OpDelay:
+		if !st.issued {
+			st.issued = true
+			delay := sim.Tick(in.Delay)
+			gen := st.gen
+			pg := c.progGen
+			c.sim.Schedule(delay, func() {
+				if c.progGen != pg || c.status[idx].gen != gen {
+					return
+				}
+				c.status[idx].performed = true
+				c.schedule()
+			})
+			return false
+		}
+		if !st.performed {
+			return false
+		}
+		c.committed++
+		c.nextCommit++
+		return true
+
+	default:
+		panic(fmt.Sprintf("cpu: unknown op kind %v", in.Kind))
+	}
+}

@@ -1,0 +1,270 @@
+// Package eval regenerates the paper's evaluation artifacts: Table 4
+// (bug coverage per generator), Table 5 (bugs found under growing
+// budgets) and Table 6 (maximum total transition coverage), at a
+// configurable scale. The paper's absolute unit is wall-clock hours on
+// the authors' host; the scaled unit here is test-runs (and simulated
+// seconds), preserving the comparisons' shape.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bugs"
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/gp"
+	"repro/internal/host"
+	"repro/internal/litmus"
+	"repro/internal/machine"
+	"repro/internal/memmodel"
+	"repro/internal/memsys"
+	"repro/internal/stats"
+	"repro/internal/testgen"
+)
+
+// GeneratorSpec is one column of Table 4.
+type GeneratorSpec struct {
+	Name     string
+	Kind     core.GeneratorKind
+	MemBytes int
+	// Litmus marks the diy-litmus column, which runs the litmus suite
+	// instead of a McVerSi campaign.
+	Litmus bool
+}
+
+// Columns returns the paper's seven generator configurations.
+func Columns() []GeneratorSpec {
+	return []GeneratorSpec{
+		{Name: "McVerSi-ALL (1KB)", Kind: core.GenGPAll, MemBytes: 1024},
+		{Name: "McVerSi-ALL (8KB)", Kind: core.GenGPAll, MemBytes: 8192},
+		{Name: "McVerSi-Std.XO (1KB)", Kind: core.GenGPStdXO, MemBytes: 1024},
+		{Name: "McVerSi-Std.XO (8KB)", Kind: core.GenGPStdXO, MemBytes: 8192},
+		{Name: "McVerSi-RAND (1KB)", Kind: core.GenRandom, MemBytes: 1024},
+		{Name: "McVerSi-RAND (8KB)", Kind: core.GenRandom, MemBytes: 8192},
+		{Name: "diy-litmus", Litmus: true},
+	}
+}
+
+// Scale bundles the scaled-down campaign knobs.
+type Scale struct {
+	// Samples per generator/bug pair (paper: 10).
+	Samples int
+	// Budget in test-runs per sample (the scaled 24-hour limit).
+	Budget int
+	// TestSize and Iterations scale Table 3's 1k ops / 10 iterations.
+	TestSize, Iterations int
+	// LitmusPasses bounds the litmus outer loop per sample.
+	LitmusPasses int
+	// Seed is the base seed.
+	Seed int64
+}
+
+// QuickScale finishes in roughly a minute and shows the headline shape.
+func QuickScale() Scale {
+	return Scale{Samples: 2, Budget: 250, TestSize: 96, Iterations: 3, LitmusPasses: 4, Seed: 11}
+}
+
+// FullScale is the recommended reproduction scale (minutes).
+func FullScale() Scale {
+	return Scale{Samples: 10, Budget: 1200, TestSize: 96, Iterations: 3, LitmusPasses: 12, Seed: 11}
+}
+
+// Cell is one Table 4 entry.
+type Cell struct {
+	Found     int
+	Samples   int
+	MeanRuns  float64 // mean test-runs to find, over found samples
+	MeanSimMS float64 // mean simulated milliseconds to find
+	Coverage  float64 // max total coverage across samples (Table 6)
+	MaxNDT    float64
+}
+
+// Consistent reports whether all samples found the bug (bold in Table 4).
+func (c Cell) Consistent() bool { return c.Samples > 0 && c.Found == c.Samples }
+
+func (c Cell) String() string {
+	if c.Found == 0 {
+		return "NF"
+	}
+	return fmt.Sprintf("%d/%d (%.0f runs, %.2f sim-ms)", c.Found, c.Samples, c.MeanRuns, c.MeanSimMS)
+}
+
+// RunCell evaluates one generator/bug pair.
+func RunCell(spec GeneratorSpec, bug bugs.Bug, sc Scale) (Cell, error) {
+	cell := Cell{Samples: sc.Samples}
+	proto := machine.MESI
+	if bug.Protocol == bugs.ProtoTSOCC {
+		proto = machine.TSOCC
+	}
+	var runs, simMS []float64
+	for s := 0; s < sc.Samples; s++ {
+		seed := sc.Seed + int64(s)*7919
+		if spec.Litmus {
+			cfg := litmus.DefaultSuiteConfig()
+			cfg.Machine.Protocol = proto
+			set, err := bugs.SetFor(bug.Name)
+			if err != nil {
+				return cell, err
+			}
+			cfg.Machine.Bugs = set
+			cfg.IterationsPerTest = sc.Iterations * 2
+			cfg.MaxPasses = sc.LitmusPasses
+			res, err := litmus.RunSuite(cfg, litmusSuite(), seed)
+			if err != nil {
+				return cell, err
+			}
+			if res.Found {
+				cell.Found++
+				runs = append(runs, float64(res.Executions))
+				simMS = append(simMS, res.SimTicks.Seconds()*1000)
+			}
+			continue
+		}
+		cfg := campaignFor(spec, proto, bug.Name, sc)
+		cfg.Seed = seed
+		res, err := core.RunCampaign(cfg)
+		if err != nil {
+			return cell, err
+		}
+		if res.TotalCoverage > cell.Coverage {
+			cell.Coverage = res.TotalCoverage
+		}
+		if res.MaxNDT > cell.MaxNDT {
+			cell.MaxNDT = res.MaxNDT
+		}
+		if res.Found {
+			cell.Found++
+			runs = append(runs, float64(res.TestRuns))
+			simMS = append(simMS, res.SimSeconds*1000)
+		}
+	}
+	cell.MeanRuns = stats.Mean(runs)
+	cell.MeanSimMS = stats.Mean(simMS)
+	return cell, nil
+}
+
+var litmusCache []*litmus.Test
+
+func litmusSuite() []*litmus.Test {
+	if litmusCache == nil {
+		litmusCache = litmus.Generate(memmodel.TSO{}, 6, 38)
+	}
+	return litmusCache
+}
+
+func campaignFor(spec GeneratorSpec, proto machine.Protocol, bug string, sc Scale) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Machine.Protocol = proto
+	cfg.Bug = bug
+	cfg.Generator = spec.Kind
+	cfg.Test = testgen.Config{
+		Size:    sc.TestSize,
+		Threads: cfg.Machine.Cores,
+		Layout:  memsys.MustLayout(spec.MemBytes, 16),
+	}
+	cfg.GP = gp.PaperParams()
+	cfg.GP.PopulationSize = 24
+	cfg.Coverage = coverage.DefaultParams()
+	cfg.Host = host.Options{
+		Iterations:           sc.Iterations,
+		Barrier:              host.HostBarrier,
+		MaxTicksPerIteration: 30_000_000,
+	}
+	cfg.MaxTestRuns = sc.Budget
+	return cfg
+}
+
+// Table4 evaluates the grid and writes the table.
+func Table4(w io.Writer, specs []GeneratorSpec, bugList []bugs.Bug, sc Scale) error {
+	fmt.Fprintf(w, "Table 4 (scaled): bug found count out of %d samples (mean test-runs to find)\n", sc.Samples)
+	fmt.Fprintf(w, "budget=%d test-runs/sample, test size=%d ops, %d iterations/run\n\n", sc.Budget, sc.TestSize, sc.Iterations)
+	fmt.Fprintf(w, "%-26s", "Bug")
+	for _, spec := range specs {
+		fmt.Fprintf(w, " | %-22s", spec.Name)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 26+len(specs)*25))
+	for _, b := range bugList {
+		fmt.Fprintf(w, "%-26s", b.Name)
+		for _, spec := range specs {
+			cell, err := RunCell(spec, b, sc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " | %-22s", cell.String())
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Table5 reports the fraction of bugs found under stepped budgets — the
+// scaled analogue of "1 day / 5 days / 10 days".
+func Table5(w io.Writer, specs []GeneratorSpec, bugList []bugs.Bug, sc Scale, budgetSteps []int) error {
+	fmt.Fprintf(w, "Table 5 (scaled): bugs found within stepped budgets (of %d bugs)\n\n", len(bugList))
+	fmt.Fprintf(w, "%-26s", "Generator")
+	for _, b := range budgetSteps {
+		fmt.Fprintf(w, " | %6d runs", b)
+	}
+	fmt.Fprintln(w)
+	for _, spec := range specs {
+		fmt.Fprintf(w, "%-26s", spec.Name)
+		for _, budget := range budgetSteps {
+			s2 := sc
+			s2.Budget = budget
+			s2.Samples = 1
+			found := 0
+			for _, b := range bugList {
+				cell, err := RunCell(spec, b, s2)
+				if err != nil {
+					return err
+				}
+				if cell.Found > 0 {
+					found++
+				}
+			}
+			fmt.Fprintf(w, " | %9.0f%%", 100*float64(found)/float64(len(bugList)))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Table6 reports maximum total transition coverage per protocol per
+// generator, from bug-free campaigns.
+func Table6(w io.Writer, specs []GeneratorSpec, sc Scale) error {
+	fmt.Fprintf(w, "Table 6 (scaled): max total transition coverage observed\n\n")
+	fmt.Fprintf(w, "%-10s", "Protocol")
+	for _, spec := range specs {
+		if spec.Litmus {
+			continue
+		}
+		fmt.Fprintf(w, " | %-22s", spec.Name)
+	}
+	fmt.Fprintln(w)
+	for _, proto := range []machine.Protocol{machine.MESI, machine.TSOCC} {
+		fmt.Fprintf(w, "%-10s", proto)
+		for _, spec := range specs {
+			if spec.Litmus {
+				continue
+			}
+			best := 0.0
+			for s := 0; s < sc.Samples; s++ {
+				cfg := campaignFor(spec, proto, "", sc)
+				cfg.Seed = sc.Seed + int64(s)*104729
+				res, err := core.RunCampaign(cfg)
+				if err != nil {
+					return err
+				}
+				if res.TotalCoverage > best {
+					best = res.TotalCoverage
+				}
+			}
+			fmt.Fprintf(w, " | %21.1f%%", 100*best)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

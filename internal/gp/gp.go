@@ -1,0 +1,308 @@
+// Package gp implements McVerSi's Genetic-Programming test generation
+// (§3): a steady-state GA with tournament selection and delete-oldest
+// replacement over a population of tests, using the paper's Algorithm 1
+// selective crossover that preferentially inherits memory operations on
+// highly non-deterministic addresses (fitaddrs), plus the McVerSi-Std.XO
+// single-point-crossover baseline of §5.2.1.
+package gp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/memsys"
+	"repro/internal/testgen"
+)
+
+// CrossoverKind selects the recombination operator.
+type CrossoverKind int
+
+const (
+	// SelectiveCrossover is Algorithm 1 (McVerSi-ALL).
+	SelectiveCrossover CrossoverKind = iota
+	// SinglePointCrossover is the naive baseline (McVerSi-Std.XO):
+	// thread sub-graphs are connected by splitting the flat list at a
+	// random point. Its fitness additionally weighs normalized NDT
+	// (handled by the campaign).
+	SinglePointCrossover
+)
+
+func (k CrossoverKind) String() string {
+	if k == SinglePointCrossover {
+		return "std-xo"
+	}
+	return "selective"
+}
+
+// Params are the GP parameters of Table 3.
+type Params struct {
+	// PopulationSize is the steady-state population size (100).
+	PopulationSize int
+	// TournamentSize is the selection tournament size (2).
+	TournamentSize int
+	// PMut is the mutation probability (0.005).
+	PMut float64
+	// PCrossover is the crossover probability (1.0).
+	PCrossover float64
+	// PUSel is the unconditional memory-operation selection
+	// probability PUSEL (0.2).
+	PUSel float64
+	// PBFA is the bias with which a mutated operation draws its
+	// address from the parents' fitaddrs (0.05).
+	PBFA float64
+	// Crossover selects the operator.
+	Crossover CrossoverKind
+}
+
+// PaperParams returns Table 3's GP parameters for McVerSi-ALL.
+func PaperParams() Params {
+	return Params{
+		PopulationSize: 100,
+		TournamentSize: 2,
+		PMut:           0.005,
+		PCrossover:     1.0,
+		PUSel:          0.2,
+		PBFA:           0.05,
+		Crossover:      SelectiveCrossover,
+	}
+}
+
+// Individual is one population member with its evaluation results.
+type Individual struct {
+	Test *testgen.Test
+	// Fitness is the adaptive-coverage fitness (possibly blended with
+	// NDT for Std.XO).
+	Fitness float64
+	// NDT is the run's average non-determinism.
+	NDT float64
+	// FitAddrs is the set of addresses whose events' NDe exceeded the
+	// rounded NDT (Algorithm 1's fitaddrs(test)).
+	FitAddrs map[memsys.Addr]bool
+}
+
+// Engine is the steady-state GP engine. Next proposes the next test to
+// evaluate; Feedback returns its evaluation. Until the population is
+// seeded, Next returns fresh random tests.
+type Engine struct {
+	params Params
+	gen    *testgen.Generator
+	rng    *rand.Rand
+
+	pop []*Individual
+	// oldest indexes the next delete-oldest replacement slot: the
+	// population is a FIFO ring, matching the delete-oldest strategy
+	// that outperforms generational GAs in non-stationary
+	// environments (Vavak & Fogarty).
+	oldest  int
+	pending *testgen.Test
+
+	proposed, crossovers, mutations uint64
+}
+
+// New returns an engine drawing random genes from gen.
+func New(params Params, gen *testgen.Generator, rng *rand.Rand) (*Engine, error) {
+	if params.PopulationSize <= 1 {
+		return nil, fmt.Errorf("gp: population size must exceed 1, got %d", params.PopulationSize)
+	}
+	if params.TournamentSize <= 0 {
+		return nil, fmt.Errorf("gp: tournament size must be positive")
+	}
+	if params.PUSel < 0 || params.PUSel > 1 || params.PBFA < 0 || params.PBFA > 1 ||
+		params.PMut < 0 || params.PMut > 1 || params.PCrossover < 0 || params.PCrossover > 1 {
+		return nil, fmt.Errorf("gp: probabilities must lie in [0,1]")
+	}
+	return &Engine{params: params, gen: gen, rng: rng}, nil
+}
+
+// PopulationSize returns the current population fill.
+func (e *Engine) PopulationSize() int { return len(e.pop) }
+
+// Seeded reports whether the initial population is complete.
+func (e *Engine) Seeded() bool { return len(e.pop) >= e.params.PopulationSize }
+
+// Population exposes the population for inspection (benchmarks, tests).
+func (e *Engine) Population() []*Individual { return e.pop }
+
+// Next proposes the next test to evaluate.
+func (e *Engine) Next() *testgen.Test {
+	e.proposed++
+	if !e.Seeded() {
+		e.pending = e.gen.NewTest()
+		return e.pending
+	}
+	p1 := e.tournament()
+	p2 := e.tournament()
+	var child *testgen.Test
+	if e.rng.Float64() < e.params.PCrossover {
+		e.crossovers++
+		switch e.params.Crossover {
+		case SinglePointCrossover:
+			child = e.singlePoint(p1, p2)
+		default:
+			child = e.crossoverMutate(p1, p2)
+		}
+	} else {
+		child = p1.Test.Clone()
+		e.mutate(child, nil)
+	}
+	e.pending = child
+	return child
+}
+
+// Feedback records the evaluation of the test last returned by Next.
+func (e *Engine) Feedback(ind *Individual) {
+	if ind.FitAddrs == nil {
+		ind.FitAddrs = map[memsys.Addr]bool{}
+	}
+	if !e.Seeded() {
+		e.pop = append(e.pop, ind)
+		return
+	}
+	// Steady-state, delete-oldest replacement.
+	e.pop[e.oldest] = ind
+	e.oldest = (e.oldest + 1) % len(e.pop)
+}
+
+// tournament picks the fittest of TournamentSize random members.
+func (e *Engine) tournament() *Individual {
+	best := e.pop[e.rng.Intn(len(e.pop))]
+	for i := 1; i < e.params.TournamentSize; i++ {
+		c := e.pop[e.rng.Intn(len(e.pop))]
+		if c.Fitness > best.Fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+// fitaddrFraction returns the fraction of memory operations guaranteed
+// to be selected (Algorithm 1's fitaddr_fraction).
+func fitaddrFraction(t *testgen.Test, fitaddrs map[memsys.Addr]bool) float64 {
+	memOps, hits := 0, 0
+	for _, n := range t.Nodes {
+		if !n.Op.Kind.IsMemOp() {
+			continue
+		}
+		memOps++
+		if fitaddrs[n.Op.Addr] {
+			hits++
+		}
+	}
+	if memOps == 0 {
+		return 0
+	}
+	return float64(hits) / float64(memOps)
+}
+
+// crossoverMutate is Algorithm 1: the selective crossover always
+// inherits memory operations whose address is in the parent's fitaddrs,
+// selects other nodes with matched probabilities, and pseudo-randomly
+// regenerates slots neither parent claims (directed mutation), biased
+// towards the parents' combined fitaddrs with probability PBFA.
+func (e *Engine) crossoverMutate(t1, t2 *Individual) *testgen.Test {
+	a1 := fitaddrFraction(t1.Test, t1.FitAddrs)
+	a2 := fitaddrFraction(t2.Test, t2.FitAddrs)
+	pSel1 := a1 + e.params.PUSel - a1*e.params.PUSel
+	pSel2 := a2 + e.params.PUSel - a2*e.params.PUSel
+
+	combined := make([]memsys.Addr, 0, len(t1.FitAddrs)+len(t2.FitAddrs))
+	seen := make(map[memsys.Addr]bool)
+	for _, set := range []map[memsys.Addr]bool{t1.FitAddrs, t2.FitAddrs} {
+		for a := range set {
+			if !seen[a] {
+				seen[a] = true
+				combined = append(combined, a)
+			}
+		}
+	}
+	// Deterministic order for reproducibility.
+	sortAddrs(combined)
+
+	child := t1.Test.Clone()
+	mutations := 0
+	for i := range child.Nodes {
+		n1 := t1.Test.Nodes[i]
+		var select1 bool
+		if n1.Op.Kind.IsMemOp() {
+			select1 = e.rng.Float64() < e.params.PUSel || t1.FitAddrs[n1.Op.Addr]
+		} else {
+			select1 = e.rng.Float64() < pSel1
+		}
+		n2 := t2.Test.Nodes[i]
+		var select2 bool
+		if n2.Op.Kind.IsMemOp() {
+			select2 = e.rng.Float64() < e.params.PUSel || t2.FitAddrs[n2.Op.Addr]
+		} else {
+			select2 = e.rng.Float64() < pSel2
+		}
+		switch {
+		case !select1 && select2:
+			child.Nodes[i] = n2
+		case !select1 && !select2:
+			mutations++
+			if e.rng.Float64() < e.params.PBFA && len(combined) > 0 {
+				child.Nodes[i] = e.gen.RandomNode(combined)
+			} else {
+				child.Nodes[i] = e.gen.RandomNode(nil)
+			}
+		default:
+			// Retain child[i] (from t1).
+		}
+	}
+	if float64(mutations)/float64(len(child.Nodes)) < e.params.PMut {
+		e.mutate(child, combined)
+	}
+	return child
+}
+
+// singlePoint is the Std.XO baseline: a standard single-point crossover
+// over the flat list, followed by per-node mutation.
+func (e *Engine) singlePoint(t1, t2 *Individual) *testgen.Test {
+	child := t1.Test.Clone()
+	cut := e.rng.Intn(len(child.Nodes) + 1)
+	copy(child.Nodes[cut:], t2.Test.Nodes[cut:])
+	e.mutate(child, nil)
+	return child
+}
+
+// mutate randomizes nodes with probability PMut each, preserving slot
+// positions (relative scheduling).
+func (e *Engine) mutate(t *testgen.Test, constrained []memsys.Addr) {
+	for i := range t.Nodes {
+		if e.rng.Float64() < e.params.PMut {
+			e.mutations++
+			if len(constrained) > 0 && e.rng.Float64() < e.params.PBFA {
+				t.Nodes[i] = e.gen.RandomNode(constrained)
+			} else {
+				t.Nodes[i] = e.gen.RandomNode(nil)
+			}
+		}
+	}
+}
+
+func sortAddrs(addrs []memsys.Addr) {
+	for i := 1; i < len(addrs); i++ {
+		for j := i; j > 0 && addrs[j] < addrs[j-1]; j-- {
+			addrs[j], addrs[j-1] = addrs[j-1], addrs[j]
+		}
+	}
+}
+
+// NormalizeNDT maps an NDT value into [0,1] against a running maximum,
+// used by the Std.XO fitness blend (§5.2.1: "equal weighting for
+// coverage and normalized NDT").
+type NormalizeNDT struct {
+	max float64
+}
+
+// Norm returns ndt normalized by the running maximum.
+func (n *NormalizeNDT) Norm(ndt float64) float64 {
+	if ndt > n.max {
+		n.max = ndt
+	}
+	if n.max == 0 {
+		return 0
+	}
+	return math.Min(1, ndt/n.max)
+}

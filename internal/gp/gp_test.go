@@ -1,0 +1,235 @@
+package gp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/memsys"
+	"repro/internal/testgen"
+)
+
+func newEngine(t *testing.T, params Params, seed int64) (*Engine, *testgen.Generator) {
+	t.Helper()
+	gen, err := testgen.NewGenerator(testgen.Config{
+		Size: 48, Threads: 4, Layout: memsys.MustLayout(1024, 16),
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.PopulationSize = 8
+	e, err := New(params, gen, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, gen
+}
+
+func feedback(e *Engine, tst *testgen.Test, fitness, ndt float64, fitaddrs map[memsys.Addr]bool) {
+	e.Feedback(&Individual{Test: tst, Fitness: fitness, NDT: ndt, FitAddrs: fitaddrs})
+}
+
+func TestParamValidation(t *testing.T) {
+	gen, _ := testgen.NewGenerator(testgen.Config{
+		Size: 8, Threads: 2, Layout: memsys.MustLayout(64, 16),
+	}, rand.New(rand.NewSource(1)))
+	if _, err := New(Params{PopulationSize: 1, TournamentSize: 2}, gen, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("population 1 accepted")
+	}
+	if _, err := New(Params{PopulationSize: 4, TournamentSize: 0}, gen, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("tournament 0 accepted")
+	}
+	if _, err := New(Params{PopulationSize: 4, TournamentSize: 2, PMut: 1.5}, gen, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("PMut > 1 accepted")
+	}
+}
+
+func TestPaperParamsMatchTable3(t *testing.T) {
+	p := PaperParams()
+	if p.PopulationSize != 100 || p.TournamentSize != 2 ||
+		p.PMut != 0.005 || p.PCrossover != 1.0 ||
+		p.PUSel != 0.2 || p.PBFA != 0.05 {
+		t.Fatalf("PaperParams = %+v does not match Table 3", p)
+	}
+}
+
+func TestSeedingPhase(t *testing.T) {
+	e, _ := newEngine(t, PaperParams(), 2)
+	for i := 0; i < 8; i++ {
+		if e.Seeded() {
+			t.Fatalf("seeded after %d members", i)
+		}
+		tst := e.Next()
+		feedback(e, tst, 0.1, 1.0, nil)
+	}
+	if !e.Seeded() {
+		t.Fatal("not seeded after PopulationSize feedbacks")
+	}
+}
+
+func TestConstantNodeCountInvariant(t *testing.T) {
+	for _, kind := range []CrossoverKind{SelectiveCrossover, SinglePointCrossover} {
+		params := PaperParams()
+		params.Crossover = kind
+		e, _ := newEngine(t, params, 3)
+		for i := 0; i < 8; i++ {
+			feedback(e, e.Next(), float64(i)/10, 1.5, nil)
+		}
+		for i := 0; i < 200; i++ {
+			child := e.Next()
+			if len(child.Nodes) != 48 {
+				t.Fatalf("%v: child has %d nodes, want 48", kind, len(child.Nodes))
+			}
+			feedback(e, child, 0.2, 1.5, nil)
+		}
+	}
+}
+
+// TestFitaddrNodesAlwaysInherited: Algorithm 1 guarantees memory
+// operations on fitaddrs addresses are always selected from their
+// parent — with PUSel = 0 and PBFA = 0 and no mutation, every slot where
+// parent-1 has a fitaddr memory op must survive into the child.
+func TestFitaddrNodesAlwaysInherited(t *testing.T) {
+	params := PaperParams()
+	params.PUSel = 0
+	params.PBFA = 0
+	params.PMut = 0
+	e, gen := newEngine(t, params, 4)
+	pool := gen.Pool()
+	hot := pool[0]
+	fit := map[memsys.Addr]bool{hot: true}
+	// Seed the population with identical fitaddr sets.
+	for i := 0; i < 8; i++ {
+		feedback(e, e.Next(), 0.5, 2.0, fit)
+	}
+	parent := e.Population()[0].Test
+	for trial := 0; trial < 100; trial++ {
+		child := e.Next()
+		for i, n := range parent.Nodes {
+			if n.Op.Kind.IsMemOp() && n.Op.Addr == hot {
+				if child.Nodes[i] != n {
+					t.Fatalf("trial %d: fitaddr node at slot %d not inherited", trial, i)
+				}
+			}
+		}
+		feedback(e, child, 0.5, 2.0, fit)
+	}
+}
+
+// TestUnselectedSlotsMutate: with PUSel = 0 and empty fitaddrs, no node
+// is ever selected, so every slot must be regenerated (Algorithm 1's
+// directed mutation path) — children differ from parents almost surely.
+func TestUnselectedSlotsMutate(t *testing.T) {
+	params := PaperParams()
+	params.PUSel = 0
+	e, _ := newEngine(t, params, 5)
+	for i := 0; i < 8; i++ {
+		feedback(e, e.Next(), 0.5, 1.0, nil)
+	}
+	parent := e.Population()[0].Test
+	child := e.Next()
+	same := 0
+	for i := range parent.Nodes {
+		if child.Nodes[i] == parent.Nodes[i] {
+			same++
+		}
+	}
+	if same == len(parent.Nodes) {
+		t.Fatal("child identical to parent despite full regeneration")
+	}
+}
+
+func TestDeleteOldestReplacement(t *testing.T) {
+	e, _ := newEngine(t, PaperParams(), 6)
+	var seeds []*testgen.Test
+	for i := 0; i < 8; i++ {
+		tst := e.Next()
+		seeds = append(seeds, tst)
+		feedback(e, tst, 1.0, 1.0, nil) // high fitness: selection loves them
+	}
+	// The first replacement must evict population slot 0 (the oldest),
+	// regardless of its fitness.
+	child := e.Next()
+	feedback(e, child, 0.0, 1.0, nil)
+	if e.Population()[0].Test != child {
+		t.Fatal("delete-oldest did not replace slot 0")
+	}
+	if e.Population()[1].Test != seeds[1] {
+		t.Fatal("slot 1 unexpectedly replaced")
+	}
+}
+
+func TestTournamentPrefersFitter(t *testing.T) {
+	params := PaperParams()
+	// Tournament draws with replacement; 200 draws over 8 members make
+	// missing the best member astronomically unlikely (and the rng is
+	// seeded, so the test is deterministic).
+	params.TournamentSize = 200
+	e, _ := newEngine(t, params, 7)
+	for i := 0; i < 8; i++ {
+		fit := 0.0
+		if i == 3 {
+			fit = 10.0
+		}
+		feedback(e, e.Next(), fit, 1.0, nil)
+	}
+	best := e.Population()[3]
+	if got := e.tournament(); got != best {
+		t.Fatalf("full tournament picked fitness %v, want the best member", got.Fitness)
+	}
+}
+
+func TestFitaddrFraction(t *testing.T) {
+	tst := &testgen.Test{
+		Threads: 2,
+		Nodes: []testgen.Node{
+			{PID: 0, Op: testgen.Op{Kind: testgen.OpWrite, Addr: 0x100}},
+			{PID: 0, Op: testgen.Op{Kind: testgen.OpRead, Addr: 0x200}},
+			{PID: 1, Op: testgen.Op{Kind: testgen.OpDelay, Delay: 1}},
+			{PID: 1, Op: testgen.Op{Kind: testgen.OpRMW, Addr: 0x100}},
+		},
+	}
+	fit := map[memsys.Addr]bool{0x100: true}
+	if got := fitaddrFraction(tst, fit); got != 2.0/3.0 {
+		t.Fatalf("fitaddrFraction = %v, want 2/3", got)
+	}
+	if got := fitaddrFraction(&testgen.Test{}, fit); got != 0 {
+		t.Fatalf("empty test fraction = %v, want 0", got)
+	}
+}
+
+func TestNormalizeNDT(t *testing.T) {
+	var n NormalizeNDT
+	if n.Norm(0) != 0 {
+		t.Error("Norm(0) != 0 with empty max")
+	}
+	if n.Norm(2.0) != 1.0 {
+		t.Error("first value should normalize to 1")
+	}
+	if got := n.Norm(1.0); got != 0.5 {
+		t.Errorf("Norm(1.0) = %v, want 0.5", got)
+	}
+	if n.Norm(4.0) != 1.0 {
+		t.Error("new max should normalize to 1")
+	}
+}
+
+func TestDeterministicEvolution(t *testing.T) {
+	run := func() []testgen.Node {
+		e, _ := newEngine(t, PaperParams(), 9)
+		for i := 0; i < 8; i++ {
+			feedback(e, e.Next(), float64(i%3), 1.2, nil)
+		}
+		var last *testgen.Test
+		for i := 0; i < 20; i++ {
+			last = e.Next()
+			feedback(e, last, 0.4, 1.3, nil)
+		}
+		return last.Nodes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("evolution diverged across identical seeds")
+		}
+	}
+}

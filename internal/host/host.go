@@ -1,0 +1,261 @@
+// Package host implements the simulation-aware guest workload and its
+// host interface (§4, Table 1, Algorithm 2). The guest workload's
+// generate–execute–verify–reset cycle is driven from the host side:
+// tests are "compiled on the fly" into per-core programs
+// (make_test_thread), threads are released in near lock-step by the
+// host-assisted precise barrier, and verification and test-memory resets
+// happen between iterations without consuming guest execution time.
+//
+// Both barrier implementations are provided: the host-assisted barrier
+// releases threads with single-digit-cycle skew, while the simulated
+// guest spin-barrier costs thousands of cycles per use and releases
+// threads with large offsets — the §4 observation that host assistance
+// is a mandatory prerequisite for very short tests.
+package host
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/checker"
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+	"repro/internal/testgen"
+)
+
+// BarrierKind selects the thread-synchronization implementation.
+type BarrierKind int
+
+const (
+	// HostBarrier is the host-assisted precise barrier (Table 1:
+	// barrier_wait_precise with host assistance).
+	HostBarrier BarrierKind = iota
+	// GuestBarrier simulates a guest spin-barrier: large per-use
+	// overhead and large release skew.
+	GuestBarrier
+)
+
+func (b BarrierKind) String() string {
+	if b == GuestBarrier {
+		return "guest"
+	}
+	return "host"
+}
+
+// Options configures the per-test-run execution loop.
+type Options struct {
+	// Iterations is the number of executions per test-run (Table 3:
+	// 10; scaled configurations use fewer).
+	Iterations int
+	// Barrier selects host-assisted or guest barriers.
+	Barrier BarrierKind
+	// MaxTicksPerIteration is the deadlock/livelock watchdog.
+	MaxTicksPerIteration sim.Tick
+}
+
+// DefaultOptions returns the Table 3 run options.
+func DefaultOptions() Options {
+	return Options{
+		Iterations:           10,
+		Barrier:              HostBarrier,
+		MaxTicksPerIteration: 30_000_000,
+	}
+}
+
+// Barrier skew and overhead parameters. The host barrier releases
+// threads within a few cycles; the guest barrier models a software
+// sense-reversal barrier: every thread spins across the interconnect, so
+// release skew and per-use overhead are orders of magnitude larger.
+const (
+	hostSkewMax     = 4
+	guestSkewMax    = 4000
+	guestBarrierGap = 20000
+)
+
+// ViolationSource classifies how a bug manifested.
+type ViolationSource int
+
+const (
+	// SourceChecker is an MCM violation found by the axiomatic checker.
+	SourceChecker ViolationSource = iota
+	// SourceProtocol is a protocol-level error (invalid transition).
+	SourceProtocol
+	// SourceDeadlock is a watchdog deadlock/timeout.
+	SourceDeadlock
+)
+
+func (s ViolationSource) String() string {
+	switch s {
+	case SourceChecker:
+		return "mcm-violation"
+	case SourceProtocol:
+		return "protocol-error"
+	default:
+		return "deadlock"
+	}
+}
+
+// Violation is a detected failure of any source.
+type Violation struct {
+	Source ViolationSource
+	Err    error
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s: %v", v.Source, v.Err)
+}
+
+// RunResult summarizes one test-run (Iterations executions of one test).
+type RunResult struct {
+	// Violation is non-nil if the run exposed a bug.
+	Violation *Violation
+	// NDT is the run's average non-determinism (Definition 2).
+	NDT float64
+	// FitAddrs is the selective crossover's preferred address set.
+	FitAddrs map[memsys.Addr]bool
+	// Ticks is the simulated time consumed by the run.
+	Ticks sim.Tick
+	// Iterations is how many iterations actually executed.
+	Iterations int
+}
+
+// errorTrap collects protocol errors raised during a run.
+type errorTrap struct {
+	errs []error
+}
+
+func (t *errorTrap) ProtocolError(err error) { t.errs = append(t.errs, err) }
+
+func (t *errorTrap) take() error {
+	if len(t.errs) == 0 {
+		return nil
+	}
+	err := t.errs[0]
+	t.errs = nil
+	return err
+}
+
+// Host drives the generate–execute–verify–reset cycle on a machine.
+type Host struct {
+	m    *machine.Machine
+	rec  *checker.Recorder
+	opts Options
+	trap *errorTrap
+
+	runs uint64
+}
+
+// New wires a host around a machine and recorder. The machine must have
+// been built with trap as its error sink; use Build to get all pieces
+// wired correctly.
+func New(m *machine.Machine, rec *checker.Recorder, trap ErrorTrap, opts Options) *Host {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1
+	}
+	if opts.MaxTicksPerIteration == 0 {
+		opts.MaxTicksPerIteration = DefaultOptions().MaxTicksPerIteration
+	}
+	return &Host{m: m, rec: rec, opts: opts, trap: trap.trap}
+}
+
+// ErrorTrap is an opaque handle pairing a machine with its host.
+type ErrorTrap struct{ trap *errorTrap }
+
+// ProtocolError implements coherence.ErrorSink.
+func (t ErrorTrap) ProtocolError(err error) { t.trap.ProtocolError(err) }
+
+// ProtoErr pops the oldest pending protocol error, or nil.
+func (t ErrorTrap) ProtoErr() error { return t.trap.take() }
+
+// NewErrorTrap returns a fresh trap to pass as a machine's error sink.
+func NewErrorTrap() ErrorTrap { return ErrorTrap{trap: &errorTrap{}} }
+
+// Machine returns the underlying machine.
+func (h *Host) Machine() *machine.Machine { return h.m }
+
+// Recorder returns the underlying recorder.
+func (h *Host) Recorder() *checker.Recorder { return h.rec }
+
+// Runs returns the number of completed test-runs.
+func (h *Host) Runs() uint64 { return h.runs }
+
+// barrierOffsets draws per-core release offsets for one iteration.
+func (h *Host) barrierOffsets() []sim.Tick {
+	rng := h.m.Sim.Rand()
+	offs := make([]sim.Tick, len(h.m.Cores))
+	max := int64(hostSkewMax)
+	if h.opts.Barrier == GuestBarrier {
+		max = guestSkewMax
+	}
+	for i := range offs {
+		offs[i] = sim.Tick(rng.Int63n(max + 1))
+	}
+	return offs
+}
+
+// ResetTestMem implements reset_test_mem (Table 1): zero the test
+// memory and flush all cache levels. Must run at quiescence.
+func (h *Host) ResetTestMem(layout memsys.Layout) {
+	h.m.ResetCaches()
+	h.m.ZeroTestMemory(layout)
+}
+
+// RunTest executes one complete test-run per Algorithm 2: compile the
+// test (make_test_thread), then Iterations times: precise barrier,
+// execute, verify and reset conflict orders, reset test memory. The
+// final iteration uses verify_reset_all semantics: run-level NDT state
+// is computed and returned, then cleared.
+func (h *Host) RunTest(t *testgen.Test) (RunResult, error) {
+	progs, err := testgen.Compile(t)
+	if err != nil {
+		return RunResult{}, err
+	}
+	start := h.m.Sim.Now()
+	var res RunResult
+
+	h.rec.ResetAll()
+	h.ResetTestMem(t.Layout)
+
+	for iter := 0; iter < h.opts.Iterations; iter++ {
+		if h.opts.Barrier == GuestBarrier {
+			// A software barrier burns simulated time before the
+			// test even starts.
+			h.m.Sim.Schedule(guestBarrierGap, func() {})
+			h.m.Quiesce()
+		}
+		if err := h.m.LoadPrograms(progs); err != nil {
+			return RunResult{}, err
+		}
+		runErr := h.m.RunPrograms(h.barrierOffsets(), h.opts.MaxTicksPerIteration)
+		if runErr == nil {
+			h.m.Quiesce()
+		}
+		res.Iterations = iter + 1
+
+		if perr := h.trap.take(); perr != nil {
+			res.Violation = &Violation{Source: SourceProtocol, Err: perr}
+			break
+		}
+		if runErr != nil {
+			var dead *sim.ErrDeadlock
+			var timeout *sim.ErrTimeout
+			if errors.As(runErr, &dead) || errors.As(runErr, &timeout) {
+				res.Violation = &Violation{Source: SourceDeadlock, Err: runErr}
+				break
+			}
+			return RunResult{}, runErr
+		}
+		if v := h.rec.EndIteration(); v != nil {
+			res.Violation = &Violation{Source: SourceChecker, Err: v}
+			break
+		}
+		h.ResetTestMem(t.Layout)
+	}
+
+	res.NDT = h.rec.NDT()
+	res.FitAddrs = h.rec.FitAddrs()
+	res.Ticks = h.m.Sim.Now() - start
+	h.runs++
+	return res, nil
+}

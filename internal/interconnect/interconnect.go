@@ -1,0 +1,192 @@
+// Package interconnect models the on-chip network of Table 2: a 2D mesh
+// (2 rows × 4 columns for the 8-tile system) carrying coherence traffic
+// on separate virtual networks. The model captures what matters for
+// memory-consistency races: per-hop latency, seeded jitter, congestion
+// back-pressure, point-to-point FIFO ordering within one (src, dst, vnet)
+// channel, and — crucially — *no* ordering between different channels or
+// virtual networks, which is what lets invalidations overtake data
+// responses and create the transient-state races of §5.3.
+package interconnect
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a network endpoint.
+type NodeID int
+
+// VNet enumerates the virtual networks, mirroring Ruby's split of
+// coherence traffic classes.
+type VNet int
+
+const (
+	// VNetRequest carries requests (GETS/GETX/PUT...).
+	VNetRequest VNet = iota
+	// VNetResponse carries data and ack responses.
+	VNetResponse
+	// VNetForward carries forwarded requests and invalidations.
+	VNetForward
+
+	// NumVNets is the number of virtual networks.
+	NumVNets
+)
+
+func (v VNet) String() string {
+	switch v {
+	case VNetRequest:
+		return "req"
+	case VNetResponse:
+		return "resp"
+	case VNetForward:
+		return "fwd"
+	default:
+		return fmt.Sprintf("vnet%d", int(v))
+	}
+}
+
+// Handler receives delivered messages.
+type Handler interface {
+	Deliver(vnet VNet, payload interface{})
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(vnet VNet, payload interface{})
+
+// Deliver implements Handler.
+func (f HandlerFunc) Deliver(vnet VNet, payload interface{}) { f(vnet, payload) }
+
+// Config holds the network timing parameters (Table 2: 2D mesh, 2 rows,
+// 16B flits; latencies chosen to land L2 round trips in the 30–80 cycle
+// band and memory in the 120–230 band together with controller
+// latencies).
+type Config struct {
+	Rows, Cols int
+	// LinkLatency is the per-hop link traversal time in ticks.
+	LinkLatency sim.Tick
+	// RouterLatency is the per-router pipeline latency in ticks.
+	RouterLatency sim.Tick
+	// JitterMax is the maximum uniform random extra latency per
+	// message; jitter is the controlled source of message-race
+	// non-determinism between virtual networks.
+	JitterMax sim.Tick
+	// CongestionWindow models back-pressure: each in-flight message on
+	// a channel delays the next by this many ticks.
+	CongestionWindow sim.Tick
+}
+
+// DefaultConfig returns the Table 2 mesh configuration.
+func DefaultConfig() Config {
+	return Config{
+		Rows:             2,
+		Cols:             4,
+		LinkLatency:      2,
+		RouterLatency:    2,
+		JitterMax:        12,
+		CongestionWindow: 1,
+	}
+}
+
+type node struct {
+	handler  Handler
+	row, col int
+}
+
+type chanKey struct {
+	src, dst NodeID
+	vnet     VNet
+}
+
+// Network is the mesh. Not safe for concurrent use; the simulation is
+// single-threaded by design.
+type Network struct {
+	sim   *sim.Sim
+	cfg   Config
+	nodes map[NodeID]*node
+	// lastArrival enforces per-channel FIFO delivery.
+	lastArrival map[chanKey]sim.Tick
+	// sent counts messages per vnet for statistics.
+	sent [NumVNets]uint64
+}
+
+// New returns an empty network on the given simulator.
+func New(s *sim.Sim, cfg Config) *Network {
+	return &Network{
+		sim:         s,
+		cfg:         cfg,
+		nodes:       make(map[NodeID]*node),
+		lastArrival: make(map[chanKey]sim.Tick),
+	}
+}
+
+// Register attaches a handler at mesh position (row, col). Multiple
+// logical nodes (an L1, its co-located L2 tile) may share a position.
+func (n *Network) Register(id NodeID, h Handler, row, col int) error {
+	if row < 0 || row >= n.cfg.Rows || col < 0 || col >= n.cfg.Cols {
+		return fmt.Errorf("interconnect: position (%d,%d) outside %dx%d mesh", row, col, n.cfg.Rows, n.cfg.Cols)
+	}
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("interconnect: node %d already registered", id)
+	}
+	n.nodes[id] = &node{handler: h, row: row, col: col}
+	return nil
+}
+
+// Hops returns the Manhattan distance between two registered nodes.
+func (n *Network) Hops(src, dst NodeID) int {
+	a, b := n.nodes[src], n.nodes[dst]
+	dr, dc := a.row-b.row, a.col-b.col
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr + dc
+}
+
+// Sent returns the number of messages sent on vnet.
+func (n *Network) Sent(v VNet) uint64 { return n.sent[v] }
+
+// Send routes payload from src to dst on vnet. Delivery is scheduled at
+// now + route latency + jitter, clamped so deliveries within one channel
+// stay FIFO. Messages on different channels (different endpoints or
+// vnets) may be reordered freely — the race surface.
+func (n *Network) Send(src, dst NodeID, vnet VNet, payload interface{}) {
+	to, ok := n.nodes[dst]
+	if !ok {
+		panic(fmt.Sprintf("interconnect: send to unregistered node %d", dst))
+	}
+	hops := n.Hops(src, dst)
+	lat := n.cfg.RouterLatency*sim.Tick(hops+1) + n.cfg.LinkLatency*sim.Tick(hops)
+	if n.cfg.JitterMax > 0 {
+		lat += sim.Tick(n.sim.Rand().Int63n(int64(n.cfg.JitterMax) + 1))
+	}
+	arrive := n.sim.Now() + lat
+	key := chanKey{src, dst, vnet}
+	if last, ok := n.lastArrival[key]; ok && arrive <= last {
+		arrive = last + 1
+		if n.cfg.CongestionWindow > 0 {
+			arrive += n.cfg.CongestionWindow
+		}
+	}
+	n.lastArrival[key] = arrive
+	n.sent[vnet]++
+	n.sim.Schedule(arrive-n.sim.Now(), func() {
+		to.handler.Deliver(vnet, payload)
+	})
+}
+
+// LocalDeliver schedules a message to a node from itself with the given
+// fixed latency, bypassing routing (used for a controller's mandatory
+// queue and recycled messages).
+func (n *Network) LocalDeliver(dst NodeID, vnet VNet, delay sim.Tick, payload interface{}) {
+	to, ok := n.nodes[dst]
+	if !ok {
+		panic(fmt.Sprintf("interconnect: local delivery to unregistered node %d", dst))
+	}
+	n.sim.Schedule(delay, func() {
+		to.handler.Deliver(vnet, payload)
+	})
+}

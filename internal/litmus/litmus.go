@@ -1,0 +1,610 @@
+// Package litmus reproduces the diy tool-suite substrate (§5.2.2): it
+// generates litmus tests from critical cycles of candidate relaxations
+// (Alglave et al.'s edge notation: Rfe, Fre, Wse, PodRR/RW/WR/WW and
+// fenced variants), synthesizes the forbidden outcome, and provides a
+// lowering to the machine-executable test representation.
+//
+// Generation follows diy's principle: enumerate cycles over the edge
+// alphabet, materialize each cycle into threads/locations/final
+// condition, and keep tests whose final condition is forbidden by the
+// target model. Instead of re-deriving forbiddenness by hand, the
+// materialized candidate execution is checked against this repository's
+// own axiomatic model: invalid execution ⇒ forbidden outcome ⇒ usable
+// conformance test.
+package litmus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/memmodel"
+	"repro/internal/memsys"
+	"repro/internal/relation"
+	"repro/internal/testgen"
+)
+
+// EdgeKind is one candidate-relaxation edge of the diy cycle notation.
+type EdgeKind uint8
+
+const (
+	// Rfe: external read-from — a write read by an event on another
+	// thread (same location).
+	Rfe EdgeKind = iota
+	// Fre: external from-read — a read coherence-before a write on
+	// another thread (same location).
+	Fre
+	// Wse: external write serialization (coe) — two writes to the same
+	// location on different threads, coherence-ordered.
+	Wse
+	// PodRR..PodWW: program-order edges to a different location, with
+	// the given endpoint kinds.
+	PodRR
+	PodRW
+	PodWR
+	PodWW
+	// MFencedWR: a W→R program-order pair separated by mfence (the
+	// fence that restores order under TSO).
+	MFencedWR
+
+	numEdgeKinds
+)
+
+var edgeNames = [...]string{"Rfe", "Fre", "Wse", "PodRR", "PodRW", "PodWR", "PodWW", "MFencedWR"}
+
+func (e EdgeKind) String() string { return edgeNames[e] }
+
+// external reports whether the edge crosses threads (conflict edge).
+func (e EdgeKind) external() bool { return e <= Wse }
+
+// srcIsWrite/dstIsWrite give the event kinds the edge's endpoints must
+// have.
+func (e EdgeKind) srcIsWrite() bool {
+	switch e {
+	case Rfe, Wse, PodWR, PodWW, MFencedWR:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e EdgeKind) dstIsWrite() bool {
+	switch e {
+	case Fre, Wse, PodRW, PodWW:
+		return true
+	default:
+		return false
+	}
+}
+
+// Cycle is a sequence of edges, interpreted cyclically.
+type Cycle []EdgeKind
+
+func (c Cycle) String() string {
+	parts := make([]string, len(c))
+	for i, e := range c {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// counts returns the number of external and program-order edges.
+func (c Cycle) counts() (ext, po int) {
+	for _, e := range c {
+		if e.external() {
+			ext++
+		} else {
+			po++
+		}
+	}
+	return ext, po
+}
+
+// wellFormed checks endpoint-kind consistency around the cycle and the
+// diy shape requirements: at least two threads (external edges) and at
+// least two locations (program-order edges).
+func (c Cycle) wellFormed() bool {
+	if len(c) < 4 {
+		return false
+	}
+	for i, e := range c {
+		next := c[(i+1)%len(c)]
+		if e.dstIsWrite() != next.srcIsWrite() {
+			return false
+		}
+	}
+	ext, po := c.counts()
+	return ext >= 2 && po >= 2
+}
+
+// canonical returns the lexicographically-minimal rotation, used to
+// deduplicate cycles.
+func (c Cycle) canonical() string {
+	best := ""
+	for r := 0; r < len(c); r++ {
+		var b strings.Builder
+		for i := 0; i < len(c); i++ {
+			fmt.Fprintf(&b, "%02d.", c[(r+i)%len(c)])
+		}
+		if best == "" || b.String() < best {
+			best = b.String()
+		}
+	}
+	return best
+}
+
+// rotateToExternalClose returns a rotation whose last edge is external,
+// so the walk's thread assignment closes back onto thread 0.
+func (c Cycle) rotateToExternalClose() (Cycle, bool) {
+	for r := 0; r < len(c); r++ {
+		last := c[(r+len(c)-1)%len(c)]
+		if last.external() {
+			out := make(Cycle, len(c))
+			for i := range out {
+				out[i] = c[(r+i)%len(c)]
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// Event is one instruction of a materialized litmus test.
+type Event struct {
+	// Thread and Index locate the event in its thread's program.
+	Thread, Index int
+	// IsWrite distinguishes store from load.
+	IsWrite bool
+	// Var is the location number (0 = x, 1 = y, ...).
+	Var int
+	// Val is the value written (writes) or expected under the
+	// forbidden outcome (reads; filled by the execution builder).
+	Val uint64
+	// FenceBefore inserts an mfence before this event.
+	FenceBefore bool
+}
+
+// Test is a materialized litmus test.
+type Test struct {
+	// Name is the canonical family name when recognized (SB, MP, ...)
+	// or the cycle string.
+	Name string
+	// Cycle is the generating cycle (rotated to external closure).
+	Cycle Cycle
+	// Threads holds per-thread event lists in program order.
+	Threads [][]Event
+	// FinalWrites gives, per location, the value the coherence-last
+	// write must leave (part of the forbidden outcome).
+	FinalWrites map[int]uint64
+	// NumVars is the number of locations used.
+	NumVars int
+
+	// walk records the cycle's slot order as (thread, index) pairs.
+	walk [][2]int
+}
+
+// String renders the test litmus-style.
+func (t *Test) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.Name, t.Cycle)
+	for tid, evs := range t.Threads {
+		fmt.Fprintf(&b, "  P%d:", tid)
+		for _, e := range evs {
+			if e.FenceBefore {
+				b.WriteString(" mfence;")
+			}
+			v := string(rune('x' + e.Var))
+			if e.IsWrite {
+				fmt.Fprintf(&b, " %s=%d;", v, e.Val)
+			} else {
+				fmt.Fprintf(&b, " r=%s(expect %d);", v, e.Val)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("  forbidden: reads observe expectations")
+	for v, val := range t.FinalWrites {
+		fmt.Fprintf(&b, " ∧ %c=%d", rune('x'+v), val)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// materialize turns an external-closing cycle into a test following
+// diy's walk: the thread advances on external edges; the location
+// advances on program-order edges, modulo the number of po edges, so the
+// walk closes consistently. Each slot is the source event of its edge.
+func materialize(c Cycle) (*Test, bool) {
+	n := len(c)
+	_, nPo := c.counts()
+	if nPo < 2 {
+		return nil, false
+	}
+	if !c[n-1].external() {
+		return nil, false
+	}
+	t := &Test{Cycle: append(Cycle(nil), c...), FinalWrites: map[int]uint64{}}
+	thread, loc := 0, 0
+	maxVar := 0
+	fenceNext := false
+	for _, e := range c {
+		ev := Event{
+			Thread:      thread,
+			IsWrite:     e.srcIsWrite(),
+			Var:         loc,
+			FenceBefore: fenceNext,
+		}
+		fenceNext = false
+		for thread >= len(t.Threads) {
+			t.Threads = append(t.Threads, nil)
+		}
+		ev.Index = len(t.Threads[thread])
+		t.Threads[thread] = append(t.Threads[thread], ev)
+		t.walk = append(t.walk, [2]int{thread, ev.Index})
+		if loc > maxVar {
+			maxVar = loc
+		}
+		if e.external() {
+			thread++
+		} else {
+			loc = (loc + 1) % nPo
+			if e == MFencedWR {
+				fenceNext = true
+			}
+		}
+	}
+	// The wrap-around: the final external edge returns to thread 0 and
+	// location 0 (loc wrapped because the walk applied all nPo
+	// increments).
+	if loc != 0 {
+		return nil, false
+	}
+	if fenceNext {
+		// A trailing MFencedWR cannot occur (last edge is external).
+		return nil, false
+	}
+	if len(t.Threads) < 2 {
+		return nil, false
+	}
+	t.NumVars = maxVar + 1
+	// Distinct nonzero values per (location, write).
+	valCounter := map[int]uint64{}
+	for ti := range t.Threads {
+		for ei := range t.Threads[ti] {
+			ev := &t.Threads[ti][ei]
+			if ev.IsWrite {
+				valCounter[ev.Var]++
+				ev.Val = valCounter[ev.Var]
+			}
+		}
+	}
+	return t, true
+}
+
+// buildExecution constructs the candidate execution the cycle describes:
+// co per location is the topological order of the Wse and (Rfe;Fre)
+// constraints, Rfe edges fix rf, and unconstrained reads observe the
+// initial value. Returns ok=false when the constraints are inconsistent
+// (degenerate cycles).
+func buildExecution(t *Test) (*memmodel.Execution, bool) {
+	x := memmodel.NewExecution()
+	ids := make([][]relation.EventID, len(t.Threads))
+	for ti, evs := range t.Threads {
+		ids[ti] = make([]relation.EventID, len(evs))
+		for ei, ev := range evs {
+			if ev.FenceBefore {
+				x.AddEvent(memmodel.Event{
+					Key:  memmodel.Key{TID: ti, Instr: 1000 + ei},
+					Kind: memmodel.KindFence,
+				})
+			}
+			kind := memmodel.KindRead
+			if ev.IsWrite {
+				kind = memmodel.KindWrite
+			}
+			ids[ti][ei] = x.AddEvent(memmodel.Event{
+				Key:   memmodel.Key{TID: ti, Instr: ei},
+				Kind:  kind,
+				Addr:  VarAddr(ev.Var),
+				Value: ev.Val,
+			})
+		}
+	}
+	slotID := func(i int) relation.EventID {
+		ref := t.walk[i%len(t.walk)]
+		return ids[ref[0]][ref[1]]
+	}
+	slotEv := func(i int) Event {
+		ref := t.walk[i%len(t.walk)]
+		return t.Threads[ref[0]][ref[1]]
+	}
+
+	// rf: the dst of each Rfe reads the src.
+	rfOf := map[relation.EventID]relation.EventID{}
+	for i, e := range t.Cycle {
+		if e == Rfe {
+			rfOf[slotID(i+1)] = slotID(i)
+		}
+	}
+
+	// co constraints per location.
+	var constraints []coPair
+	for i, e := range t.Cycle {
+		switch e {
+		case Wse:
+			constraints = append(constraints, coPair{slotID(i), slotID(i + 1)})
+		case Fre:
+			// The read's rf source (or the initial write) must be
+			// coherence-before the dst write.
+			read := slotID(i)
+			if w, ok := rfOf[read]; ok {
+				constraints = append(constraints, coPair{w, slotID(i + 1)})
+			}
+			// Reads of the initial value are trivially satisfied
+			// (the initial write is co-minimal).
+		}
+	}
+	// Topologically order writes per location (stable over walk order).
+	perVar := map[int][]relation.EventID{}
+	for i := range t.walk {
+		ev := slotEv(i)
+		if ev.IsWrite {
+			perVar[ev.Var] = append(perVar[ev.Var], slotID(i))
+		}
+	}
+	for v, writes := range perVar {
+		order, ok := topo(writes, constraints)
+		if !ok {
+			return nil, false
+		}
+		for _, w := range order {
+			if err := x.AppendCO(w); err != nil {
+				return nil, false
+			}
+		}
+		t.FinalWrites[v] = x.Event(order[len(order)-1]).Value
+	}
+
+	// Resolve rf.
+	for read, w := range rfOf {
+		x.Event(read).Value = x.Event(w).Value
+		if err := x.SetRF(read, w); err != nil {
+			return nil, false
+		}
+	}
+	for ti, evs := range t.Threads {
+		for ei, ev := range evs {
+			if ev.IsWrite {
+				continue
+			}
+			id := ids[ti][ei]
+			if _, ok := rfOf[id]; ok {
+				continue
+			}
+			init := x.InitWrite(VarAddr(ev.Var))
+			x.Event(id).Value = 0
+			if err := x.SetRF(id, init); err != nil {
+				return nil, false
+			}
+		}
+	}
+	// Propagate resolved read expectations back into the test.
+	for ti, evs := range t.Threads {
+		for ei := range evs {
+			if !evs[ei].IsWrite {
+				t.Threads[ti][ei].Val = x.Event(ids[ti][ei]).Value
+			}
+		}
+	}
+	return x, true
+}
+
+// coPair is one must-precede coherence constraint.
+type coPair struct{ a, b relation.EventID }
+
+// topo orders nodes under must-precede constraints, preserving input
+// order among unconstrained nodes; ok=false on a constraint cycle.
+func topo(nodes []relation.EventID, constraints []coPair) ([]relation.EventID, bool) {
+	in := map[relation.EventID]bool{}
+	for _, n := range nodes {
+		in[n] = true
+	}
+	succ := map[relation.EventID][]relation.EventID{}
+	deg := map[relation.EventID]int{}
+	for _, c := range constraints {
+		if in[c.a] && in[c.b] {
+			succ[c.a] = append(succ[c.a], c.b)
+			deg[c.b]++
+		}
+	}
+	var out []relation.EventID
+	taken := map[relation.EventID]bool{}
+	for len(out) < len(nodes) {
+		progressed := false
+		for _, n := range nodes {
+			if taken[n] || deg[n] > 0 {
+				continue
+			}
+			taken[n] = true
+			out = append(out, n)
+			for _, s := range succ[n] {
+				deg[s]--
+			}
+			progressed = true
+			break
+		}
+		if !progressed {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// VarAddr maps a litmus location to a word address on its own cache
+// line, so litmus locations never false-share.
+func VarAddr(v int) memsys.Addr {
+	return memsys.DefaultBase + memsys.Addr(v)*memsys.LineSize
+}
+
+// Forbidden reports whether the test's outcome is forbidden under arch
+// by checking the materialized candidate execution.
+func Forbidden(t *Test, arch memmodel.Arch) bool {
+	x, ok := buildExecution(t)
+	if !ok {
+		return false
+	}
+	return !memmodel.Check(x, arch).Valid
+}
+
+// wellKnownNames maps canonical cycles to their classic names.
+var wellKnownNames = map[string]string{
+	(Cycle{Wse, PodWW, Wse, PodWW}).canonical():             "2+2W",
+	(Cycle{Rfe, PodRR, Fre, PodWW}).canonical():             "MP",
+	(Cycle{Fre, PodWR, Fre, PodWR}).canonical():             "SB",
+	(Cycle{Rfe, PodRW, Rfe, PodRW}).canonical():             "LB",
+	(Cycle{Wse, PodWR, Fre, PodWW}).canonical():             "R",
+	(Cycle{Rfe, PodRW, Wse, PodWW}).canonical():             "S",
+	(Cycle{Rfe, PodRR, Fre, PodWW, Rfe, PodRR}).canonical(): "WRC-shape",
+	(Cycle{Rfe, PodRR, Fre, Rfe, PodRR, Fre}).canonical():   "IRIW",
+	(Cycle{MFencedWR, Fre, MFencedWR, Fre}).canonical():     "SB+mfences",
+}
+
+// Generate enumerates well-formed cycles length by length up to maxLen,
+// deduplicates rotations, keeps those whose outcome is forbidden under
+// arch, and returns up to limit tests (diy generated 38 for x86-TSO).
+func Generate(arch memmodel.Arch, maxLen, limit int) []*Test {
+	seen := make(map[string]bool)
+	var out []*Test
+	for n := 4; n <= maxLen && len(out) < limit; n++ {
+		c := make(Cycle, n)
+		var rec func(pos int)
+		rec = func(pos int) {
+			if len(out) >= limit {
+				return
+			}
+			if pos == n {
+				if cand := tryCycle(c, arch, seen); cand != nil {
+					out = append(out, cand)
+				}
+				return
+			}
+			for e := EdgeKind(0); e < numEdgeKinds; e++ {
+				c[pos] = e
+				rec(pos + 1)
+			}
+		}
+		rec(0)
+	}
+	return out
+}
+
+func tryCycle(c Cycle, arch memmodel.Arch, seen map[string]bool) *Test {
+	if !c.wellFormed() {
+		return nil
+	}
+	canon := c.canonical()
+	if seen[canon] {
+		return nil
+	}
+	seen[canon] = true
+	rotated, ok := c.rotateToExternalClose()
+	if !ok {
+		return nil
+	}
+	t, ok := materialize(rotated)
+	if !ok {
+		return nil
+	}
+	if !Forbidden(t, arch) {
+		return nil
+	}
+	if name, ok := wellKnownNames[canon]; ok {
+		t.Name = name
+	} else {
+		t.Name = rotated.String()
+	}
+	return t
+}
+
+// ToTestgen lowers a litmus test into the flat ⟨pid,op⟩ representation
+// executable by the machine. Returns the lowered test plus, for each
+// read, its probe for outcome matching.
+func ToTestgen(t *Test, threads int) (*testgen.Test, []ReadProbe, error) {
+	if len(t.Threads) > threads {
+		return nil, nil, fmt.Errorf("litmus: test needs %d threads, machine has %d", len(t.Threads), threads)
+	}
+	out := &testgen.Test{Threads: threads}
+	var probes []ReadProbe
+	idx := make([]int, threads)
+	for ti, evs := range t.Threads {
+		for _, ev := range evs {
+			if ev.FenceBefore {
+				// Model mfence as a locked RMW to a private
+				// scratch line (full fence on x86).
+				out.Nodes = append(out.Nodes, testgen.Node{
+					PID: ti,
+					Op:  testgen.Op{Kind: testgen.OpRMW, Addr: ScratchAddr(ti)},
+				})
+				idx[ti]++
+			}
+			kind := testgen.OpRead
+			if ev.IsWrite {
+				kind = testgen.OpWrite
+			}
+			out.Nodes = append(out.Nodes, testgen.Node{
+				PID: ti,
+				Op:  testgen.Op{Kind: kind, Addr: VarAddr(ev.Var)},
+			})
+			if !ev.IsWrite {
+				probes = append(probes, ReadProbe{
+					Thread: ti, Instr: idx[ti],
+					Var: ev.Var, ExpectInit: ev.Val == 0,
+					ExpectWriter: writerOf(t, ev),
+				})
+			}
+			idx[ti]++
+		}
+	}
+	return out, probes, nil
+}
+
+// ScratchAddr gives each thread a private fence scratch line far from
+// litmus locations.
+func ScratchAddr(tid int) memsys.Addr {
+	return memsys.DefaultBase + memsys.Addr(64+tid)*memsys.LineSize
+}
+
+// ReadProbe locates one read of the lowered test and its forbidden-
+// outcome expectation.
+type ReadProbe struct {
+	Thread, Instr int
+	Var           int
+	// ExpectInit means the forbidden outcome has this read observing
+	// the initial value; otherwise it observes ExpectWriter's write.
+	ExpectInit   bool
+	ExpectWriter WriterRef
+	// ExpectValue is the concrete expected value in the compiled
+	// program's write-ID space, filled by Lower.
+	ExpectValue uint64
+}
+
+// WriterRef names a write event of the litmus test.
+type WriterRef struct {
+	Thread, Index int
+	Valid         bool
+}
+
+// writerOf finds which write of the litmus test produces ev's expected
+// value.
+func writerOf(t *Test, ev Event) WriterRef {
+	if ev.Val == 0 {
+		return WriterRef{}
+	}
+	for ti, evs := range t.Threads {
+		for _, w := range evs {
+			if w.IsWrite && w.Var == ev.Var && w.Val == ev.Val {
+				return WriterRef{Thread: ti, Index: w.Index, Valid: true}
+			}
+		}
+	}
+	return WriterRef{}
+}

@@ -1,0 +1,226 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+// mustMaterialize rotates the cycle to external closure and materializes
+// it, failing the test otherwise.
+func mustMaterialize(t *testing.T, c Cycle) *Test {
+	t.Helper()
+	rot, ok := c.rotateToExternalClose()
+	if !ok {
+		t.Fatalf("cycle %v has no external edge", c)
+	}
+	tst, ok := materialize(rot)
+	if !ok {
+		t.Fatalf("cycle %v did not materialize", c)
+	}
+	return tst
+}
+
+func TestEdgeKindProperties(t *testing.T) {
+	for e := EdgeKind(0); e < numEdgeKinds; e++ {
+		if e.String() == "" {
+			t.Errorf("edge %d has no name", e)
+		}
+	}
+	if !Rfe.external() || !Fre.external() || !Wse.external() {
+		t.Error("conflict edges not external")
+	}
+	if PodRR.external() || MFencedWR.external() {
+		t.Error("po edges marked external")
+	}
+	// Endpoint kinds.
+	if !Rfe.srcIsWrite() || Rfe.dstIsWrite() {
+		t.Error("Rfe endpoints wrong")
+	}
+	if Fre.srcIsWrite() || !Fre.dstIsWrite() {
+		t.Error("Fre endpoints wrong")
+	}
+	if !PodWR.srcIsWrite() || PodWR.dstIsWrite() {
+		t.Error("PodWR endpoints wrong")
+	}
+}
+
+func TestCanonicalRotationInvariant(t *testing.T) {
+	a := Cycle{Rfe, PodRR, Fre, PodWW}
+	b := Cycle{Fre, PodWW, Rfe, PodRR}
+	if a.canonical() != b.canonical() {
+		t.Error("rotations canonicalize differently")
+	}
+	c := Cycle{Rfe, PodRW, Fre, PodWW}
+	if a.canonical() == c.canonical() {
+		t.Error("different cycles share canonical form")
+	}
+}
+
+func TestMaterializeMP(t *testing.T) {
+	// MP: Wx=1; Wy=1 || Ry=1; Rx=0 — cycle Rfe PodRR Fre PodWW
+	// starting from the write of y: Wy -Rfe-> Ry -PodRR-> Rx -Fre->
+	// Wx -PodWW-> Wy.
+	c := Cycle{Rfe, PodRR, Fre, PodWW}
+	tst := mustMaterialize(t, c)
+	if len(tst.Threads) != 2 {
+		t.Fatalf("threads = %d, want 2", len(tst.Threads))
+	}
+	writes, reads := 0, 0
+	for _, evs := range tst.Threads {
+		for _, e := range evs {
+			if e.IsWrite {
+				writes++
+			} else {
+				reads++
+			}
+		}
+	}
+	if writes != 2 || reads != 2 {
+		t.Fatalf("writes=%d reads=%d, want 2/2", writes, reads)
+	}
+}
+
+func TestForbiddenMP(t *testing.T) {
+	c := Cycle{Rfe, PodRR, Fre, PodWW}
+	tst := mustMaterialize(t, c)
+	if !Forbidden(tst, memmodel.TSO{}) {
+		t.Error("MP outcome not forbidden under TSO")
+	}
+	if !Forbidden(tst, memmodel.SC{}) {
+		t.Error("MP outcome not forbidden under SC")
+	}
+}
+
+func TestSBAllowedUnderTSOForbiddenUnderSC(t *testing.T) {
+	// SB: Fre PodWR Fre PodWR — the canonical W→R relaxation.
+	c := Cycle{Fre, PodWR, Fre, PodWR}
+	tst := mustMaterialize(t, c)
+	if Forbidden(tst, memmodel.TSO{}) {
+		t.Error("SB outcome forbidden under TSO (should be allowed)")
+	}
+	if !Forbidden(tst, memmodel.SC{}) {
+		t.Error("SB outcome allowed under SC (should be forbidden)")
+	}
+}
+
+func TestSBWithFencesForbiddenUnderTSO(t *testing.T) {
+	c := Cycle{Fre, MFencedWR, Fre, MFencedWR}
+	tst := mustMaterialize(t, c)
+	if !Forbidden(tst, memmodel.TSO{}) {
+		t.Error("fenced SB not forbidden under TSO")
+	}
+}
+
+func TestGenerateTSOSuite(t *testing.T) {
+	tests := Generate(memmodel.TSO{}, 6, 38)
+	if len(tests) != 38 {
+		t.Fatalf("generated %d tests, want 38 (the diy x86-TSO count)", len(tests))
+	}
+	names := map[string]bool{}
+	for _, tst := range tests {
+		if tst.Name == "" {
+			t.Error("unnamed test")
+		}
+		if names[tst.Name+tst.Cycle.String()] {
+			t.Errorf("duplicate test %s", tst.Name)
+		}
+		names[tst.Name+tst.Cycle.String()] = true
+		// Every generated test must be forbidden under TSO by
+		// construction.
+		if !Forbidden(tst, memmodel.TSO{}) {
+			t.Errorf("generated test %s not forbidden", tst.Name)
+		}
+		if len(tst.Threads) < 2 {
+			t.Errorf("test %s has %d threads", tst.Name, len(tst.Threads))
+		}
+	}
+	// The classic shapes must be present.
+	var all strings.Builder
+	for _, tst := range tests {
+		all.WriteString(tst.Name)
+		all.WriteString("\n")
+	}
+	for _, want := range []string{"MP", "2+2W", "SB+mfences"} {
+		if !strings.Contains(all.String(), want) {
+			t.Errorf("suite missing %s\nsuite:\n%s", want, all.String())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(memmodel.TSO{}, 5, 20)
+	b := Generate(memmodel.TSO{}, 5, 20)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i].Cycle.String() != b[i].Cycle.String() {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}
+
+func TestToTestgenLowering(t *testing.T) {
+	c := Cycle{Rfe, PodRR, Fre, PodWW}
+	tst := mustMaterialize(t, c)
+	if !Forbidden(tst, memmodel.TSO{}) {
+		t.Fatal("MP not forbidden")
+	}
+	low, probes, err := ToTestgen(tst, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Threads != 8 {
+		t.Errorf("Threads = %d, want 8", low.Threads)
+	}
+	if len(probes) != 2 {
+		t.Fatalf("probes = %d, want 2", len(probes))
+	}
+	// One probe expects the flag write, the other the initial value.
+	var init, writer int
+	for _, p := range probes {
+		if p.ExpectInit {
+			init++
+		} else if p.ExpectWriter.Valid {
+			writer++
+		}
+	}
+	if init != 1 || writer != 1 {
+		t.Fatalf("probe expectations init=%d writer=%d, want 1/1", init, writer)
+	}
+	// Too many threads must be rejected.
+	if _, _, err := ToTestgen(tst, 1); err == nil {
+		t.Error("1-thread lowering accepted")
+	}
+}
+
+func TestFencedLoweringEmitsRMW(t *testing.T) {
+	c := Cycle{Fre, MFencedWR, Fre, MFencedWR}
+	tst := mustMaterialize(t, c)
+	Forbidden(tst, memmodel.TSO{}) // resolve expectations
+	low, _, err := ToTestgen(tst, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmws := 0
+	for _, n := range low.Nodes {
+		if n.Op.Kind.String() == "RMW" {
+			rmws++
+		}
+	}
+	if rmws != 2 {
+		t.Fatalf("fenced SB lowered with %d RMWs, want 2", rmws)
+	}
+}
+
+func TestTestString(t *testing.T) {
+	c := Cycle{Rfe, PodRR, Fre, PodWW}
+	tst := mustMaterialize(t, c)
+	Forbidden(tst, memmodel.TSO{}) // resolve expectations
+	s := tst.String()
+	if s == "" || !strings.Contains(s, "P0") {
+		t.Errorf("String = %q", s)
+	}
+}

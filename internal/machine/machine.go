@@ -1,0 +1,261 @@
+// Package machine assembles the full simulated system of Table 2: eight
+// out-of-order cores with private L1s, eight shared L2/directory tiles
+// (NUCA), a 2×4 mesh interconnect and a memory controller, under either
+// the MESI or the TSO-CC coherence protocol.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/bugs"
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+	"repro/internal/interconnect"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+	"repro/internal/testgen"
+)
+
+// Protocol selects the coherence protocol.
+type Protocol string
+
+// Protocols under study.
+const (
+	MESI  Protocol = "MESI"
+	TSOCC Protocol = "TSO-CC"
+)
+
+// Config describes the simulated system.
+type Config struct {
+	// Cores is the core count (Table 2: 8).
+	Cores int
+	// Protocol selects MESI or TSO-CC.
+	Protocol Protocol
+	// L1Size/L1Ways give the private L1 geometry (32KB, 4-way).
+	L1Size, L1Ways int
+	// L2TileSize/L2Ways give the per-tile shared L2 geometry
+	// (128KB × 8 tiles, 4-way).
+	L2TileSize, L2Ways int
+	// Tiles is the L2 tile count (8).
+	Tiles int
+	// Mesh is the interconnect configuration (2D mesh, 2 rows).
+	Mesh interconnect.Config
+	// CPU is the core configuration (LSQ 32, ROB 40).
+	CPU cpu.Config
+	// Bugs are the enabled bug injections.
+	Bugs bugs.Set
+	// Seed drives all simulation randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the Table 2 system.
+func DefaultConfig() Config {
+	return Config{
+		Cores:      8,
+		Protocol:   MESI,
+		L1Size:     32 * 1024,
+		L1Ways:     4,
+		L2TileSize: 128 * 1024,
+		L2Ways:     4,
+		Tiles:      8,
+		Mesh:       interconnect.DefaultConfig(),
+		CPU:        cpu.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.Cores > 32 {
+		return fmt.Errorf("machine: cores must be in (0,32], got %d", c.Cores)
+	}
+	if c.Tiles <= 0 {
+		return fmt.Errorf("machine: tiles must be positive")
+	}
+	if c.Protocol != MESI && c.Protocol != TSOCC {
+		return fmt.Errorf("machine: unknown protocol %q", c.Protocol)
+	}
+	if c.Cores > c.Mesh.Rows*c.Mesh.Cols || c.Tiles > c.Mesh.Rows*c.Mesh.Cols {
+		return fmt.Errorf("machine: mesh %dx%d too small for %d cores / %d tiles",
+			c.Mesh.Rows, c.Mesh.Cols, c.Cores, c.Tiles)
+	}
+	return nil
+}
+
+// resetter is any cache level that can be dropped between tests.
+type resetter interface{ ResetCaches() }
+
+// Machine is the assembled system.
+type Machine struct {
+	Cfg   Config
+	Sim   *sim.Sim
+	Net   *interconnect.Network
+	Mem   *memsys.Memory
+	Ctrl  *coherence.MemCtrl
+	L1s   []coherence.CacheL1
+	Cores []*cpu.Core
+
+	l2s []resetter
+}
+
+// New builds a machine. cov receives protocol transitions, errs receives
+// protocol errors, obs receives architectural events from every core;
+// any of them may be nil.
+func New(cfg Config, cov coherence.CoverageSink, errs coherence.ErrorSink, obs cpu.Observer) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cov == nil {
+		cov = coherence.NopCoverage{}
+	}
+	if errs == nil {
+		errs = coherence.PanicErrors{}
+	}
+	s := sim.New(cfg.Seed)
+	net := interconnect.New(s, cfg.Mesh)
+	mem := memsys.NewMemory()
+	m := &Machine{Cfg: cfg, Sim: s, Net: net, Mem: mem}
+
+	ctrl, err := coherence.NewMemCtrl(s, net, mem)
+	if err != nil {
+		return nil, err
+	}
+	m.Ctrl = ctrl
+
+	pos := func(i int) (int, int) { return i / cfg.Mesh.Cols, i % cfg.Mesh.Cols }
+
+	for i := 0; i < cfg.Cores; i++ {
+		row, col := pos(i)
+		var l1 coherence.CacheL1
+		switch cfg.Protocol {
+		case MESI:
+			l1, err = coherence.NewMESIL1(s, net, coherence.MESIL1Config{
+				CoreID: i, Tiles: cfg.Tiles,
+				SizeBytes: cfg.L1Size, Ways: cfg.L1Ways,
+				Bugs: cfg.Bugs, Coverage: cov, Errors: errs,
+			}, row, col)
+		case TSOCC:
+			l1, err = coherence.NewTSOCCL1(s, net, coherence.TSOCCL1Config{
+				CoreID: i, Cores: cfg.Cores, Tiles: cfg.Tiles,
+				SizeBytes: cfg.L1Size, Ways: cfg.L1Ways,
+				Bugs: cfg.Bugs, Coverage: cov, Errors: errs,
+			}, row, col)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.L1s = append(m.L1s, l1)
+		cpuCfg := cfg.CPU
+		cpuCfg.Bugs = cfg.Bugs
+		m.Cores = append(m.Cores, cpu.New(i, s, l1, cpuCfg, obs))
+	}
+
+	for t := 0; t < cfg.Tiles; t++ {
+		row, col := pos(t)
+		switch cfg.Protocol {
+		case MESI:
+			l2, err := coherence.NewMESIL2(s, net, coherence.MESIL2Config{
+				Tile: t, Cores: cfg.Cores,
+				SizeBytes: cfg.L2TileSize, Ways: cfg.L2Ways,
+				Bugs: cfg.Bugs, Coverage: cov, Errors: errs,
+			}, row, col)
+			if err != nil {
+				return nil, err
+			}
+			m.l2s = append(m.l2s, l2)
+		case TSOCC:
+			l2, err := coherence.NewTSOCCL2(s, net, coherence.TSOCCL2Config{
+				Tile: t, Cores: cfg.Cores,
+				SizeBytes: cfg.L2TileSize, Ways: cfg.L2Ways,
+				Bugs: cfg.Bugs, Coverage: cov, Errors: errs,
+			}, row, col)
+			if err != nil {
+				return nil, err
+			}
+			m.l2s = append(m.l2s, l2)
+		}
+	}
+	return m, nil
+}
+
+// Transitions enumerates the machine's protocol transition table (the
+// coverage denominator).
+func (m *Machine) Transitions() []coherence.Transition {
+	switch m.Cfg.Protocol {
+	case TSOCC:
+		return coherence.TSOCCTransitions()
+	default:
+		return coherence.MESITransitions()
+	}
+}
+
+// ResetCaches drops every cache level without traffic. Must only be
+// called at quiescence (between test executions).
+func (m *Machine) ResetCaches() {
+	for _, l1 := range m.L1s {
+		l1.ResetCaches()
+	}
+	for _, l2 := range m.l2s {
+		l2.ResetCaches()
+	}
+}
+
+// ZeroTestMemory writes initial (zero) values over a test layout's
+// lines and forgets their timestamp metadata, implementing the memory
+// half of reset_test_mem.
+func (m *Machine) ZeroTestMemory(layout memsys.Layout) {
+	for _, line := range layout.Lines() {
+		m.Mem.WriteLine(line, memsys.LineData{})
+		m.Ctrl.ClearMeta(line)
+	}
+}
+
+// LoadPrograms installs one compiled program per core; missing programs
+// leave cores idle.
+func (m *Machine) LoadPrograms(progs []testgen.Program) error {
+	if len(progs) > len(m.Cores) {
+		return fmt.Errorf("machine: %d programs for %d cores", len(progs), len(m.Cores))
+	}
+	for i, core := range m.Cores {
+		if i < len(progs) {
+			core.Load(progs[i])
+		} else {
+			core.Load(nil)
+		}
+	}
+	return nil
+}
+
+// RunPrograms starts every core with its offset and runs the simulation
+// until all cores are done, with a watchdog. Offsets model barrier
+// release skew.
+func (m *Machine) RunPrograms(offsets []sim.Tick, maxTicks sim.Tick) error {
+	remaining := 0
+	for i, core := range m.Cores {
+		var off sim.Tick
+		if i < len(offsets) {
+			off = offsets[i]
+		}
+		if core.Done() {
+			continue
+		}
+		remaining++
+		core.Start(off, func() { remaining-- })
+	}
+	if remaining == 0 {
+		return nil
+	}
+	return m.Sim.RunUntil(func() bool { return remaining == 0 }, maxTicks)
+}
+
+// Quiesce drains all remaining simulation events (in-flight writebacks
+// and acks after the cores are done).
+func (m *Machine) Quiesce() { m.Sim.Run() }
+
+// CommittedInstructions sums committed instruction counts across cores.
+func (m *Machine) CommittedInstructions() uint64 {
+	var n uint64
+	for _, c := range m.Cores {
+		n += c.Committed()
+	}
+	return n
+}

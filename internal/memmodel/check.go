@@ -1,0 +1,159 @@
+package memmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// ViolationKind classifies why an execution is invalid.
+type ViolationKind uint8
+
+const (
+	// ViolationNone means the execution is valid.
+	ViolationNone ViolationKind = iota
+	// ViolationUniproc is an SC-per-location (coherence) violation:
+	// a cycle in po-loc ∪ rf ∪ co ∪ fr.
+	ViolationUniproc
+	// ViolationAtomicity is a broken read-modify-write: another write
+	// is coherence-ordered between the RMW's read source and its write.
+	ViolationAtomicity
+	// ViolationGHB is a global-happens-before cycle: a cycle in
+	// ppo ∪ fences ∪ rfe ∪ co ∪ fr.
+	ViolationGHB
+	// ViolationStructural indicates the execution object itself is
+	// malformed (missing rf, value mismatch) — in a simulation this
+	// indicates corrupted data, itself a bug symptom.
+	ViolationStructural
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationNone:
+		return "none"
+	case ViolationUniproc:
+		return "uniproc"
+	case ViolationAtomicity:
+		return "atomicity"
+	case ViolationGHB:
+		return "ghb"
+	case ViolationStructural:
+		return "structural"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", uint8(k))
+	}
+}
+
+// Result is the outcome of checking one candidate execution.
+type Result struct {
+	// Valid reports whether the execution satisfies the model.
+	Valid bool
+	// Kind identifies the violated constraint when invalid.
+	Kind ViolationKind
+	// Cycle is the witness cycle (event IDs) for cyclicity violations.
+	Cycle []relation.EventID
+	// Detail is a human-readable diagnosis.
+	Detail string
+}
+
+// Err converts an invalid Result into an error, or nil when valid.
+func (r Result) Err() error {
+	if r.Valid {
+		return nil
+	}
+	return fmt.Errorf("memmodel: %s violation: %s", r.Kind, r.Detail)
+}
+
+// Check decides whether execution x is valid under arch. The procedure
+// is the complete polynomial-time pre-silicon check of §4.1: all conflict
+// orders are visible, so each constraint is a DFS over explicit edges.
+func Check(x *Execution, arch Arch) Result {
+	if err := x.Validate(); err != nil {
+		return Result{Kind: ViolationStructural, Detail: err.Error()}
+	}
+
+	rf := x.RFRelation()
+	co := x.CORelation()
+	fr := x.FRRelation()
+
+	// Constraint 1 — uniproc / SC-per-location:
+	// acyclic(po-loc ∪ rf ∪ co ∪ fr).
+	uniproc := relation.Union(x.POLocRelation(), rf, co, fr)
+	if cycle, ok := uniproc.AcyclicCheck(); !ok {
+		return Result{
+			Kind:   ViolationUniproc,
+			Cycle:  cycle,
+			Detail: describeCycle(x, cycle, "po-loc ∪ com"),
+		}
+	}
+
+	// Constraint 2 — RMW atomicity: for the read and write halves of an
+	// atomic pair, no other write may be coherence-ordered between the
+	// read's source and the write.
+	if res, ok := checkAtomicity(x); !ok {
+		return res
+	}
+
+	// Constraint 3 — global happens-before:
+	// acyclic(ppo ∪ fences ∪ rfe ∪ co ∪ fr).
+	ghb := relation.Union(x.RFERelation(), co, fr)
+	for _, tid := range x.Threads() {
+		arch.PPOEdges(x, x.ThreadEvents(tid), ghb)
+	}
+	if cycle, ok := ghb.AcyclicCheck(); !ok {
+		return Result{
+			Kind:   ViolationGHB,
+			Cycle:  cycle,
+			Detail: describeCycle(x, cycle, "ghb("+arch.Name()+")"),
+		}
+	}
+
+	return Result{Valid: true}
+}
+
+// checkAtomicity verifies every RMW pair. A pair is the read half
+// followed by the write half of the same instruction (same Key.TID and
+// Key.Instr, consecutive Sub numbers, both Atomic).
+func checkAtomicity(x *Execution) (Result, bool) {
+	for _, tid := range x.Threads() {
+		events := x.ThreadEvents(tid)
+		for i := 0; i+1 < len(events); i++ {
+			r := x.Event(events[i])
+			w := x.Event(events[i+1])
+			if !r.Atomic || !w.Atomic || !r.IsRead() || !w.IsWrite() {
+				continue
+			}
+			if r.Key.Instr != w.Key.Instr || r.Addr != w.Addr {
+				continue
+			}
+			src, ok := x.RF(r.ID)
+			if !ok {
+				continue // Validate already rejects this.
+			}
+			succ, ok := x.COSuccessor(src)
+			if !ok || succ != w.ID {
+				detail := fmt.Sprintf(
+					"RMW %v reads from %v but the next write in co is not its own write half",
+					r, x.Event(src))
+				return Result{Kind: ViolationAtomicity, Detail: detail}, false
+			}
+		}
+	}
+	return Result{}, true
+}
+
+func describeCycle(x *Execution, cycle []relation.EventID, rel string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle in %s: ", rel)
+	for i, id := range cycle {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(x.Event(id).String())
+	}
+	if len(cycle) > 0 {
+		fmt.Fprintf(&b, " -> %s", x.Event(cycle[0]).String())
+	}
+	return b.String()
+}

@@ -1,0 +1,351 @@
+package memmodel
+
+import (
+	"testing"
+
+	"repro/internal/memsys"
+	"repro/internal/relation"
+)
+
+// builder assembles candidate executions for litmus-style tests. Writes
+// are registered in the order given per address (that order becomes co);
+// reads name the value they observe, and rf is resolved by value.
+type builder struct {
+	t       *testing.T
+	x       *Execution
+	writes  map[memsys.Addr]map[uint64]relation.EventID
+	reads   []relation.EventID
+	instr   map[int]int
+	coSeq   map[memsys.Addr][]relation.EventID
+	coOrder map[memsys.Addr][]uint64
+}
+
+func newBuilder(t *testing.T) *builder {
+	return &builder{
+		t:       t,
+		x:       NewExecution(),
+		writes:  make(map[memsys.Addr]map[uint64]relation.EventID),
+		instr:   make(map[int]int),
+		coSeq:   make(map[memsys.Addr][]relation.EventID),
+		coOrder: make(map[memsys.Addr][]uint64),
+	}
+}
+
+// co overrides the coherence order for addr; by default writes serialize
+// in registration order.
+func (b *builder) co(addr memsys.Addr, vals ...uint64) {
+	b.coOrder[addr] = vals
+}
+
+func (b *builder) nextInstr(tid int) int {
+	n := b.instr[tid]
+	b.instr[tid] = n + 1
+	return n
+}
+
+func (b *builder) write(tid int, addr memsys.Addr, val uint64) relation.EventID {
+	id := b.x.AddEvent(Event{
+		Key:   Key{TID: tid, Instr: b.nextInstr(tid)},
+		Kind:  KindWrite,
+		Addr:  addr,
+		Value: val,
+	})
+	if b.writes[addr] == nil {
+		b.writes[addr] = make(map[uint64]relation.EventID)
+	}
+	b.writes[addr][val] = id
+	b.coSeq[addr] = append(b.coSeq[addr], id)
+	return id
+}
+
+func (b *builder) read(tid int, addr memsys.Addr, val uint64) relation.EventID {
+	id := b.x.AddEvent(Event{
+		Key:   Key{TID: tid, Instr: b.nextInstr(tid)},
+		Kind:  KindRead,
+		Addr:  addr,
+		Value: val,
+	})
+	b.reads = append(b.reads, id)
+	return id
+}
+
+func (b *builder) fence(tid int) relation.EventID {
+	return b.x.AddEvent(Event{
+		Key:  Key{TID: tid, Instr: b.nextInstr(tid)},
+		Kind: KindFence,
+	})
+}
+
+// rmw adds an atomic read+write pair reading old and writing new.
+func (b *builder) rmw(tid int, addr memsys.Addr, old, new uint64) {
+	instr := b.nextInstr(tid)
+	r := b.x.AddEvent(Event{
+		Key: Key{TID: tid, Instr: instr, Sub: 0}, Kind: KindRead,
+		Addr: addr, Value: old, Atomic: true,
+	})
+	b.reads = append(b.reads, r)
+	w := b.x.AddEvent(Event{
+		Key: Key{TID: tid, Instr: instr, Sub: 1}, Kind: KindWrite,
+		Addr: addr, Value: new, Atomic: true,
+	})
+	if b.writes[addr] == nil {
+		b.writes[addr] = make(map[uint64]relation.EventID)
+	}
+	b.writes[addr][new] = w
+	b.coSeq[addr] = append(b.coSeq[addr], w)
+}
+
+// done resolves co (explicit order if given, else registration order) and
+// rf edges by value (0 resolves to the initial write), then returns the
+// execution.
+func (b *builder) done() *Execution {
+	for addr, seq := range b.coSeq {
+		order := seq
+		if vals, ok := b.coOrder[addr]; ok {
+			order = order[:0:0]
+			for _, v := range vals {
+				w, ok := b.writes[addr][v]
+				if !ok {
+					b.t.Fatalf("co override: no write of %d to %v", v, addr)
+				}
+				order = append(order, w)
+			}
+		}
+		for _, w := range order {
+			if err := b.x.AppendCO(w); err != nil {
+				b.t.Fatalf("AppendCO: %v", err)
+			}
+		}
+	}
+	for _, r := range b.reads {
+		e := b.x.Event(r)
+		var w relation.EventID
+		if e.Value == 0 {
+			w = b.x.InitWrite(e.Addr)
+		} else {
+			var ok bool
+			w, ok = b.writes[e.Addr][e.Value]
+			if !ok {
+				b.t.Fatalf("no write of %d to %v", e.Value, e.Addr)
+			}
+		}
+		if err := b.x.SetRF(r, w); err != nil {
+			b.t.Fatalf("SetRF: %v", err)
+		}
+	}
+	return b.x
+}
+
+const (
+	x memsys.Addr = 0x1000
+	y memsys.Addr = 0x1040
+)
+
+func checkBoth(t *testing.T, build func(b *builder), wantSC, wantTSO bool) {
+	t.Helper()
+	for _, tc := range []struct {
+		arch Arch
+		want bool
+	}{{SC{}, wantSC}, {TSO{}, wantTSO}} {
+		b := newBuilder(t)
+		build(b)
+		res := Check(b.done(), tc.arch)
+		if res.Valid != tc.want {
+			t.Errorf("%s: Valid = %v (%s), want %v", tc.arch.Name(), res.Valid, res.Detail, tc.want)
+		}
+	}
+}
+
+// Figure 1: message passing. r1=1 ∧ r2=0 is forbidden under both SC and
+// TSO (R→R and W→W are preserved).
+func TestMPForbidden(t *testing.T) {
+	checkBoth(t, func(b *builder) {
+		b.write(1, x, 1)
+		b.write(1, y, 1)
+		b.read(2, y, 1)
+		b.read(2, x, 0)
+	}, false, false)
+}
+
+func TestMPAllowedOutcomes(t *testing.T) {
+	// All other MP outcomes are valid under SC and TSO.
+	outcomes := [][2]uint64{{0, 0}, {0, 1}, {1, 1}}
+	for _, o := range outcomes {
+		checkBoth(t, func(b *builder) {
+			b.write(1, x, 1)
+			b.write(1, y, 1)
+			b.read(2, y, o[0])
+			b.read(2, x, o[1])
+		}, true, true)
+	}
+}
+
+// Store buffering (SB): r1=0 ∧ r2=0 is forbidden under SC but allowed
+// under TSO — the canonical W→R relaxation.
+func TestSBDistinguishesSCFromTSO(t *testing.T) {
+	checkBoth(t, func(b *builder) {
+		b.write(1, x, 1)
+		b.read(1, y, 0)
+		b.write(2, y, 1)
+		b.read(2, x, 0)
+	}, false, true)
+}
+
+// SB with fences between the write and read: forbidden under TSO too.
+func TestSBWithFencesForbidden(t *testing.T) {
+	checkBoth(t, func(b *builder) {
+		b.write(1, x, 1)
+		b.fence(1)
+		b.read(1, y, 0)
+		b.write(2, y, 1)
+		b.fence(2)
+		b.read(2, x, 0)
+	}, false, false)
+}
+
+// Load buffering (LB): r1=1 ∧ r2=1 needs R→W reordering, forbidden under
+// SC and TSO.
+func TestLBForbidden(t *testing.T) {
+	checkBoth(t, func(b *builder) {
+		b.read(1, x, 1)
+		b.write(1, y, 1)
+		b.read(2, y, 1)
+		b.write(2, x, 1)
+	}, false, false)
+}
+
+// IRIW: both readers disagreeing on the order of independent writes is
+// forbidden under SC and TSO (store atomicity).
+func TestIRIWForbidden(t *testing.T) {
+	checkBoth(t, func(b *builder) {
+		b.write(1, x, 1)
+		b.write(2, y, 1)
+		b.read(3, x, 1)
+		b.read(3, y, 0)
+		b.read(4, y, 1)
+		b.read(4, x, 0)
+	}, false, false)
+}
+
+// 2+2W: write-write cycle, forbidden under SC and TSO (co ∪ W→W ppo).
+// Thread 1: Wx1; Wy1. Thread 2: Wy2; Wx2. Forbidden final state
+// x=1 ∧ y=2, i.e. co(x): Wx2 < Wx1 and co(y): Wy1 < Wy2.
+func Test22WForbidden(t *testing.T) {
+	checkBoth(t, func(b *builder) {
+		b.write(1, x, 1)
+		b.write(1, y, 1)
+		b.write(2, y, 2)
+		b.write(2, x, 2)
+		b.co(x, 2, 1)
+		b.co(y, 1, 2)
+	}, false, false)
+}
+
+// Same-address coherence: reading an old value after reading a newer one
+// violates SC-per-location regardless of model.
+func TestCoherenceUniproc(t *testing.T) {
+	for _, arch := range []Arch{SC{}, TSO{}} {
+		b := newBuilder(t)
+		b.write(1, x, 1)
+		b.write(1, x, 2)
+		b.read(2, x, 2)
+		b.read(2, x, 1) // stale after fresh: uniproc violation
+		res := Check(b.done(), arch)
+		if res.Valid {
+			t.Errorf("%s: stale-after-fresh accepted", arch.Name())
+		}
+		if res.Kind != ViolationUniproc {
+			t.Errorf("%s: kind = %v, want uniproc", arch.Name(), res.Kind)
+		}
+	}
+}
+
+// A read from own earlier write (store forwarding) is valid under TSO
+// even when the write has not reached memory relative to other threads.
+func TestStoreForwardingValid(t *testing.T) {
+	checkBoth(t, func(b *builder) {
+		b.write(1, x, 1)
+		b.read(1, x, 1)
+		b.read(1, y, 0)
+		b.write(2, y, 1)
+		b.read(2, y, 1)
+		b.read(2, x, 0)
+	}, false, true) // SB shape extended with own-store reads: TSO-allowed.
+}
+
+func TestRMWAtomicityViolation(t *testing.T) {
+	b := newBuilder(t)
+	// Two RMWs both reading the initial value: the second cannot be
+	// atomic because the first's write intervenes.
+	b.rmw(1, x, 0, 10)
+	b.rmw(2, x, 0, 20)
+	res := Check(b.done(), TSO{})
+	if res.Valid {
+		t.Fatal("broken RMW atomicity accepted")
+	}
+	if res.Kind != ViolationAtomicity {
+		t.Fatalf("kind = %v, want atomicity", res.Kind)
+	}
+}
+
+func TestRMWAtomicityValidChain(t *testing.T) {
+	b := newBuilder(t)
+	b.rmw(1, x, 0, 10)
+	b.rmw(2, x, 10, 20)
+	res := Check(b.done(), TSO{})
+	if !res.Valid {
+		t.Fatalf("valid RMW chain rejected: %s", res.Detail)
+	}
+}
+
+// RMWs act as fences: an SB shape with RMWs instead of plain writes is
+// forbidden under TSO.
+func TestRMWFencingForbidsSB(t *testing.T) {
+	b := newBuilder(t)
+	b.rmw(1, x, 0, 1)
+	b.read(1, y, 0)
+	b.rmw(2, y, 0, 1)
+	b.read(2, x, 0)
+	res := Check(b.done(), TSO{})
+	if res.Valid {
+		t.Fatal("SB with locked RMWs accepted under TSO")
+	}
+}
+
+func TestStructuralValueMismatch(t *testing.T) {
+	bld := newBuilder(t)
+	w := bld.write(1, x, 1)
+	r := bld.read(2, x, 2) // claims to read 2
+	bld.reads = nil        // bypass value resolution
+	if err := bld.x.SetRF(r, w); err != nil {
+		t.Fatalf("SetRF: %v", err)
+	}
+	res := Check(bld.x, TSO{})
+	if res.Valid || res.Kind != ViolationStructural {
+		t.Fatalf("value mismatch not caught: %+v", res)
+	}
+}
+
+func TestResultErr(t *testing.T) {
+	if (Result{Valid: true}).Err() != nil {
+		t.Error("valid result returned error")
+	}
+	if (Result{Kind: ViolationGHB, Detail: "d"}).Err() == nil {
+		t.Error("invalid result returned nil error")
+	}
+}
+
+func TestSetRFValidation(t *testing.T) {
+	x1 := NewExecution()
+	w := x1.AddEvent(Event{Key: Key{TID: 1}, Kind: KindWrite, Addr: x, Value: 1})
+	r := x1.AddEvent(Event{Key: Key{TID: 2}, Kind: KindRead, Addr: y, Value: 1})
+	if err := x1.SetRF(r, w); err == nil {
+		t.Error("address mismatch accepted")
+	}
+	if err := x1.SetRF(w, w); err == nil {
+		t.Error("write as rf target accepted")
+	}
+	if err := x1.SetRF(r, r); err == nil {
+		t.Error("read as rf source accepted")
+	}
+}

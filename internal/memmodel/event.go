@@ -1,0 +1,114 @@
+// Package memmodel implements the axiomatic memory-consistency framework
+// the McVerSi checker is built on (§2.1, §4.1). Following Alglave et
+// al.'s "herding cats" formalization, a candidate execution consists of
+// events related by program order (po) and the conflict orders read-from
+// (rf) and coherence order (co); an architecture contributes the
+// preserved program order (ppo) and fence orders; and validity is decided
+// by acyclicity/irreflexivity constraints over derived relations.
+//
+// Because the pre-silicon environment observes all conflict orders, the
+// decision procedure is complete and polynomial (Gibbons & Korach): each
+// constraint reduces to a DFS cycle search.
+package memmodel
+
+import (
+	"fmt"
+
+	"repro/internal/memsys"
+	"repro/internal/relation"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// KindRead is a load event.
+	KindRead Kind = iota
+	// KindWrite is a store event.
+	KindWrite
+	// KindFence is a standalone fence event (mfence). Read-modify-write
+	// instructions map to a read and a write event both carrying the
+	// Atomic flag, which implies full fencing on x86 (Table 3).
+	KindFence
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRead:
+		return "R"
+	case KindWrite:
+		return "W"
+	case KindFence:
+		return "F"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// InitTID is the pseudo thread ID of initial-write events. Initial writes
+// are created on first use ("upon reading the initial value, the initial
+// write event is created on first use", §4.1) and are co-minimal.
+const InitTID = -1
+
+// Key identifies an event stably across the iterations of a test-run:
+// the thread, the instruction index within the thread's program, and the
+// sub-event number for instructions mapping to several events (§4.1:
+// "In case where an instruction can give rise to several reads and/or
+// writes, we use the microcode counter to uniquely map to an event").
+type Key struct {
+	TID   int
+	Instr int
+	Sub   int
+}
+
+func (k Key) String() string {
+	if k.TID == InitTID {
+		return fmt.Sprintf("init#%d", k.Instr)
+	}
+	return fmt.Sprintf("t%d:i%d.%d", k.TID, k.Instr, k.Sub)
+}
+
+// Event is one memory event of a candidate execution.
+type Event struct {
+	// ID is the dense index of the event within its execution.
+	ID relation.EventID
+	// Key stably identifies the event across iterations.
+	Key Key
+	// Kind is the event class.
+	Kind Kind
+	// Addr is the word address accessed (unused for fences).
+	Addr memsys.Addr
+	// Value is the value read or written.
+	Value uint64
+	// Atomic marks the read and write halves of a read-modify-write.
+	Atomic bool
+	// PO is the position of the event in its thread's program order.
+	PO int
+}
+
+// IsInit reports whether the event is an initial write.
+func (e *Event) IsInit() bool { return e.Key.TID == InitTID }
+
+// IsRead reports whether the event is a read.
+func (e *Event) IsRead() bool { return e.Kind == KindRead }
+
+// IsWrite reports whether the event is a write.
+func (e *Event) IsWrite() bool { return e.Kind == KindWrite }
+
+// IsFence reports whether the event acts as a full fence: either a
+// standalone fence or either half of an atomic RMW (x86 locked
+// instructions imply full fences).
+func (e *Event) IsFence() bool { return e.Kind == KindFence || e.Atomic }
+
+func (e *Event) String() string {
+	switch e.Kind {
+	case KindFence:
+		return fmt.Sprintf("%s F", e.Key)
+	default:
+		at := ""
+		if e.Atomic {
+			at = "*"
+		}
+		return fmt.Sprintf("%s %s%s %s=%d", e.Key, e.Kind, at, e.Addr, e.Value)
+	}
+}

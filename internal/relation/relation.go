@@ -1,0 +1,282 @@
+// Package relation implements binary relations over memory-consistency
+// events and the graph algorithms the axiomatic checker is built on
+// (§2.1: "At the core of an axiomatic model checker ... is a graph-search
+// algorithm"). Relations are edge sets over dense event IDs; acyclicity is
+// decided by an iterative three-colour DFS that returns a concrete cycle
+// witness for diagnosis.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EventID identifies an event within one candidate execution. IDs are
+// dense indices assigned by the execution builder.
+type EventID int32
+
+// Edge is one ordered pair of a relation.
+type Edge struct {
+	From, To EventID
+}
+
+// Relation is a mutable binary relation over EventIDs. The zero value is
+// not ready for use; call New.
+type Relation struct {
+	succ map[EventID]map[EventID]struct{}
+	n    int // edge count
+}
+
+// New returns an empty relation.
+func New() *Relation {
+	return &Relation{succ: make(map[EventID]map[EventID]struct{})}
+}
+
+// FromEdges returns a relation containing exactly the given edges.
+func FromEdges(edges []Edge) *Relation {
+	r := New()
+	for _, e := range edges {
+		r.Add(e.From, e.To)
+	}
+	return r
+}
+
+// Add inserts the edge (from, to). Duplicate insertions are ignored.
+func (r *Relation) Add(from, to EventID) {
+	s, ok := r.succ[from]
+	if !ok {
+		s = make(map[EventID]struct{})
+		r.succ[from] = s
+	}
+	if _, dup := s[to]; !dup {
+		s[to] = struct{}{}
+		r.n++
+	}
+}
+
+// Has reports whether the edge (from, to) is present.
+func (r *Relation) Has(from, to EventID) bool {
+	_, ok := r.succ[from][to]
+	return ok
+}
+
+// Len returns the number of edges.
+func (r *Relation) Len() int { return r.n }
+
+// Successors returns the successors of from in ascending order.
+func (r *Relation) Successors(from EventID) []EventID {
+	s := r.succ[from]
+	out := make([]EventID, 0, len(s))
+	for to := range s {
+		out = append(out, to)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges in deterministic order.
+func (r *Relation) Edges() []Edge {
+	out := make([]Edge, 0, r.n)
+	for from, s := range r.succ {
+		for to := range s {
+			out = append(out, Edge{from, to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// UnionInto adds every edge of o into r.
+func (r *Relation) UnionInto(o *Relation) {
+	for from, s := range o.succ {
+		for to := range s {
+			r.Add(from, to)
+		}
+	}
+}
+
+// Union returns a fresh relation holding the edges of all given relations.
+func Union(rels ...*Relation) *Relation {
+	out := New()
+	for _, rel := range rels {
+		if rel != nil {
+			out.UnionInto(rel)
+		}
+	}
+	return out
+}
+
+// Inverse returns the relation with every edge reversed.
+func (r *Relation) Inverse() *Relation {
+	out := New()
+	for from, s := range r.succ {
+		for to := range s {
+			out.Add(to, from)
+		}
+	}
+	return out
+}
+
+// Compose returns the relational composition r;o, i.e. the set of edges
+// (a, c) such that (a, b) ∈ r and (b, c) ∈ o for some b.
+func Compose(r, o *Relation) *Relation {
+	out := New()
+	for a, s := range r.succ {
+		for b := range s {
+			for c := range o.succ[b] {
+				out.Add(a, c)
+			}
+		}
+	}
+	return out
+}
+
+// Irreflexive reports whether the relation has no self-edge, returning an
+// offending event otherwise.
+func (r *Relation) Irreflexive() (EventID, bool) {
+	ids := make([]EventID, 0, len(r.succ))
+	for from := range r.succ {
+		ids = append(ids, from)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, from := range ids {
+		if _, ok := r.succ[from][from]; ok {
+			return from, false
+		}
+	}
+	return 0, true
+}
+
+// dfs colours.
+const (
+	white = iota
+	grey
+	black
+)
+
+// AcyclicCheck decides whether the relation is acyclic. If a cycle exists,
+// it returns ok=false and the cycle as a sequence of events e0, e1, ...,
+// ek where each consecutive pair is an edge and (ek, e0) is an edge.
+// The search is iterative to tolerate deep graphs, and deterministic.
+func (r *Relation) AcyclicCheck() (cycle []EventID, ok bool) {
+	roots := make([]EventID, 0, len(r.succ))
+	for from := range r.succ {
+		roots = append(roots, from)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+
+	colour := make(map[EventID]int8, len(r.succ))
+	type frame struct {
+		node EventID
+		next int
+		adj  []EventID
+	}
+	var stack []frame
+	onStack := make(map[EventID]int) // node -> index into stack
+
+	for _, root := range roots {
+		if colour[root] != white {
+			continue
+		}
+		stack = stack[:0]
+		for k := range onStack {
+			delete(onStack, k)
+		}
+		colour[root] = grey
+		stack = append(stack, frame{node: root, adj: r.Successors(root)})
+		onStack[root] = 0
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next >= len(f.adj) {
+				colour[f.node] = black
+				delete(onStack, f.node)
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			next := f.adj[f.next]
+			f.next++
+			switch colour[next] {
+			case white:
+				colour[next] = grey
+				onStack[next] = len(stack)
+				stack = append(stack, frame{node: next, adj: r.Successors(next)})
+			case grey:
+				// Found a back edge: the cycle is next ... top.
+				start := onStack[next]
+				cyc := make([]EventID, 0, len(stack)-start)
+				for i := start; i < len(stack); i++ {
+					cyc = append(cyc, stack[i].node)
+				}
+				return cyc, false
+			}
+		}
+	}
+	return nil, true
+}
+
+// Acyclic reports whether the relation contains no cycle.
+func (r *Relation) Acyclic() bool {
+	_, ok := r.AcyclicCheck()
+	return ok
+}
+
+// TransitiveClosure returns the transitive closure of r. Intended for
+// tests and small relations; the checker itself relies on reachability
+// via DFS instead.
+func (r *Relation) TransitiveClosure() *Relation {
+	out := New()
+	out.UnionInto(r)
+	// Floyd-Warshall style saturation over the touched ID universe.
+	ids := out.universe()
+	changed := true
+	for changed {
+		changed = false
+		for _, a := range ids {
+			for _, b := range out.Successors(a) {
+				for _, c := range out.Successors(b) {
+					if !out.Has(a, c) {
+						out.Add(a, c)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (r *Relation) universe() []EventID {
+	set := make(map[EventID]struct{})
+	for from, s := range r.succ {
+		set[from] = struct{}{}
+		for to := range s {
+			set[to] = struct{}{}
+		}
+	}
+	ids := make([]EventID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// String renders the relation as a compact edge list for debugging.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	for i, e := range r.Edges() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d->%d", e.From, e.To)
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasLen(t *testing.T) {
+	r := New()
+	if r.Len() != 0 {
+		t.Fatal("new relation not empty")
+	}
+	r.Add(1, 2)
+	r.Add(1, 2) // duplicate
+	r.Add(2, 3)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if !r.Has(1, 2) || !r.Has(2, 3) || r.Has(3, 1) {
+		t.Fatal("Has inconsistent with Add")
+	}
+}
+
+func TestSuccessorsSorted(t *testing.T) {
+	r := FromEdges([]Edge{{1, 5}, {1, 2}, {1, 9}})
+	got := r.Successors(1)
+	want := []EventID{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Successors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Successors = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAcyclicSimple(t *testing.T) {
+	chain := FromEdges([]Edge{{0, 1}, {1, 2}, {2, 3}})
+	if !chain.Acyclic() {
+		t.Error("chain reported cyclic")
+	}
+	loop := FromEdges([]Edge{{0, 1}, {1, 2}, {2, 0}})
+	cycle, ok := loop.AcyclicCheck()
+	if ok {
+		t.Fatal("3-cycle reported acyclic")
+	}
+	if len(cycle) != 3 {
+		t.Fatalf("cycle witness %v, want length 3", cycle)
+	}
+	// Each consecutive pair (and the wrap-around) must be an edge.
+	for i := range cycle {
+		from, to := cycle[i], cycle[(i+1)%len(cycle)]
+		if !loop.Has(from, to) {
+			t.Fatalf("cycle witness edge %d->%d not in relation", from, to)
+		}
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	r := FromEdges([]Edge{{4, 4}})
+	if cycle, ok := r.AcyclicCheck(); ok || len(cycle) != 1 || cycle[0] != 4 {
+		t.Fatalf("self loop: cycle=%v ok=%v", cycle, ok)
+	}
+	if id, ok := r.Irreflexive(); ok || id != 4 {
+		t.Fatalf("Irreflexive = (%d, %v), want (4, false)", id, ok)
+	}
+}
+
+func TestUnionInverseCompose(t *testing.T) {
+	a := FromEdges([]Edge{{1, 2}})
+	b := FromEdges([]Edge{{2, 3}})
+	u := Union(a, b)
+	if !u.Has(1, 2) || !u.Has(2, 3) || u.Len() != 2 {
+		t.Fatal("Union wrong")
+	}
+	inv := u.Inverse()
+	if !inv.Has(2, 1) || !inv.Has(3, 2) || inv.Len() != 2 {
+		t.Fatal("Inverse wrong")
+	}
+	c := Compose(a, b)
+	if !c.Has(1, 3) || c.Len() != 1 {
+		t.Fatalf("Compose = %v, want {1->3}", c)
+	}
+}
+
+func TestUnionWithNil(t *testing.T) {
+	a := FromEdges([]Edge{{1, 2}})
+	u := Union(a, nil)
+	if u.Len() != 1 {
+		t.Fatal("Union with nil relation failed")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	r := FromEdges([]Edge{{0, 1}, {1, 2}, {2, 3}})
+	tc := r.TransitiveClosure()
+	for _, e := range []Edge{{0, 2}, {0, 3}, {1, 3}} {
+		if !tc.Has(e.From, e.To) {
+			t.Errorf("closure missing %d->%d", e.From, e.To)
+		}
+	}
+	if tc.Has(3, 0) {
+		t.Error("closure invented reverse edge")
+	}
+}
+
+// randomDAG builds an acyclic relation by only adding forward edges over
+// a random permutation (a topological order by construction).
+func randomDAG(rng *rand.Rand, n, edges int) *Relation {
+	perm := rng.Perm(n)
+	r := New()
+	for i := 0; i < edges; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if perm[a] > perm[b] {
+			a, b = b, a
+		}
+		r.Add(EventID(a), EventID(b))
+	}
+	return r
+}
+
+func TestAcyclicPropertyDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		r := randomDAG(rng, 2+rng.Intn(40), rng.Intn(120))
+		if cycle, ok := r.AcyclicCheck(); !ok {
+			t.Fatalf("DAG %d reported cyclic, witness %v, edges %v", i, cycle, r)
+		}
+	}
+}
+
+func TestCycleWitnessProperty(t *testing.T) {
+	// Adding a back edge that closes a path must yield a valid witness.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		n := 3 + rng.Intn(30)
+		r := New()
+		for j := 0; j+1 < n; j++ {
+			r.Add(EventID(j), EventID(j+1))
+		}
+		// Random forward shortcuts keep it a DAG...
+		for j := 0; j < n; j++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a < b {
+				r.Add(EventID(a), EventID(b))
+			}
+		}
+		// ...then one back edge creates exactly one cyclic core.
+		back := 1 + rng.Intn(n-1)
+		r.Add(EventID(back), EventID(rng.Intn(back)))
+		cycle, ok := r.AcyclicCheck()
+		if ok {
+			t.Fatalf("graph with back edge reported acyclic")
+		}
+		for k := range cycle {
+			from, to := cycle[k], cycle[(k+1)%len(cycle)]
+			if !r.Has(from, to) {
+				t.Fatalf("witness edge %d->%d missing", from, to)
+			}
+		}
+	}
+}
+
+func TestComposeMatchesClosureProperty(t *testing.T) {
+	// r ∪ r;r ⊆ transitive closure of r.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomDAG(rng, 10, 20)
+		tc := r.TransitiveClosure()
+		for _, e := range Compose(r, r).Edges() {
+			if !tc.Has(e.From, e.To) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	r := FromEdges([]Edge{{2, 1}, {0, 1}})
+	if got, want := r.String(), "{0->1, 2->1}"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

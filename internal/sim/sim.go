@@ -1,0 +1,143 @@
+// Package sim provides the discrete-event simulation kernel underneath
+// the full-system model: a tick-ordered event queue with deterministic
+// tie-breaking, a seeded random source for latency jitter, and watchdog
+// helpers used to detect protocol deadlocks (a bug symptom in its own
+// right — §5.3 notes lockups as a possible PUTX-race consequence).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Tick is simulated time in core cycles (Table 2: cores run at 2GHz, so
+// 2e9 ticks correspond to one simulated second).
+type Tick uint64
+
+// TicksPerSecond converts ticks to simulated seconds at the Table 2
+// clock.
+const TicksPerSecond = 2_000_000_000
+
+// Seconds returns the tick count as simulated seconds.
+func (t Tick) Seconds() float64 { return float64(t) / TicksPerSecond }
+
+type event struct {
+	at  Tick
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulator. Events scheduled at
+// the same tick run in scheduling order, making runs fully deterministic
+// for a given seed.
+type Sim struct {
+	now Tick
+	q   eventHeap
+	seq uint64
+	rng *rand.Rand
+	// executed counts processed events, for rough progress accounting.
+	executed uint64
+}
+
+// New returns a simulator whose jitter draws come from the given seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Tick { return s.now }
+
+// Rand returns the simulator's random source (latency jitter,
+// arbitration). Components must draw all randomness from here so a seed
+// fully determines a run.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events processed so far.
+func (s *Sim) Executed() uint64 { return s.executed }
+
+// Schedule runs fn after delay ticks.
+func (s *Sim) Schedule(delay Tick, fn func()) {
+	s.seq++
+	heap.Push(&s.q, event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.q) }
+
+// step executes the next event; reports false when the queue is empty.
+func (s *Sim) step() bool {
+	if len(s.q) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.q).(event)
+	if e.at < s.now {
+		panic(fmt.Sprintf("sim: time went backwards: %d < %d", e.at, s.now))
+	}
+	s.now = e.at
+	s.executed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (s *Sim) Run() {
+	for s.step() {
+	}
+}
+
+// ErrDeadlock is returned by RunUntil when the event queue drains before
+// the stop condition holds: the modeled system can make no further
+// progress, which for a coherence protocol indicates a deadlock.
+type ErrDeadlock struct {
+	At Tick
+}
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("sim: deadlock: event queue empty at tick %d before completion", e.At)
+}
+
+// ErrTimeout is returned by RunUntil when maxTicks elapse before the stop
+// condition holds — a livelock/forward-progress watchdog.
+type ErrTimeout struct {
+	At Tick
+}
+
+func (e *ErrTimeout) Error() string {
+	return fmt.Sprintf("sim: watchdog timeout at tick %d", e.At)
+}
+
+// RunUntil executes events until stop() holds, the queue drains
+// (deadlock), or now exceeds start+maxTicks (timeout).
+func (s *Sim) RunUntil(stop func() bool, maxTicks Tick) error {
+	limit := s.now + maxTicks
+	for !stop() {
+		if len(s.q) == 0 {
+			return &ErrDeadlock{At: s.now}
+		}
+		if s.now > limit {
+			return &ErrTimeout{At: s.now}
+		}
+		s.step()
+	}
+	return nil
+}

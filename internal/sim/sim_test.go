@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.Schedule(10, func() { order = append(order, 2) })
+	s.Schedule(5, func() { order = append(order, 1) })
+	s.Schedule(10, func() { order = append(order, 3) }) // same tick: FIFO
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", s.Now())
+	}
+	if s.Executed() != 3 {
+		t.Fatalf("Executed = %d, want 3", s.Executed())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var ticks []Tick
+	s.Schedule(1, func() {
+		ticks = append(ticks, s.Now())
+		s.Schedule(4, func() { ticks = append(ticks, s.Now()) })
+	})
+	s.Run()
+	if len(ticks) != 2 || ticks[0] != 1 || ticks[1] != 5 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+}
+
+func TestZeroDelayRunsAtSameTick(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.Schedule(3, func() {
+		s.Schedule(0, func() {
+			if s.Now() != 3 {
+				t.Errorf("zero-delay ran at %d", s.Now())
+			}
+			ran = true
+		})
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("zero-delay event never ran")
+	}
+}
+
+func TestRunUntilStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			s.Schedule(1, tick)
+		}
+	}
+	s.Schedule(1, tick)
+	if err := s.RunUntil(func() bool { return count >= 5 }, 1000); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+func TestRunUntilDeadlock(t *testing.T) {
+	s := New(1)
+	s.Schedule(1, func() {})
+	err := s.RunUntil(func() bool { return false }, 1000)
+	var dead *ErrDeadlock
+	if !errors.As(err, &dead) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestRunUntilTimeout(t *testing.T) {
+	s := New(1)
+	var spin func()
+	spin = func() { s.Schedule(10, spin) }
+	s.Schedule(0, spin)
+	err := s.RunUntil(func() bool { return false }, 100)
+	var to *ErrTimeout
+	if !errors.As(err, &to) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestTickSeconds(t *testing.T) {
+	if got := Tick(TicksPerSecond).Seconds(); got != 1.0 {
+		t.Fatalf("Seconds = %v, want 1", got)
+	}
+	if got := Tick(TicksPerSecond / 2).Seconds(); got != 0.5 {
+		t.Fatalf("Seconds = %v, want 0.5", got)
+	}
+}
+
+func TestPending(t *testing.T) {
+	s := New(1)
+	if s.Pending() != 0 {
+		t.Fatal("fresh sim has pending events")
+	}
+	s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+}

@@ -1,0 +1,126 @@
+package testgen
+
+import (
+	"fmt"
+
+	"repro/internal/memsys"
+)
+
+// Instr is one compiled instruction of a thread's program, the executable
+// representation of an Op in the simulated target (§3.3: "each operation
+// ... maps to an executable representation in the target ISA").
+type Instr struct {
+	// Kind is the operation class.
+	Kind OpKind
+	// Addr is the (static) word address for memory operations. For
+	// OpReadAddrDp the effective address is still Addr, but issue is
+	// delayed until the producing load's value is available — the
+	// dependency is a timing dependency, matching the paper's use of
+	// address dependencies to constrain ordering rather than to
+	// compute novel addresses.
+	Addr memsys.Addr
+	// WriteID is the unique nonzero value written by OpWrite/OpRMW
+	// instructions (§4.1: "each write event is assigned a unique ID –
+	// the value to be written by the associated instruction").
+	WriteID uint64
+	// DepLoad is the program index of the load producing the address
+	// dependency for OpReadAddrDp, or -1.
+	DepLoad int
+	// Delay is the NOP count for OpDelay.
+	Delay int
+	// NodeIndex is the position of the originating gene in the flat
+	// test, for mapping dynamic events back to genes.
+	NodeIndex int
+}
+
+// IsLoad reports whether the instruction produces a load value usable as
+// a dependency source.
+func (i *Instr) IsLoad() bool {
+	return i.Kind == OpRead || i.Kind == OpReadAddrDp || i.Kind == OpRMW
+}
+
+// Program is the compiled instruction sequence of one thread.
+type Program []Instr
+
+// WriteIDFor constructs the unique value written by instruction instr of
+// thread tid. IDs are dense per thread, never zero (zero is the initial
+// value), and embed the thread so the checker can map a read value back
+// to its producing write event.
+func WriteIDFor(tid, instr int) uint64 {
+	return uint64(tid+1)<<32 | uint64(instr+1)
+}
+
+// DecodeWriteID recovers (tid, instr) from a write ID produced by
+// WriteIDFor. ok is false for zero or malformed values.
+func DecodeWriteID(v uint64) (tid, instr int, ok bool) {
+	if v == 0 {
+		return 0, 0, false
+	}
+	tid = int(v>>32) - 1
+	instr = int(v&0xffffffff) - 1
+	if tid < 0 || instr < 0 {
+		return 0, 0, false
+	}
+	return tid, instr, true
+}
+
+// Compile lowers the flat test into per-thread programs. The result has
+// Threads entries; threads with no genes get empty programs.
+func Compile(t *Test) ([]Program, error) {
+	if t.Threads <= 0 {
+		return nil, fmt.Errorf("testgen: test has no threads")
+	}
+	progs := make([]Program, t.Threads)
+	lastLoad := make([]int, t.Threads)
+	for i := range lastLoad {
+		lastLoad[i] = -1
+	}
+	for nodeIdx, n := range t.Nodes {
+		if n.PID < 0 || n.PID >= t.Threads {
+			return nil, fmt.Errorf("testgen: node %d has pid %d out of range [0,%d)", nodeIdx, n.PID, t.Threads)
+		}
+		tid := n.PID
+		idx := len(progs[tid])
+		in := Instr{
+			Kind:      n.Op.Kind,
+			Addr:      n.Op.Addr,
+			DepLoad:   -1,
+			Delay:     n.Op.Delay,
+			NodeIndex: nodeIdx,
+		}
+		switch n.Op.Kind {
+		case OpWrite, OpRMW:
+			in.WriteID = WriteIDFor(tid, idx)
+		case OpReadAddrDp:
+			if lastLoad[tid] >= 0 {
+				in.DepLoad = lastLoad[tid]
+			} else {
+				// No producing load yet: degrade to a plain
+				// read, as the dependency has no source.
+				in.Kind = OpRead
+			}
+		}
+		progs[tid] = append(progs[tid], in)
+		if in.IsLoad() {
+			lastLoad[tid] = idx
+		}
+	}
+	return progs, nil
+}
+
+// EventCount returns the number of memory-model events the programs will
+// produce per iteration (RMW contributes two; CacheFlush and Delay none).
+func EventCount(progs []Program) int {
+	n := 0
+	for _, p := range progs {
+		for i := range p {
+			switch p[i].Kind {
+			case OpRead, OpReadAddrDp, OpWrite:
+				n++
+			case OpRMW:
+				n += 2
+			}
+		}
+	}
+	return n
+}

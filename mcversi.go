@@ -1,0 +1,201 @@
+// Package mcversi is a from-scratch Go reproduction of McVerSi (Elver &
+// Nagarajan, "McVerSi: A Test Generation Framework for Fast Memory
+// Consistency Verification in Simulation", HPCA 2016): a Genetic-
+// Programming test-generation framework for memory-consistency
+// verification of a full-system simulated multiprocessor.
+//
+// The package bundles everything the paper's evaluation needs:
+//
+//   - a discrete-event full-system simulator: 8 out-of-order cores with
+//     load/store queues and a FIFO store buffer, private L1s, a NUCA
+//     shared L2 over a 2×4 mesh, under a two-level directory MESI or the
+//     lazy TSO-CC coherence protocol (Table 2);
+//   - an axiomatic memory-model checker (SC and TSO) with full conflict-
+//     order visibility, polynomial per-execution checking (§4.1);
+//   - the GP engine with the paper's selective crossover (Algorithm 1),
+//     NDT/NDe test-suitability metrics (Definitions 1–3) and adaptive
+//     structural-coverage fitness (§3.2);
+//   - a diy-style litmus-test generator and self-checking runner
+//     (§5.2.2);
+//   - the 11 studied bugs (§5.3) as injection toggles.
+//
+// Quick start:
+//
+//	cfg := mcversi.NewCampaignConfig(mcversi.GenGPAll, mcversi.MESI, "MESI,LQ+IS,Inv")
+//	cfg.Seed = 42
+//	res, err := mcversi.Run(cfg)
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the
+// reproduction of every table and figure.
+package mcversi
+
+import (
+	"math/rand"
+
+	"repro/internal/bugs"
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/gp"
+	"repro/internal/host"
+	"repro/internal/litmus"
+	"repro/internal/machine"
+	"repro/internal/memmodel"
+	"repro/internal/memsys"
+	"repro/internal/testgen"
+)
+
+// Protocol selects the coherence protocol under verification.
+type Protocol = machine.Protocol
+
+// The two studied protocols (§5.3).
+const (
+	MESI  = machine.MESI
+	TSOCC = machine.TSOCC
+)
+
+// GeneratorKind selects the test-generation strategy (§5.2.1).
+type GeneratorKind = core.GeneratorKind
+
+// The evaluated generator configurations.
+const (
+	// GenRandom is McVerSi-RAND: pseudo-random tests with the
+	// framework's simulation-specific optimizations but no feedback.
+	GenRandom = core.GenRandom
+	// GenGPAll is McVerSi-ALL: GP with the selective crossover and
+	// adaptive coverage fitness.
+	GenGPAll = core.GenGPAll
+	// GenGPStdXO is McVerSi-Std.XO: GP with single-point crossover.
+	GenGPStdXO = core.GenGPStdXO
+)
+
+// CampaignConfig configures one verification campaign.
+type CampaignConfig = core.Config
+
+// CampaignResult summarizes one campaign.
+type CampaignResult = core.Result
+
+// Bug describes one of the 11 studied bugs.
+type Bug = bugs.Bug
+
+// Bugs returns the studied bugs in Table 4 order.
+func Bugs() []Bug { return bugs.All() }
+
+// BugNames returns the studied bugs' names in Table 4 order.
+func BugNames() []string { return bugs.Names() }
+
+// MemoryLayout describes the usable test-memory range (Table 3's
+// "Test memory (stride)"): size bytes scattered into 512-byte
+// partitions separated by 1MB, stride-aligned base addresses.
+type MemoryLayout = memsys.Layout
+
+// NewMemoryLayout returns a layout of the given logical size and stride
+// (the paper evaluates 1KB and 8KB with a 16B stride).
+func NewMemoryLayout(sizeBytes, stride int) (MemoryLayout, error) {
+	return memsys.NewLayout(sizeBytes, stride)
+}
+
+// NewCampaignConfig assembles a campaign at the paper's parameters
+// (Table 2 machine, Table 3 test generation: 1k-operation tests over 8
+// threads, 10 iterations per test-run, 8KB/16B test memory) with the
+// given generator, protocol and bug. Pass bug == "" for a bug-free run.
+func NewCampaignConfig(gen GeneratorKind, proto Protocol, bug string) CampaignConfig {
+	cfg := core.DefaultConfig()
+	cfg.Machine.Protocol = proto
+	cfg.Generator = gen
+	cfg.Bug = bug
+	cfg.Test = testgen.Config{
+		Size:    1000,
+		Threads: cfg.Machine.Cores,
+		Layout:  memsys.MustLayout(8192, 16),
+	}
+	return cfg
+}
+
+// ScaledCampaignConfig assembles a campaign scaled for interactive use:
+// smaller tests and fewer iterations, preserving all generator
+// behaviours. memBytes selects the test-memory size (1024 or 8192 in
+// the paper).
+func ScaledCampaignConfig(gen GeneratorKind, proto Protocol, bug string, memBytes int) CampaignConfig {
+	cfg := NewCampaignConfig(gen, proto, bug)
+	cfg.Test.Size = 96
+	cfg.Test.Layout = memsys.MustLayout(memBytes, 16)
+	cfg.GP.PopulationSize = 24
+	cfg.Host.Iterations = 3
+	return cfg
+}
+
+// Run executes a campaign to completion.
+func Run(cfg CampaignConfig) (CampaignResult, error) {
+	return core.RunCampaign(cfg)
+}
+
+// RunSamples executes n campaigns with distinct seeds (the paper's 10
+// samples per generator/bug pair).
+func RunSamples(cfg CampaignConfig, n int, baseSeed int64) ([]CampaignResult, error) {
+	return core.SampleSet(cfg, n, baseSeed)
+}
+
+// LitmusTest is one diy-style generated litmus test.
+type LitmusTest = litmus.Test
+
+// LitmusSuite generates the x86-TSO conformance suite (38 tests, like
+// diy's count for TSO in §5.2.2).
+func LitmusSuite() []*LitmusTest {
+	return litmus.Generate(memmodel.TSO{}, 6, 38)
+}
+
+// LitmusSuiteConfig configures a litmus campaign.
+type LitmusSuiteConfig = litmus.SuiteConfig
+
+// LitmusSuiteResult reports a litmus campaign's outcome.
+type LitmusSuiteResult = litmus.SuiteResult
+
+// RunLitmus executes the litmus suite against a machine with the named
+// bug injected ("" for bug-free).
+func RunLitmus(cfg LitmusSuiteConfig, bug string, seed int64) (LitmusSuiteResult, error) {
+	if bug != "" {
+		set, err := bugs.SetFor(bug)
+		if err != nil {
+			return LitmusSuiteResult{}, err
+		}
+		cfg.Machine.Bugs = set
+	}
+	return litmus.RunSuite(cfg, LitmusSuite(), seed)
+}
+
+// DefaultLitmusConfig returns the scaled litmus campaign configuration.
+func DefaultLitmusConfig(proto Protocol) LitmusSuiteConfig {
+	cfg := litmus.DefaultSuiteConfig()
+	cfg.Machine.Protocol = proto
+	return cfg
+}
+
+// TestCase is the GP chromosome: a flat list of ⟨pid, op⟩ genes.
+type TestCase = testgen.Test
+
+// NewRandomTestGenerator returns a Table 3 pseudo-random generator for
+// building tests outside a campaign (see examples/quickstart).
+func NewRandomTestGenerator(cfg testgen.Config, seed int64) (*testgen.Generator, error) {
+	return testgen.NewGenerator(cfg, rand.New(rand.NewSource(seed)))
+}
+
+// TestGenConfig configures test generation (Table 3).
+type TestGenConfig = testgen.Config
+
+// GPParams are the GP parameters (Table 3).
+type GPParams = gp.Params
+
+// PaperGPParams returns Table 3's GP parameters.
+func PaperGPParams() GPParams { return gp.PaperParams() }
+
+// HostOptions configure the guest-host execution loop (Table 1, §4).
+type HostOptions = host.Options
+
+// MachineConfig describes the simulated system (Table 2).
+type MachineConfig = machine.Config
+
+// DefaultMachineConfig returns the Table 2 system.
+func DefaultMachineConfig() MachineConfig { return machine.DefaultConfig() }
+
+// CoverageParams tune the adaptive-coverage fitness (§3.2).
+type CoverageParams = coverage.Params
