@@ -13,14 +13,18 @@ package mcversi
 // tables at larger budgets.
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/bugs"
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/fleet"
 	"repro/internal/gp"
 	"repro/internal/host"
 	"repro/internal/litmus"
@@ -29,6 +33,15 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/testgen"
 )
+
+// skipHeavy keeps the multi-minute eval benches out of -short runs
+// (CI runs go test -short -race; see .github/workflows/ci.yml).
+func skipHeavy(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("heavy eval benchmark; skipped in -short mode")
+	}
+}
 
 // quickBugs is the Table 4 subset exercised per benchmark run: one easy
 // pipeline bug, one write-reorder bug, one transient-state protocol bug
@@ -46,6 +59,7 @@ func quickBugs() []bugs.Bug {
 }
 
 func BenchmarkTable4(b *testing.B) {
+	skipHeavy(b)
 	sc := eval.QuickScale()
 	for i := 0; i < b.N; i++ {
 		out := os.Stdout
@@ -59,6 +73,7 @@ func BenchmarkTable4(b *testing.B) {
 }
 
 func BenchmarkTable5(b *testing.B) {
+	skipHeavy(b)
 	sc := eval.QuickScale()
 	specs := []eval.GeneratorSpec{eval.Columns()[1], eval.Columns()[5], eval.Columns()[6]}
 	for i := 0; i < b.N; i++ {
@@ -73,6 +88,7 @@ func BenchmarkTable5(b *testing.B) {
 }
 
 func BenchmarkTable6(b *testing.B) {
+	skipHeavy(b)
 	sc := eval.QuickScale()
 	sc.Samples = 1
 	sc.Budget = 120
@@ -172,6 +188,7 @@ func BenchmarkBarrierAblation(b *testing.B) {
 // maximum NDT reached — §6.1: 8KB configurations start near 1.1 and only
 // the selective crossover pushes past 2.0 at the paper's scale.
 func BenchmarkNDTEvolution(b *testing.B) {
+	skipHeavy(b)
 	for _, kind := range []core.GeneratorKind{core.GenGPAll, core.GenRandom} {
 		b.Run(string(kind), func(b *testing.B) {
 			var maxNDT float64
@@ -268,5 +285,69 @@ func BenchmarkSelectiveCrossover(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		child := engine.Next()
 		engine.Feedback(&gp.Individual{Test: child, Fitness: 0.3, NDT: 1.8, FitAddrs: fit})
+	}
+}
+
+// fleetBenchConfig is the shared workload for the fleet benchmarks: a
+// bug-free RAND campaign (no bug means no early exit, so every sample
+// does identical work and the comparison is pure scheduling).
+func fleetBenchConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Generator = core.GenRandom
+	cfg.Test = testgen.Config{
+		Size: 96, Threads: 8, Layout: memsys.MustLayout(1024, 16),
+	}
+	cfg.Host = host.Options{Iterations: 3, Barrier: host.HostBarrier, MaxTicksPerIteration: 30_000_000}
+	cfg.MaxTestRuns = 30
+	return cfg
+}
+
+// BenchmarkFleetSampleSet compares the sequential multi-sample loop
+// with the fleet sharding the same samples across all cores. Campaigns
+// are independent CPU-bound work, so on a host with >=4 cores the
+// fleet variant shows a >=2x (typically near-linear) wall-clock
+// speedup; at GOMAXPROCS=1 the two are within noise of each other,
+// demonstrating that workers=1 is the zero-overhead degenerate case.
+// Results are byte-identical across all variants (TestFleetDeterminism
+// asserts this).
+func BenchmarkFleetSampleSet(b *testing.B) {
+	const samples = 8
+	cfg := fleetBenchConfig()
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SampleSet(cfg, samples, 42); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("fleet-workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fleet.SampleSet(context.Background(), cfg, samples, 42, fleet.DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFleetIslands measures the island model's epoch-barrier
+// overhead against the plain pooled path on a GP workload.
+func BenchmarkFleetIslands(b *testing.B) {
+	const samples = 4
+	cfg := fleetBenchConfig()
+	cfg.Generator = core.GenGPAll
+	cfg.GP.PopulationSize = 12
+	for _, islands := range []bool{false, true} {
+		name := "pooled"
+		if islands {
+			name = "islands"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := fleet.Options{Islands: islands, MigrationInterval: 10, MigrationSize: 2}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := fleet.SampleSet(context.Background(), cfg, samples, 42, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

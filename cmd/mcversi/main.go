@@ -1,13 +1,17 @@
 // Command mcversi runs one McVerSi verification campaign: a generator
 // (rand | gp-all | gp-std-xo) hunting one injected bug (or none) on a
-// simulated MESI or TSO-CC machine.
+// simulated MESI or TSO-CC machine. Multi-sample runs are sharded
+// across cores by the campaign fleet; -parallel 1 forces the
+// sequential path (results are identical either way for a fixed seed).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 )
@@ -20,6 +24,12 @@ func main() {
 	budget := flag.Int("budget", 1000, "campaign budget in test-runs")
 	samples := flag.Int("samples", 1, "number of samples (distinct seeds)")
 	seed := flag.Int64("seed", 1, "base seed")
+	parallel := flag.Int("parallel", 0, "fleet workers (0 = all cores, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for the whole fleet (0 = none)")
+	stopOnFound := flag.Bool("stop-on-found", false, "cancel sibling samples once one finds the bug")
+	islands := flag.Bool("islands", false, "GP island model: migrate elites between samples")
+	migrate := flag.Int("migrate", 50, "island migration interval in test-runs")
+	progress := flag.Bool("progress", false, "stream per-sample fleet events to stderr")
 	list := flag.Bool("list", false, "list the 11 studied bugs and exit")
 	flag.Parse()
 
@@ -36,18 +46,61 @@ func main() {
 
 	cfg := mcversi.ScaledCampaignConfig(mcversi.GeneratorKind(*gen), mcversi.Protocol(*proto), *bug, *mem)
 	cfg.MaxTestRuns = *budget
-	results, err := mcversi.RunSamples(cfg, *samples, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcversi:", err)
-		os.Exit(1)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	found := 0
+	opts := mcversi.FleetOptions{
+		Workers:           *parallel,
+		StopOnFound:       *stopOnFound,
+		Islands:           *islands,
+		MigrationInterval: *migrate,
+	}
+	var drained chan struct{}
+	var events chan mcversi.FleetEvent
+	if *progress {
+		events = make(chan mcversi.FleetEvent, 64)
+		drained = make(chan struct{})
+		opts.Events = events
+		go func() {
+			defer close(drained)
+			for ev := range events {
+				state := "epoch"
+				switch {
+				case ev.Done && ev.Stopped:
+					state = "stopped"
+				case ev.Done:
+					state = "done"
+				}
+				fmt.Fprintf(os.Stderr, "[fleet] sample %d %s: %d runs, %.1f%% coverage, %s\n",
+					ev.Sample, state, ev.Result.TestRuns, 100*ev.Result.TotalCoverage, ev.Elapsed.Round(time.Millisecond))
+			}
+		}()
+	}
+
+	results, st, err := mcversi.RunSamplesFleet(ctx, cfg, *samples, *seed, opts)
+	if events != nil {
+		close(events)
+		<-drained
+	}
+	// On error (e.g. -timeout expiry) still report every sample's tally
+	// — completed samples and partial ones — before exiting nonzero.
+	found, totalRuns := 0, 0
 	for i, r := range results {
 		fmt.Printf("sample %d: %s\n", i, r)
+		totalRuns += r.TestRuns
 		if r.Found {
 			found++
 			fmt.Printf("  %s\n", strings.TrimSpace(r.Detail))
 		}
 	}
-	fmt.Printf("\n%d/%d samples found the bug\n", found, len(results))
+	fmt.Printf("\n%d/%d samples found the bug (%d workers, %d test-runs total, %s wall)\n",
+		found, len(results), st.Workers, totalRuns, st.Wall.Round(time.Millisecond))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcversi:", err)
+		os.Exit(1)
+	}
 }

@@ -14,12 +14,14 @@ import (
 func main() {
 	table := flag.Int("table", 4, "table to regenerate: 4, 5 or 6")
 	full := flag.Bool("full", false, "use the full reproduction scale (slower)")
+	parallel := flag.Int("parallel", 0, "fleet workers sharding table cells (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	sc := eval.QuickScale()
 	if *full {
 		sc = eval.FullScale()
 	}
+	sc.Parallel = *parallel
 	var err error
 	switch *table {
 	case 4:

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -125,7 +126,10 @@ func (r Result) String() string {
 		status, r.TestRuns, r.SimSeconds, 100*r.TotalCoverage, r.MaxNDT)
 }
 
-// Campaign is an assembled verification campaign.
+// Campaign is an assembled verification campaign. A campaign is
+// resumable: Advance runs it in bounded slices (the fleet's island
+// scheduler interleaves migration between slices) and Result snapshots
+// the tally at any point.
 type Campaign struct {
 	cfg     Config
 	tracker *coverage.Tracker
@@ -133,6 +137,9 @@ type Campaign struct {
 	gen     *testgen.Generator
 	engine  *gp.Engine
 	norm    gp.NormalizeNDT
+
+	out      Result
+	finished bool
 }
 
 // NewCampaign builds all components for one campaign.
@@ -201,6 +208,11 @@ func (c *Campaign) Host() *host.Host { return c.h }
 // Tracker exposes the coverage tracker.
 func (c *Campaign) Tracker() *coverage.Tracker { return c.tracker }
 
+// Engine exposes the GP engine, or nil for the rand generator. The
+// fleet's island scheduler uses it to exchange elites between
+// concurrently evolving campaigns.
+func (c *Campaign) Engine() *gp.Engine { return c.engine }
+
 // nextTest proposes the next test.
 func (c *Campaign) nextTest() *testgen.Test {
 	if c.engine != nil {
@@ -241,37 +253,79 @@ func (c *Campaign) Step() (host.RunResult, float64, error) {
 	return res, fitness, nil
 }
 
-// Run executes the campaign to completion.
-func (c *Campaign) Run() (Result, error) {
-	var out Result
+// Done reports whether the campaign has reached its budget or found a
+// bug.
+func (c *Campaign) Done() bool { return c.finished }
+
+// Advance runs up to extra further test-runs (extra <= 0 means
+// unbounded) and reports whether the campaign completed: budget
+// exhausted or bug found. Cancellation of ctx aborts between test-runs
+// with ctx's error; the campaign stays resumable and Result still
+// reflects everything run so far.
+func (c *Campaign) Advance(ctx context.Context, extra int) (bool, error) {
+	if c.finished {
+		return true, nil
+	}
+	steps := 0
 	for {
-		if c.cfg.MaxTestRuns > 0 && out.TestRuns >= c.cfg.MaxTestRuns {
-			break
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		if c.cfg.MaxTestRuns > 0 && c.out.TestRuns >= c.cfg.MaxTestRuns {
+			c.finished = true
+			return true, nil
 		}
 		if c.cfg.MaxSimTicks > 0 && c.h.Machine().Sim.Now() >= c.cfg.MaxSimTicks {
-			break
+			c.finished = true
+			return true, nil
+		}
+		if extra > 0 && steps >= extra {
+			return false, nil
 		}
 		res, _, err := c.Step()
 		if err != nil {
-			return out, err
+			return false, err
 		}
-		out.TestRuns++
-		out.LastNDT = res.NDT
-		if res.NDT > out.MaxNDT {
-			out.MaxNDT = res.NDT
+		steps++
+		c.out.TestRuns++
+		c.out.LastNDT = res.NDT
+		if res.NDT > c.out.MaxNDT {
+			c.out.MaxNDT = res.NDT
 		}
 		if res.Violation != nil {
-			out.Found = true
-			out.Source = res.Violation.Source.String()
-			out.Detail = res.Violation.Err.Error()
-			break
+			c.out.Found = true
+			c.out.Source = res.Violation.Source.String()
+			c.out.Detail = res.Violation.Err.Error()
+			c.finished = true
+			return true, nil
 		}
 	}
+}
+
+// Result snapshots the campaign tally, including totals (simulated
+// time, committed instructions, coverage) as of now. It is valid at any
+// point, including after a cancelled Advance.
+func (c *Campaign) Result() Result {
+	out := c.out
 	out.SimTicks = c.h.Machine().Sim.Now()
 	out.SimSeconds = out.SimTicks.Seconds()
 	out.Committed = c.h.Machine().CommittedInstructions()
 	out.TotalCoverage = c.tracker.TotalCoverage()
-	return out, nil
+	return out
+}
+
+// RunContext executes the campaign to completion or until ctx is
+// cancelled, returning the tally so far in either case.
+func (c *Campaign) RunContext(ctx context.Context) (Result, error) {
+	if _, err := c.Advance(ctx, 0); err != nil {
+		return c.Result(), err
+	}
+	return c.Result(), nil
+}
+
+// Run executes the campaign to completion.
+func (c *Campaign) Run() (Result, error) {
+	return c.RunContext(context.Background())
 }
 
 // RunCampaign is the one-call convenience wrapper.
@@ -283,12 +337,22 @@ func RunCampaign(cfg Config) (Result, error) {
 	return c.Run()
 }
 
+// SampleSeed derives the i-th sample's seed from a base seed. The
+// derivation is a pure function of (baseSeed, i), shared by the
+// sequential SampleSet and the fleet's sharded scheduler so that
+// results are identical at any worker count.
+func SampleSeed(baseSeed int64, i int) int64 {
+	return baseSeed + int64(i)*7919
+}
+
 // SampleSet runs n campaigns with distinct seeds (the paper's 10
-// samples per generator/bug pair, §5.1) and returns all results.
+// samples per generator/bug pair, §5.1) and returns all results. It is
+// the sequential reference path; internal/fleet shards the same work
+// across workers and degenerates to exactly this loop at workers=1.
 func SampleSet(cfg Config, n int, baseSeed int64) ([]Result, error) {
 	results := make([]Result, 0, n)
 	for i := 0; i < n; i++ {
-		cfg.Seed = baseSeed + int64(i)*7919
+		cfg.Seed = SampleSeed(baseSeed, i)
 		r, err := RunCampaign(cfg)
 		if err != nil {
 			return results, err

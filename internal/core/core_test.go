@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bugs"
@@ -237,5 +238,71 @@ func TestStepFitnessFeedback(t *testing.T) {
 	}
 	if got := len(c.engine.Population()); got != 3 {
 		t.Errorf("population = %d, want 3", got)
+	}
+}
+
+// TestAdvanceSlices: running a campaign in bounded slices must land on
+// exactly the same result as one uninterrupted Run with the same seed.
+func TestAdvanceSlices(t *testing.T) {
+	cfg := scaledConfig(GenRandom, machine.MESI, "", 1024, 30)
+	cfg.Seed = 77
+	whole, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	steps := 0
+	for {
+		done, err := c.Advance(ctx, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if done {
+			break
+		}
+		if steps > 100 {
+			t.Fatal("Advance never completed")
+		}
+	}
+	if got := c.Result(); got != whole {
+		t.Errorf("sliced result diverges:\n got %+v\nwant %+v", got, whole)
+	}
+	if !c.Done() {
+		t.Error("campaign not Done after completion")
+	}
+	// Advancing a finished campaign is a no-op.
+	if done, err := c.Advance(ctx, 5); err != nil || !done {
+		t.Errorf("Advance after done = (%v, %v), want (true, nil)", done, err)
+	}
+}
+
+// TestRunContextCancellation: cancellation aborts between test-runs
+// with the context's error and a valid partial tally.
+func TestRunContextCancellation(t *testing.T) {
+	cfg := scaledConfig(GenRandom, machine.MESI, "", 1024, 1000000)
+	cfg.Seed = 78
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if _, err := c.Advance(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	res, err := c.RunContext(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.TestRuns != 3 || res.Found {
+		t.Errorf("partial tally wrong: %+v", res)
+	}
+	if c.Done() {
+		t.Error("cancelled campaign marked Done")
 	}
 }

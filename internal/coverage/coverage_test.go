@@ -131,3 +131,40 @@ func TestZeroParamsGetDefaults(t *testing.T) {
 		t.Fatal("zero params did not default")
 	}
 }
+
+// TestConcurrentCampaignIsolation is the fleet race audit: many
+// trackers driven concurrently (one per simulated campaign, as the
+// fleet does) plus concurrent read-side inspection of each tracker
+// must be race-free. Run with -race to make this meaningful.
+func TestConcurrentCampaignIsolation(t *testing.T) {
+	const campaigns, runs = 8, 50
+	done := make(chan struct{})
+	for c := 0; c < campaigns; c++ {
+		tr := NewTracker(table(20), DefaultParams())
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for r := 0; r < runs; r++ {
+				tr.StartRun()
+				for i := 0; i < 20; i += 2 {
+					tr.RecordTransition("C", fmt.Sprintf("S%d", i), "E")
+				}
+				tr.EndRun()
+			}
+		}()
+		// Concurrent inspection of the same tracker (progress
+		// reporting reads coverage while the campaign runs).
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for r := 0; r < runs; r++ {
+				_ = tr.TotalCoverage()
+				_ = tr.Covered()
+				_ = tr.Cutoff()
+				_ = tr.Doublings()
+				_ = tr.Uncovered()
+			}
+		}()
+	}
+	for i := 0; i < 2*campaigns; i++ {
+		<-done
+	}
+}

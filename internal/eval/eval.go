@@ -7,13 +7,16 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/bugs"
 	"repro/internal/core"
 	"repro/internal/coverage"
+	"repro/internal/fleet"
 	"repro/internal/gp"
 	"repro/internal/host"
 	"repro/internal/litmus"
@@ -59,6 +62,10 @@ type Scale struct {
 	LitmusPasses int
 	// Seed is the base seed.
 	Seed int64
+	// Parallel is the fleet worker count used to shard table cells
+	// (<= 0 means GOMAXPROCS, 1 forces the sequential path). Cell
+	// results do not depend on it — only wall-clock does.
+	Parallel int
 }
 
 // QuickScale finishes in roughly a minute and shows the headline shape.
@@ -91,7 +98,10 @@ func (c Cell) String() string {
 	return fmt.Sprintf("%d/%d (%.0f runs, %.2f sim-ms)", c.Found, c.Samples, c.MeanRuns, c.MeanSimMS)
 }
 
-// RunCell evaluates one generator/bug pair.
+// RunCell evaluates one generator/bug pair. The cell's samples run
+// through the fleet's sequential (workers=1) path — the table drivers
+// shard whole cells across workers instead, which keeps every cell's
+// result bit-identical to the sequential reproduction.
 func RunCell(spec GeneratorSpec, bug bugs.Bug, sc Scale) (Cell, error) {
 	cell := Cell{Samples: sc.Samples}
 	proto := machine.MESI
@@ -99,9 +109,9 @@ func RunCell(spec GeneratorSpec, bug bugs.Bug, sc Scale) (Cell, error) {
 		proto = machine.TSOCC
 	}
 	var runs, simMS []float64
-	for s := 0; s < sc.Samples; s++ {
-		seed := sc.Seed + int64(s)*7919
-		if spec.Litmus {
+	if spec.Litmus {
+		for s := 0; s < sc.Samples; s++ {
+			seed := core.SampleSeed(sc.Seed, s)
 			cfg := litmus.DefaultSuiteConfig()
 			cfg.Machine.Protocol = proto
 			set, err := bugs.SetFor(bug.Name)
@@ -120,24 +130,25 @@ func RunCell(spec GeneratorSpec, bug bugs.Bug, sc Scale) (Cell, error) {
 				runs = append(runs, float64(res.Executions))
 				simMS = append(simMS, res.SimTicks.Seconds()*1000)
 			}
-			continue
 		}
+	} else {
 		cfg := campaignFor(spec, proto, bug.Name, sc)
-		cfg.Seed = seed
-		res, err := core.RunCampaign(cfg)
+		results, _, err := fleet.SampleSet(context.Background(), cfg, sc.Samples, sc.Seed, fleet.Options{Workers: 1})
 		if err != nil {
 			return cell, err
 		}
-		if res.TotalCoverage > cell.Coverage {
-			cell.Coverage = res.TotalCoverage
-		}
-		if res.MaxNDT > cell.MaxNDT {
-			cell.MaxNDT = res.MaxNDT
-		}
-		if res.Found {
-			cell.Found++
-			runs = append(runs, float64(res.TestRuns))
-			simMS = append(simMS, res.SimSeconds*1000)
+		for _, res := range results {
+			if res.TotalCoverage > cell.Coverage {
+				cell.Coverage = res.TotalCoverage
+			}
+			if res.MaxNDT > cell.MaxNDT {
+				cell.MaxNDT = res.MaxNDT
+			}
+			if res.Found {
+				cell.Found++
+				runs = append(runs, float64(res.TestRuns))
+				simMS = append(simMS, res.SimSeconds*1000)
+			}
 		}
 	}
 	cell.MeanRuns = stats.Mean(runs)
@@ -145,12 +156,18 @@ func RunCell(spec GeneratorSpec, bug bugs.Bug, sc Scale) (Cell, error) {
 	return cell, nil
 }
 
-var litmusCache []*litmus.Test
+var (
+	litmusOnce  sync.Once
+	litmusCache []*litmus.Test
+)
 
+// litmusSuite lazily generates the shared suite once; the sync.Once
+// makes the cache safe when the table drivers evaluate litmus cells
+// concurrently.
 func litmusSuite() []*litmus.Test {
-	if litmusCache == nil {
+	litmusOnce.Do(func() {
 		litmusCache = litmus.Generate(memmodel.TSO{}, 6, 38)
-	}
+	})
 	return litmusCache
 }
 
@@ -176,7 +193,9 @@ func campaignFor(spec GeneratorSpec, proto machine.Protocol, bug string, sc Scal
 	return cfg
 }
 
-// Table4 evaluates the grid and writes the table.
+// Table4 evaluates the grid and writes the table. The (bug, generator)
+// cells are sharded across the fleet's worker pool (sc.Parallel
+// workers) and printed in table order once all are in.
 func Table4(w io.Writer, specs []GeneratorSpec, bugList []bugs.Bug, sc Scale) error {
 	fmt.Fprintf(w, "Table 4 (scaled): bug found count out of %d samples (mean test-runs to find)\n", sc.Samples)
 	fmt.Fprintf(w, "budget=%d test-runs/sample, test size=%d ops, %d iterations/run\n\n", sc.Budget, sc.TestSize, sc.Iterations)
@@ -186,14 +205,30 @@ func Table4(w io.Writer, specs []GeneratorSpec, bugList []bugs.Bug, sc Scale) er
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, strings.Repeat("-", 26+len(specs)*25))
+	type item struct {
+		spec GeneratorSpec
+		bug  bugs.Bug
+	}
+	var items []item
+	for _, b := range bugList {
+		for _, spec := range specs {
+			items = append(items, item{spec, b})
+		}
+	}
+	cells, err := fleet.Map(context.Background(), sc.Parallel, len(items),
+		func(_ context.Context, i int) (Cell, error) {
+			return RunCell(items[i].spec, items[i].bug, sc)
+		})
+	if err != nil {
+		return err
+	}
+	// Consume in the exact order items was built.
+	k := 0
 	for _, b := range bugList {
 		fmt.Fprintf(w, "%-26s", b.Name)
-		for _, spec := range specs {
-			cell, err := RunCell(spec, b, sc)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, " | %-22s", cell.String())
+		for range specs {
+			fmt.Fprintf(w, " | %-22s", cells[k].String())
+			k++
 		}
 		fmt.Fprintln(w)
 	}
@@ -209,21 +244,41 @@ func Table5(w io.Writer, specs []GeneratorSpec, bugList []bugs.Bug, sc Scale, bu
 		fmt.Fprintf(w, " | %6d runs", b)
 	}
 	fmt.Fprintln(w)
+	// Flatten the (spec, budget, bug) grid into fleet work items.
+	type item struct {
+		spec   GeneratorSpec
+		budget int
+		bug    bugs.Bug
+	}
+	var items []item
+	for _, spec := range specs {
+		for _, budget := range budgetSteps {
+			for _, b := range bugList {
+				items = append(items, item{spec, budget, b})
+			}
+		}
+	}
+	cells, err := fleet.Map(context.Background(), sc.Parallel, len(items),
+		func(_ context.Context, i int) (Cell, error) {
+			s2 := sc
+			s2.Budget = items[i].budget
+			s2.Samples = 1
+			return RunCell(items[i].spec, items[i].bug, s2)
+		})
+	if err != nil {
+		return err
+	}
+	// Consume in the exact order items was built.
+	k := 0
 	for _, spec := range specs {
 		fmt.Fprintf(w, "%-26s", spec.Name)
-		for _, budget := range budgetSteps {
-			s2 := sc
-			s2.Budget = budget
-			s2.Samples = 1
+		for range budgetSteps {
 			found := 0
-			for _, b := range bugList {
-				cell, err := RunCell(spec, b, s2)
-				if err != nil {
-					return err
-				}
-				if cell.Found > 0 {
+			for range bugList {
+				if cells[k].Found > 0 {
 					found++
 				}
+				k++
 			}
 			fmt.Fprintf(w, " | %9.0f%%", 100*float64(found)/float64(len(bugList)))
 		}
@@ -244,23 +299,52 @@ func Table6(w io.Writer, specs []GeneratorSpec, sc Scale) error {
 		fmt.Fprintf(w, " | %-22s", spec.Name)
 	}
 	fmt.Fprintln(w)
-	for _, proto := range []machine.Protocol{machine.MESI, machine.TSOCC} {
-		fmt.Fprintf(w, "%-10s", proto)
-		for _, spec := range specs {
-			if spec.Litmus {
-				continue
+	protos := []machine.Protocol{machine.MESI, machine.TSOCC}
+	var cols []GeneratorSpec
+	for _, spec := range specs {
+		if !spec.Litmus {
+			cols = append(cols, spec)
+		}
+	}
+	// One work item per (protocol, generator, sample); Table 6 keeps
+	// its historical 104729 seed stride, independent of sharding.
+	type item struct {
+		proto  machine.Protocol
+		spec   GeneratorSpec
+		sample int
+	}
+	var items []item
+	for _, proto := range protos {
+		for _, spec := range cols {
+			for s := 0; s < sc.Samples; s++ {
+				items = append(items, item{proto, spec, s})
 			}
+		}
+	}
+	bests, err := fleet.Map(context.Background(), sc.Parallel, len(items),
+		func(_ context.Context, i int) (float64, error) {
+			cfg := campaignFor(items[i].spec, items[i].proto, "", sc)
+			cfg.Seed = sc.Seed + int64(items[i].sample)*104729
+			res, err := core.RunCampaign(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.TotalCoverage, nil
+		})
+	if err != nil {
+		return err
+	}
+	// Consume in the exact order items was built.
+	k := 0
+	for _, proto := range protos {
+		fmt.Fprintf(w, "%-10s", proto)
+		for range cols {
 			best := 0.0
 			for s := 0; s < sc.Samples; s++ {
-				cfg := campaignFor(spec, proto, "", sc)
-				cfg.Seed = sc.Seed + int64(s)*104729
-				res, err := core.RunCampaign(cfg)
-				if err != nil {
-					return err
+				if bests[k] > best {
+					best = bests[k]
 				}
-				if res.TotalCoverage > best {
-					best = res.TotalCoverage
-				}
+				k++
 			}
 			fmt.Fprintf(w, " | %21.1f%%", 100*best)
 		}

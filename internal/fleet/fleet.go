@@ -1,0 +1,216 @@
+// Package fleet orchestrates many McVerSi verification campaigns
+// concurrently: a worker pool shards (generator, bug, sample) work
+// items across GOMAXPROCS goroutines with deterministic per-sample seed
+// derivation (the same baseSeed yields byte-identical results at any
+// worker count), context-based early stop cancels sibling samples as
+// soon as one finds the target bug, and an event stream aggregates
+// per-shard test-run counts, coverage and wall-clock into fleet Stats.
+//
+// On top of the pool, an opt-in GP island model (Options.Islands) runs
+// each sample as an island evolving its own population; every
+// MigrationInterval test-runs the islands synchronize at a barrier and
+// migrate their elite chromosomes around a neighbor ring, entering the
+// receiving population through the existing selective-crossover path
+// (gp.Engine.Immigrate feeds the same delete-oldest ring that feedback
+// uses, so migrants compete in tournaments and recombine via
+// Algorithm 1). Because migration happens only at barriers, in ring
+// order, island campaigns too are deterministic at any worker count.
+//
+// The sequential pre-fleet behaviour is the workers=1 degenerate case:
+// fleet.SampleSet with Workers=1 (and Islands off) runs the exact loop
+// of core.SampleSet on the calling goroutine.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Options tune a fleet run.
+type Options struct {
+	// Workers caps the number of concurrently executing campaigns;
+	// <= 0 means GOMAXPROCS. Results never depend on the value (only
+	// wall-clock does), except under StopOnFound in non-island mode,
+	// where which siblings get cancelled is timing-dependent.
+	Workers int
+	// StopOnFound cancels all sibling samples as soon as one sample
+	// finds a bug. Cancelled samples report their partial tally with
+	// Stopped set in their event. In island mode the stop is checked at
+	// epoch barriers, which keeps it deterministic.
+	StopOnFound bool
+	// Islands enables the GP island model: samples exchange elite
+	// chromosomes around a neighbor ring every MigrationInterval
+	// test-runs. Ignored for the rand generator (no population).
+	Islands bool
+	// MigrationInterval is the island epoch length in test-runs
+	// (default 50).
+	MigrationInterval int
+	// MigrationSize is how many elites each island sends per epoch
+	// (default 2).
+	MigrationSize int
+	// Events, when non-nil, receives one Event per completed sample
+	// and one per island epoch. Sends are blocking: the consumer must
+	// drain the channel until SampleSet returns. The channel is never
+	// closed by the fleet.
+	Events chan<- Event
+}
+
+// DefaultOptions runs on all cores, runs every sample to completion,
+// and leaves the island model off.
+func DefaultOptions() Options { return Options{} }
+
+func (o Options) withDefaults() Options {
+	if o.MigrationInterval <= 0 {
+		o.MigrationInterval = 50
+	}
+	if o.MigrationSize <= 0 {
+		o.MigrationSize = 2
+	}
+	return o
+}
+
+// Event is one progress report from the fleet.
+type Event struct {
+	// Sample is the work-item index (seed = core.SampleSeed(base, Sample)).
+	Sample int
+	// Epoch is the island epoch that just finished (island mode only).
+	Epoch int
+	// Done marks the sample's final event.
+	Done bool
+	// Stopped marks a sample cut off before completing (early stop,
+	// caller cancellation, or a campaign error); its Result is the
+	// partial tally.
+	Stopped bool
+	// Result is the sample's tally so far (test-runs, coverage, ...).
+	Result core.Result
+	// Elapsed is the sample's wall-clock time so far.
+	Elapsed time.Duration
+}
+
+// Stats aggregates a fleet run.
+type Stats struct {
+	// Workers is the resolved worker count.
+	Workers int
+	// Samples is the number of work items; Completed of them ran to
+	// their budget or found a bug, Stopped were cut off before
+	// completing (early stop, caller cancellation, or a campaign
+	// error), and Found report a bug.
+	Samples, Completed, Stopped, Found int
+	// TestRuns totals completed test-runs across all shards,
+	// including the partial tallies of Stopped samples.
+	TestRuns int
+	// MaxCoverage is the best Table 6 coverage across shards.
+	MaxCoverage float64
+	// Epochs and Migrations count island-model activity.
+	Epochs, Migrations int
+	// Wall is the fleet's wall-clock time.
+	Wall time.Duration
+}
+
+// errEarlyStop is the cancellation cause distinguishing "a sibling
+// found the bug" from caller cancellation.
+var errEarlyStop = errors.New("fleet: sibling found bug")
+
+// emitter serializes optional event delivery and owns the running
+// aggregate.
+type emitter struct {
+	mu    sync.Mutex
+	ch    chan<- Event
+	stats Stats
+}
+
+func (em *emitter) emit(ev Event) {
+	em.mu.Lock()
+	if ev.Done {
+		if ev.Stopped {
+			em.stats.Stopped++
+		} else {
+			em.stats.Completed++
+		}
+		if ev.Result.Found {
+			em.stats.Found++
+		}
+		em.stats.TestRuns += ev.Result.TestRuns
+		if ev.Result.TotalCoverage > em.stats.MaxCoverage {
+			em.stats.MaxCoverage = ev.Result.TotalCoverage
+		}
+	}
+	ch := em.ch
+	em.mu.Unlock()
+	if ch != nil {
+		ch <- ev
+	}
+}
+
+// SampleSet runs n campaigns of cfg with seeds derived from baseSeed
+// (core.SampleSeed), sharded across the fleet's worker pool. The
+// result slice is indexed by sample; samples never started because of
+// early stop keep a zero Result. For a fixed (cfg, n, baseSeed,
+// Islands, MigrationInterval, MigrationSize) the results are identical
+// at any worker count; see Options.Workers for the one StopOnFound
+// caveat.
+func SampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64, opts Options) ([]core.Result, Stats, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	em := &emitter{ch: opts.Events}
+	em.stats.Samples = n
+	em.stats.Workers = Workers(opts.Workers, n)
+
+	var (
+		results []core.Result
+		err     error
+	)
+	if opts.Islands && cfg.Generator != core.GenRandom {
+		results, err = islandSampleSet(ctx, cfg, n, baseSeed, opts, em)
+	} else {
+		results, err = pooledSampleSet(ctx, cfg, n, baseSeed, opts, em)
+	}
+	em.stats.Wall = time.Since(start)
+	return results, em.stats, err
+}
+
+// pooledSampleSet is the plain (non-island) path: each sample is one
+// independent work item run to completion.
+func pooledSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64, opts Options, em *emitter) ([]core.Result, error) {
+	ctx, stop := context.WithCancelCause(ctx)
+	defer stop(nil)
+
+	results, err := Map(ctx, opts.Workers, n, func(ctx context.Context, i int) (core.Result, error) {
+		c := cfg
+		c.Seed = core.SampleSeed(baseSeed, i)
+		camp, err := core.NewCampaign(c)
+		if err != nil {
+			return core.Result{}, err
+		}
+		t0 := time.Now()
+		res, err := camp.RunContext(ctx)
+		if err != nil {
+			// The sample did not complete: report its partial tally to
+			// listeners and Stats either way. Only a genuine cancellation
+			// caused by a sibling's find is benign; a campaign's own
+			// failure (or caller cancellation) must still surface even if
+			// the early-stop cause is already set.
+			em.emit(Event{Sample: i, Done: true, Stopped: true, Result: res, Elapsed: time.Since(t0)})
+			if errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), errEarlyStop) {
+				return res, nil
+			}
+			return res, err
+		}
+		if opts.StopOnFound && res.Found {
+			stop(errEarlyStop) // first cancel wins; later calls are no-ops
+		}
+		em.emit(Event{Sample: i, Done: true, Result: res, Elapsed: time.Since(t0)})
+		return res, nil
+	})
+	// Map records the bare cancellation for items it never started;
+	// clear it only when the cancellation came from early stop. A real
+	// campaign failure (non-Canceled err) always surfaces.
+	if errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), errEarlyStop) {
+		err = nil
+	}
+	return results, err
+}

@@ -1,0 +1,322 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/gp"
+	"repro/internal/host"
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/testgen"
+)
+
+// scaledConfig mirrors the core test helper: a CI-sized campaign
+// preserving all generator behaviours.
+func scaledConfig(gen core.GeneratorKind, bug string, budget int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Machine.Protocol = machine.MESI
+	cfg.Bug = bug
+	cfg.Generator = gen
+	cfg.Test = testgen.Config{
+		Size:    96,
+		Threads: 8,
+		Layout:  memsys.MustLayout(1024, 16),
+	}
+	cfg.GP = gp.PaperParams()
+	cfg.GP.PopulationSize = 12
+	cfg.Coverage = coverage.DefaultParams()
+	cfg.Host = host.Options{Iterations: 3, Barrier: host.HostBarrier, MaxTicksPerIteration: 30_000_000}
+	cfg.MaxTestRuns = budget
+	return cfg
+}
+
+// restoreProcs raises GOMAXPROCS for the duration of a test so that
+// multi-worker scheduling is real even on single-core CI containers.
+func restoreProcs(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// checkNoLeaks asserts the goroutine count settles back to its
+// pre-test level (early-stop cancellation must not strand workers).
+func checkNoLeaks(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		out, err := Map(context.Background(), workers, 20, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 50, func(ctx context.Context, i int) (int, error) {
+			if i == 7 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) && !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want boom or cancellation", workers, err)
+		}
+	}
+}
+
+// TestFleetDeterminism is the tentpole guarantee: the same baseSeed
+// yields byte-identical per-sample Results at any worker count, and
+// the workers=1 fleet path matches the sequential core.SampleSet loop
+// exactly.
+func TestFleetDeterminism(t *testing.T) {
+	const n, baseSeed = 6, 100
+	cfg := scaledConfig(core.GenRandom, "LQ+no-TSO", 40)
+
+	want, err := core.SampleSet(cfg, n, baseSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			restoreProcs(t, workers)
+			got, st, err := SampleSet(context.Background(), cfg, n, baseSeed, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != n {
+				t.Fatalf("got %d results, want %d", len(got), n)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("sample %d diverges at workers=%d:\n got %+v\nwant %+v", i, workers, got[i], want[i])
+				}
+			}
+			if st.Workers < 1 || st.Completed != n || st.TestRuns == 0 {
+				t.Errorf("implausible stats: %+v", st)
+			}
+		})
+	}
+}
+
+// TestFleetIslandDeterminism: the epoch-synchronized migration ring
+// must also be worker-count independent.
+func TestFleetIslandDeterminism(t *testing.T) {
+	const n, baseSeed = 4, 7
+	cfg := scaledConfig(core.GenGPAll, "", 36)
+	opts := Options{Islands: true, MigrationInterval: 8, MigrationSize: 2}
+
+	var want []core.Result
+	for _, workers := range []int{1, 4, 8} {
+		restoreProcs(t, workers)
+		o := opts
+		o.Workers = workers
+		got, st, err := SampleSet(context.Background(), cfg, n, baseSeed, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Migrations == 0 || st.Epochs == 0 {
+			t.Fatalf("workers=%d: island model idle: %+v", workers, st)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("island sample %d diverges at workers=%d:\n got %+v\nwant %+v", i, workers, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFleetIslandsDifferFromPooled: migration must actually change the
+// evolutionary trajectory (otherwise the ring is dead code).
+func TestFleetIslandsDifferFromPooled(t *testing.T) {
+	const n, baseSeed = 3, 7
+	cfg := scaledConfig(core.GenGPAll, "", 40)
+	pooled, _, err := SampleSet(context.Background(), cfg, n, baseSeed, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isl, _, err := SampleSet(context.Background(), cfg, n, baseSeed,
+		Options{Workers: 1, Islands: true, MigrationInterval: 8, MigrationSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range pooled {
+		if pooled[i] != isl[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("island migration had no observable effect on any sample")
+	}
+}
+
+// TestFleetEarlyStopCancelsSiblings: with StopOnFound, once one sample
+// finds the bug the others must stop early, and no goroutines may
+// leak.
+func TestFleetEarlyStopCancelsSiblings(t *testing.T) {
+	restoreProcs(t, 4)
+	before := runtime.NumGoroutine()
+	// A large budget that sequential execution would take ages to
+	// exhaust: early stop is what keeps this test fast.
+	cfg := scaledConfig(core.GenRandom, "LQ+no-TSO", 100000)
+	events := make(chan Event, 64)
+	done := make(chan Stats, 1)
+	go func() {
+		var agg Stats
+		for ev := range events {
+			if ev.Done {
+				agg.Completed++
+				agg.TestRuns += ev.Result.TestRuns
+			}
+		}
+		done <- agg
+	}()
+	results, st, err := SampleSet(context.Background(), cfg, 4, 100,
+		Options{Workers: 4, StopOnFound: true, Events: events})
+	close(events)
+	agg := <-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, r := range results {
+		if r.Found {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no sample found LQ+no-TSO")
+	}
+	if st.Found == 0 || st.Completed+st.Stopped == 0 {
+		t.Errorf("implausible stats: %+v", st)
+	}
+	if agg.Completed != st.Completed+st.Stopped {
+		t.Errorf("event stream saw %d done events, stats say %d", agg.Completed, st.Completed+st.Stopped)
+	}
+	checkNoLeaks(t, before)
+}
+
+// TestFleetEarlyStopIslands: epoch-barrier early stop in island mode.
+func TestFleetEarlyStopIslands(t *testing.T) {
+	restoreProcs(t, 4)
+	before := runtime.NumGoroutine()
+	cfg := scaledConfig(core.GenGPAll, "LQ+no-TSO", 100000)
+	results, st, err := SampleSet(context.Background(), cfg, 3, 100,
+		Options{Workers: 4, StopOnFound: true, Islands: true, MigrationInterval: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, r := range results {
+		if r.Found {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no island found LQ+no-TSO")
+	}
+	if st.Found == 0 {
+		t.Errorf("stats missed the find: %+v", st)
+	}
+	checkNoLeaks(t, before)
+}
+
+// TestFleetContextCancellation: caller cancellation surfaces as an
+// error (unlike early stop) and still returns partial tallies.
+func TestFleetContextCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := scaledConfig(core.GenRandom, "", 100000)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	results, _, err := SampleSet(ctx, cfg, 2, 1, Options{Workers: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// In-flight samples keep their partial tallies on cancellation.
+	partial := 0
+	for _, r := range results {
+		if r.TestRuns > 0 {
+			partial++
+		}
+	}
+	if partial == 0 {
+		t.Error("cancellation discarded every in-flight partial tally")
+	}
+	checkNoLeaks(t, before)
+}
+
+// TestFleetIslandCancellationKeepsPartials mirrors the pooled partial
+// tally guarantee for islands cut off mid-epoch.
+func TestFleetIslandCancellationKeepsPartials(t *testing.T) {
+	cfg := scaledConfig(core.GenGPAll, "", 100000)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	results, _, err := SampleSet(ctx, cfg, 2, 1,
+		Options{Workers: 2, Islands: true, MigrationInterval: 5})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	partial := 0
+	for _, r := range results {
+		if r.TestRuns > 0 {
+			partial++
+		}
+	}
+	if partial == 0 {
+		t.Error("island cancellation discarded every partial tally")
+	}
+}
+
+func TestFleetConfigErrorPropagates(t *testing.T) {
+	cfg := scaledConfig("bogus", "", 10)
+	if _, _, err := SampleSet(context.Background(), cfg, 2, 1, Options{}); err == nil {
+		t.Fatal("bogus generator accepted")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8, 3) = %d, want 3 (clamped to items)", got)
+	}
+	if got := Workers(-1, 0); got != 1 {
+		t.Errorf("Workers(-1, 0) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gp"
+)
+
+// island is one sample's campaign plus its scheduling state.
+type island struct {
+	camp    *core.Campaign
+	started time.Time
+	done    bool
+	stopped bool
+}
+
+// islandSampleSet runs n GP campaigns as an island model: every epoch
+// each live island advances MigrationInterval test-runs in parallel,
+// then — at a barrier, in ring order — sends deep copies of its
+// MigrationSize fittest individuals to the next live island. Because
+// every cross-island exchange happens at the barrier in a fixed order,
+// the worker count influences only wall-clock time, never results;
+// StopOnFound is likewise checked only at the barrier, so even early
+// stop is deterministic here.
+func islandSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64, opts Options, em *emitter) ([]core.Result, error) {
+	isles := make([]*island, n)
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = core.SampleSeed(baseSeed, i)
+		camp, err := core.NewCampaign(c)
+		if err != nil {
+			return make([]core.Result, n), err
+		}
+		isles[i] = &island{camp: camp, started: now}
+	}
+
+	results := make([]core.Result, n)
+	finish := func(i int, stopped bool) {
+		isles[i].done = true
+		isles[i].stopped = stopped
+		results[i] = isles[i].camp.Result()
+		em.emit(Event{
+			Sample: i, Epoch: em.stats.Epochs, Done: true, Stopped: stopped,
+			Result: results[i], Elapsed: time.Since(isles[i].started),
+		})
+	}
+
+	for {
+		// Parallel slice: each live island advances one epoch. done
+		// flags are written by at most one worker per index and read
+		// only after the Map barrier.
+		_, err := Map(ctx, opts.Workers, n, func(ctx context.Context, i int) (struct{}, error) {
+			if isles[i].done {
+				return struct{}{}, nil
+			}
+			completed, err := isles[i].camp.Advance(ctx, opts.MigrationInterval)
+			if err != nil {
+				return struct{}{}, err
+			}
+			if completed {
+				finish(i, false)
+			} else if em.ch != nil {
+				em.emit(Event{
+					Sample: i, Epoch: em.stats.Epochs,
+					Result: isles[i].camp.Result(), Elapsed: time.Since(isles[i].started),
+				})
+			}
+			return struct{}{}, nil
+		})
+		if err != nil {
+			// Preserve and report the partial tallies of islands cut off
+			// mid-epoch.
+			for i, is := range isles {
+				if !is.done {
+					results[i] = is.camp.Result()
+					em.emit(Event{
+						Sample: i, Epoch: em.stats.Epochs, Done: true, Stopped: true,
+						Result: results[i], Elapsed: time.Since(is.started),
+					})
+				}
+			}
+			return results, err
+		}
+
+		// Barrier reached: collect the live ring.
+		var live []int
+		foundAny := false
+		for i, is := range isles {
+			if !is.done {
+				live = append(live, i)
+			} else if results[i].Found {
+				foundAny = true
+			}
+		}
+		if opts.StopOnFound && foundAny {
+			for _, i := range live {
+				finish(i, true)
+			}
+			return results, nil
+		}
+		if len(live) == 0 {
+			return results, nil
+		}
+		em.stats.Epochs++
+
+		if len(live) < 2 {
+			continue
+		}
+		// Migration: snapshot every live island's elites first, then
+		// deliver island live[k]'s elites to live[k+1] (a neighbor
+		// ring). Snapshot-then-deliver keeps the exchange independent
+		// of delivery order: nobody re-exports a chromosome it just
+		// received.
+		elites := make([][]*gp.Individual, len(live))
+		for k, i := range live {
+			elites[k] = isles[i].camp.Engine().Elites(opts.MigrationSize)
+		}
+		for k, i := range live {
+			from := elites[(k+len(live)-1)%len(live)]
+			isles[i].camp.Engine().Immigrate(from)
+			em.stats.Migrations += len(from)
+		}
+	}
+}

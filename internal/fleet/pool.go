@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: values <= 0 mean GOMAXPROCS,
+// and the count is clamped to the number of work items.
+func Workers(requested, items int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn for every index in [0, n) across at most workers
+// goroutines and returns the results in index order. Work items are
+// handed out from a shared counter, so sharding is load-balanced; each
+// item's outcome must depend only on its index (never on which worker
+// ran it) — that is what makes fleet results identical at any worker
+// count. The first error cancels the context passed to the remaining
+// items and is returned; a failing item's result value is still
+// stored (campaigns return their partial tally alongside a
+// cancellation error), and only never-started items keep their zero
+// value.
+//
+// With workers <= 1 (or n <= 1) Map degenerates to a plain sequential
+// loop on the calling goroutine: no goroutines, no channels — exactly
+// the pre-fleet code path.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			v, err := fn(ctx, i)
+			out[i] = v
+			if err != nil {
+				return out, err
+			}
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				v, err := fn(ctx, i)
+				out[i] = v
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out, firstErr
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/memsys"
 	"repro/internal/testgen"
@@ -162,6 +163,67 @@ func (e *Engine) Feedback(ind *Individual) {
 	// Steady-state, delete-oldest replacement.
 	e.pop[e.oldest] = ind
 	e.oldest = (e.oldest + 1) % len(e.pop)
+}
+
+// Clone returns a deep copy of the individual, so migrated elites do
+// not share mutable state (test genes, fitaddr sets) across islands.
+func (ind *Individual) Clone() *Individual {
+	c := &Individual{Fitness: ind.Fitness, NDT: ind.NDT}
+	if ind.Test != nil {
+		c.Test = ind.Test.Clone()
+	}
+	c.FitAddrs = make(map[memsys.Addr]bool, len(ind.FitAddrs))
+	for a, v := range ind.FitAddrs {
+		c.FitAddrs[a] = v
+	}
+	return c
+}
+
+// Elites returns deep copies of the k fittest population members,
+// fittest first, ties broken by population slot so the selection is
+// deterministic. Fewer than k are returned while the population is
+// still seeding.
+func (e *Engine) Elites(k int) []*Individual {
+	if k <= 0 || len(e.pop) == 0 {
+		return nil
+	}
+	idx := make([]int, len(e.pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return e.pop[idx[a]].Fitness > e.pop[idx[b]].Fitness
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]*Individual, 0, k)
+	for _, i := range idx[:k] {
+		out = append(out, e.pop[i].Clone())
+	}
+	return out
+}
+
+// Immigrate inserts migrant individuals into the population through the
+// same delete-oldest ring that Feedback uses, so migrants immediately
+// compete in tournament selection and recombine through the configured
+// crossover path (the island model's exchange channel). Migrants are
+// deep-copied by the sender; the engine takes ownership.
+func (e *Engine) Immigrate(migrants []*Individual) {
+	for _, ind := range migrants {
+		if ind == nil {
+			continue
+		}
+		if ind.FitAddrs == nil {
+			ind.FitAddrs = map[memsys.Addr]bool{}
+		}
+		if !e.Seeded() {
+			e.pop = append(e.pop, ind)
+			continue
+		}
+		e.pop[e.oldest] = ind
+		e.oldest = (e.oldest + 1) % len(e.pop)
+	}
 }
 
 // tournament picks the fittest of TournamentSize random members.

@@ -233,3 +233,96 @@ func TestDeterministicEvolution(t *testing.T) {
 		}
 	}
 }
+
+func TestElitesOrderAndCopy(t *testing.T) {
+	e, _ := newEngine(t, PaperParams(), 31)
+	for i := 0; i < 8; i++ {
+		feedback(e, e.Next(), float64(i%4), 1.0, nil)
+	}
+	elites := e.Elites(3)
+	if len(elites) != 3 {
+		t.Fatalf("Elites(3) = %d individuals", len(elites))
+	}
+	for i := 1; i < len(elites); i++ {
+		if elites[i].Fitness > elites[i-1].Fitness {
+			t.Fatalf("elites not fitness-sorted: %v before %v", elites[i-1].Fitness, elites[i].Fitness)
+		}
+	}
+	if elites[0].Fitness != 3 {
+		t.Fatalf("top elite fitness = %v, want 3", elites[0].Fitness)
+	}
+	// Deep copy: mutating the elite must not touch the population.
+	for _, ind := range e.Population() {
+		if ind.Test == elites[0].Test {
+			t.Fatal("Elites returned a shared Test pointer")
+		}
+	}
+	elites[0].FitAddrs[memsys.Addr(0xdead)] = true
+	for _, ind := range e.Population() {
+		if ind.FitAddrs[memsys.Addr(0xdead)] {
+			t.Fatal("Elites returned a shared FitAddrs map")
+		}
+	}
+	if got := e.Elites(100); len(got) != 8 {
+		t.Fatalf("Elites(100) = %d, want population size 8", len(got))
+	}
+	if got := e.Elites(0); got != nil {
+		t.Fatal("Elites(0) should be nil")
+	}
+}
+
+func TestImmigrateReplacesOldest(t *testing.T) {
+	e, _ := newEngine(t, PaperParams(), 32)
+	for i := 0; i < 8; i++ {
+		feedback(e, e.Next(), 0.1, 1.0, nil)
+	}
+	migrant := &Individual{Test: e.Next(), Fitness: 9.9}
+	e.Immigrate([]*Individual{migrant, nil})
+	if e.PopulationSize() != 8 {
+		t.Fatalf("population grew to %d on immigration", e.PopulationSize())
+	}
+	found := false
+	for _, ind := range e.Population() {
+		if ind == migrant {
+			found = true
+			if ind.FitAddrs == nil {
+				t.Fatal("migrant FitAddrs not defaulted")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("migrant not inserted into population")
+	}
+	// Migrants must be reachable through selection: the 9.9 fitness
+	// should win every tournament.
+	if best := e.Elites(1); best[0].Fitness != 9.9 {
+		t.Fatalf("top fitness after immigration = %v, want 9.9", best[0].Fitness)
+	}
+}
+
+func TestImmigrateWhileSeeding(t *testing.T) {
+	e, _ := newEngine(t, PaperParams(), 33)
+	feedback(e, e.Next(), 0.1, 1.0, nil)
+	e.Immigrate([]*Individual{{Test: e.Next(), Fitness: 1.0}})
+	if e.PopulationSize() != 2 {
+		t.Fatalf("population = %d, want 2 (append while seeding)", e.PopulationSize())
+	}
+	if e.Seeded() {
+		t.Fatal("prematurely seeded")
+	}
+}
+
+func TestIndividualClone(t *testing.T) {
+	orig := &Individual{Fitness: 1.5, NDT: 2.0, FitAddrs: map[memsys.Addr]bool{3: true}}
+	c := orig.Clone()
+	if c.Fitness != 1.5 || c.NDT != 2.0 || !c.FitAddrs[3] {
+		t.Fatalf("clone lost fields: %+v", c)
+	}
+	c.FitAddrs[4] = true
+	if orig.FitAddrs[4] {
+		t.Fatal("clone shares FitAddrs")
+	}
+	if c.Test != nil {
+		t.Fatal("nil Test cloned into non-nil")
+	}
+}

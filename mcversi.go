@@ -30,11 +30,13 @@
 package mcversi
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/bugs"
 	"repro/internal/core"
 	"repro/internal/coverage"
+	"repro/internal/fleet"
 	"repro/internal/gp"
 	"repro/internal/host"
 	"repro/internal/litmus"
@@ -130,9 +132,36 @@ func Run(cfg CampaignConfig) (CampaignResult, error) {
 }
 
 // RunSamples executes n campaigns with distinct seeds (the paper's 10
-// samples per generator/bug pair).
+// samples per generator/bug pair). Samples are sharded across all
+// cores by the fleet; seed derivation is per-sample, so the results
+// are identical to the sequential core.SampleSet loop regardless of
+// the worker count.
 func RunSamples(cfg CampaignConfig, n int, baseSeed int64) ([]CampaignResult, error) {
-	return core.SampleSet(cfg, n, baseSeed)
+	res, _, err := fleet.SampleSet(context.Background(), cfg, n, baseSeed, fleet.DefaultOptions())
+	return res, err
+}
+
+// FleetOptions tune a parallel campaign fleet (worker count, early
+// stop, GP island migration, progress events).
+type FleetOptions = fleet.Options
+
+// FleetEvent is one streamed fleet progress report.
+type FleetEvent = fleet.Event
+
+// FleetStats aggregates a fleet run (per-shard test-run counts,
+// coverage, wall-clock).
+type FleetStats = fleet.Stats
+
+// DefaultFleetOptions runs on all cores with every sample completing
+// and the island model off.
+func DefaultFleetOptions() FleetOptions { return fleet.DefaultOptions() }
+
+// RunSamplesFleet executes n campaigns with distinct seeds under full
+// fleet control: ctx bounds the whole run (deadline/cancellation),
+// opts selects worker count, early stop on first bug found, and the
+// GP island model. See internal/fleet for the determinism guarantees.
+func RunSamplesFleet(ctx context.Context, cfg CampaignConfig, n int, baseSeed int64, opts FleetOptions) ([]CampaignResult, FleetStats, error) {
+	return fleet.SampleSet(ctx, cfg, n, baseSeed, opts)
 }
 
 // LitmusTest is one diy-style generated litmus test.
