@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/benchwork"
 	"repro/internal/bugs"
 	"repro/internal/checker"
 	"repro/internal/core"
@@ -350,4 +351,20 @@ func BenchmarkFleetIslands(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCollectiveChecker is the tentpole A/B: the shared
+// repetitive-iteration workload (benchwork.CheckerWorkload: a
+// 1k-operation test whose iterations cycle through 4 distinct
+// interleavings, the shape the per-campaign hot path sees when most
+// executions repeat the same observed orderings) checked naively per
+// iteration versus collectively through the signature memo. The
+// collective variant's steady state replaces the full model check with
+// one signature hash — the paper-motivated >=2x checker-phase speedup
+// is the acceptance bar, the measured gap is typically far larger.
+// cmd/bench snapshots the identical A/B to BENCH_<n>.json.
+func BenchmarkCollectiveChecker(b *testing.B) {
+	progs, orders := benchwork.CheckerWorkload()
+	b.Run("naive", benchwork.BenchChecker(false, progs, orders))
+	b.Run("collective", benchwork.BenchChecker(true, progs, orders))
 }

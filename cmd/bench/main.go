@@ -1,0 +1,155 @@
+// Command bench runs the repository's key micro-benchmarks in-process
+// and emits a machine-readable JSON snapshot (BENCH_<n>.json), so the
+// performance trajectory is comparable PR-over-PR without parsing `go
+// test -bench` text output:
+//
+//	go run ./cmd/bench                 # writes BENCH_2.json
+//	go run ./cmd/bench -out perf.json  # custom path
+//	go run ./cmd/bench -out -          # stdout only
+//
+// The checker A/B runs the exact workload of the CI-proven
+// BenchmarkCollectiveChecker (internal/benchwork), and the derived
+// checker_collective_speedup field records the naive/collective ratio
+// (see EXPERIMENTS.md, "Collective vs naive checking").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/benchwork"
+	"repro/internal/checker"
+	"repro/internal/collective"
+	"repro/internal/memmodel"
+	"repro/internal/relation"
+)
+
+// Snapshot is the BENCH_<n>.json schema.
+type Snapshot struct {
+	Schema     int                `json:"schema"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Benchmarks []Bench            `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+// Bench is one benchmark's result.
+type Bench struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func run(name string, fn func(b *testing.B)) Bench {
+	r := testing.Benchmark(fn)
+	out := Bench{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		out.Metrics = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			out.Metrics[k] = v
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op  (%d iterations)\n", name, out.NsPerOp, out.Iterations)
+	return out
+}
+
+// layeredDAG mirrors the relation package's benchmark graph: a dense
+// forward-edged DAG shaped like a GHB graph over a long execution.
+func layeredDAG(layers, width int) *relation.Relation {
+	r := relation.New()
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			from := relation.EventID(l*width + i)
+			r.Add(from, relation.EventID((l+1)*width+i))
+			r.Add(from, relation.EventID((l+1)*width+(i+1)%width))
+		}
+	}
+	return r
+}
+
+func main() {
+	out := flag.String("out", "BENCH_2.json", "snapshot path (- for stdout only)")
+	flag.Parse()
+
+	progs, orders := benchwork.CheckerWorkload()
+	dag := layeredDAG(100, 8)
+
+	snap := Snapshot{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Derived:    map[string]float64{},
+	}
+	snap.Benchmarks = append(snap.Benchmarks,
+		run("checker/naive", benchwork.BenchChecker(false, progs, orders)),
+		run("checker/collective", benchwork.BenchChecker(true, progs, orders)),
+		run("relation/acyclic-dfs", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := dag.AcyclicCheck(); !ok {
+					panic("layered DAG reported cyclic")
+				}
+			}
+		}),
+		run("relation/acyclic-incremental", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				topo := relation.NewTopo(800)
+				if _, ok := topo.AddRelation(dag); !ok {
+					panic("layered DAG reported cyclic")
+				}
+			}
+		}),
+		run("collective/signature", func(b *testing.B) {
+			rec := checker.NewRecorder(memmodel.TSO{})
+			benchwork.ReplaySerial(rec, progs, orders[0])
+			// Capture the execution, then let EndIteration resolve its
+			// rf and co in place: the hash covers the complete
+			// execution, i.e. the true per-hit signature cost.
+			x := rec.Execution()
+			if v := rec.EndIteration(); v != nil {
+				panic(v)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				collective.Signature(x)
+			}
+		}),
+	)
+	byName := map[string]Bench{}
+	for _, bm := range snap.Benchmarks {
+		byName[bm.Name] = bm
+	}
+	if c, n := byName["checker/collective"], byName["checker/naive"]; c.NsPerOp > 0 {
+		snap.Derived["checker_collective_speedup"] = n.NsPerOp / c.NsPerOp
+	}
+	if inc, dfs := byName["relation/acyclic-incremental"], byName["relation/acyclic-dfs"]; inc.NsPerOp > 0 {
+		snap.Derived["relation_incremental_vs_dfs"] = dfs.NsPerOp / inc.NsPerOp
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out != "-" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	os.Stdout.Write(enc)
+}

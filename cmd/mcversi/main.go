@@ -29,6 +29,8 @@ func main() {
 	stopOnFound := flag.Bool("stop-on-found", false, "cancel sibling samples once one finds the bug")
 	islands := flag.Bool("islands", false, "GP island model: migrate elites between samples")
 	migrate := flag.Int("migrate", 50, "island migration interval in test-runs")
+	collective := flag.Bool("collective", true,
+		"collective checking: dedupe executions by signature, one shared verdict memo per fleet (disable for naive A/B benchmarks)")
 	progress := flag.Bool("progress", false, "stream per-sample fleet events to stderr")
 	list := flag.Bool("list", false, "list the 11 studied bugs and exit")
 	flag.Parse()
@@ -58,6 +60,7 @@ func main() {
 		StopOnFound:       *stopOnFound,
 		Islands:           *islands,
 		MigrationInterval: *migrate,
+		Collective:        *collective,
 	}
 	var drained chan struct{}
 	var events chan mcversi.FleetEvent
@@ -75,8 +78,13 @@ func main() {
 				case ev.Done:
 					state = "done"
 				}
-				fmt.Fprintf(os.Stderr, "[fleet] sample %d %s: %d runs, %.1f%% coverage, %s\n",
-					ev.Sample, state, ev.Result.TestRuns, 100*ev.Result.TotalCoverage, ev.Elapsed.Round(time.Millisecond))
+				dedupe := ""
+				if ev.Result.Dedupe.Checks > 0 {
+					dedupe = fmt.Sprintf(", %.0f%% dedupe (%d unique sigs)",
+						100*ev.Result.Dedupe.HitRate(), ev.Result.Dedupe.Unique)
+				}
+				fmt.Fprintf(os.Stderr, "[fleet] sample %d %s: %d runs, %.1f%% coverage%s, %s\n",
+					ev.Sample, state, ev.Result.TestRuns, 100*ev.Result.TotalCoverage, dedupe, ev.Elapsed.Round(time.Millisecond))
 			}
 		}()
 	}
@@ -99,6 +107,9 @@ func main() {
 	}
 	fmt.Printf("\n%d/%d samples found the bug (%d workers, %d test-runs total, %s wall)\n",
 		found, len(results), st.Workers, totalRuns, st.Wall.Round(time.Millisecond))
+	if st.Dedupe.Checks > 0 {
+		fmt.Printf("collective checking: %s\n", st.Dedupe)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcversi:", err)
 		os.Exit(1)

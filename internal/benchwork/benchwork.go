@@ -1,0 +1,89 @@
+// Package benchwork provides the shared checker benchmark workload
+// used by both the root benchmark suite (BenchmarkCollectiveChecker)
+// and the cmd/bench snapshot tool, so the CI-proven A/B and the
+// BENCH_<n>.json numbers are guaranteed to measure the same thing.
+package benchwork
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/collective"
+	"repro/internal/memmodel"
+	"repro/internal/memsys"
+	"repro/internal/testgen"
+)
+
+// CheckerWorkload builds the repetitive-iteration replay workload: one
+// 1k-operation, 8-thread test and four serial interleavings of it —
+// the shape the per-campaign hot path sees when most executions repeat
+// the same observed orderings.
+func CheckerWorkload() ([]testgen.Program, [][]int) {
+	gen, err := testgen.NewGenerator(testgen.Config{
+		Size: 1000, Threads: 8, Layout: memsys.MustLayout(8192, 16),
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		panic(err)
+	}
+	progs, err := testgen.Compile(gen.NewTest())
+	if err != nil {
+		panic(err)
+	}
+	const variants = 4
+	orders := make([][]int, variants)
+	for v := range orders {
+		for i := 0; i < len(progs); i++ {
+			orders[v] = append(orders[v], (i+v)%len(progs))
+		}
+	}
+	return progs, orders
+}
+
+// ReplaySerial replays one serial execution of progs into rec with the
+// threads run to completion in the given order — each order yields a
+// distinct observed rf/co (reads see whatever the preceding threads
+// left in memory), i.e. a distinct execution signature of the same
+// test.
+func ReplaySerial(rec *checker.Recorder, progs []testgen.Program, order []int) {
+	mem := map[memsys.Addr]uint64{}
+	for _, tid := range order {
+		p := progs[tid]
+		for idx := range p {
+			in := &p[idx]
+			switch in.Kind {
+			case testgen.OpRead, testgen.OpReadAddrDp:
+				rec.CommitRead(tid, idx, 0, in.Addr, mem[in.Addr.WordAddr()], false)
+			case testgen.OpWrite:
+				mem[in.Addr.WordAddr()] = in.WriteID
+				rec.CommitWrite(tid, idx, 0, in.Addr, in.WriteID, false)
+				rec.WriteSerialized(tid, idx, 0, in.Addr, in.WriteID)
+			}
+		}
+	}
+}
+
+// BenchChecker returns the naive-vs-collective checker benchmark body:
+// iterations cycle through the workload's interleavings, each ended
+// with a full verify. With collectiveMode the recorder checks through
+// a fresh signature memo (created per benchmark invocation so adaptive
+// b.N re-runs start cold); the steady-state dedupe rate is reported as
+// the "dedupe-%" metric.
+func BenchChecker(collectiveMode bool, progs []testgen.Program, orders [][]int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rec := checker.NewRecorder(memmodel.TSO{})
+		if collectiveMode {
+			rec.SetMemo(collective.NewMemo())
+		}
+		var dedupe float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ReplaySerial(rec, progs, orders[i%len(orders)])
+			if v := rec.EndIteration(); v != nil {
+				b.Fatalf("serial execution rejected: %v", v)
+			}
+			dedupe = rec.Dedupe().HitRate()
+		}
+		b.ReportMetric(100*dedupe, "dedupe-%")
+	}
+}

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/collective"
 	"repro/internal/memmodel"
 	"repro/internal/memsys"
 	"repro/internal/relation"
+	"repro/internal/stats"
 )
 
 // Violation describes a detected MCM violation.
@@ -43,6 +45,17 @@ type edge struct {
 type Recorder struct {
 	arch memmodel.Arch
 
+	// Collective-checking state (nil memo = naive per-iteration
+	// checking). seen is the recorder-lifetime signature history used
+	// for the *local* dedupe counters: classifying a hit against what
+	// this recorder already submitted — rather than against the shared
+	// memo — keeps the counters a pure function of the campaign's own
+	// execution stream, so Results stay identical at any fleet worker
+	// count even though the memo is shared.
+	memo *collective.Memo
+	seen map[collective.Sig]struct{}
+	ded  stats.Dedupe
+
 	// Per-iteration state.
 	exec       *memmodel.Execution
 	writeByVal map[uint64]relation.EventID
@@ -65,7 +78,11 @@ func NewRecorder(arch memmodel.Arch) *Recorder {
 	return r
 }
 
-// ResetAll clears both iteration and run state (verify_reset_all).
+// ResetAll clears both iteration and run state (verify_reset_all). The
+// collective-checking signature history survives: it spans the
+// recorder's whole lifetime (a campaign), so repeats of an ordering in
+// later test-runs still count as dedupe hits. The per-run dedupe
+// counters reset with the rest of the run state.
 func (r *Recorder) ResetAll() {
 	r.resetIteration()
 	r.iteration = 0
@@ -73,7 +90,25 @@ func (r *Recorder) ResetAll() {
 	r.preds = make(map[memmodel.Key]map[memmodel.Key]struct{})
 	r.addrOf = make(map[memmodel.Key]memsys.Addr)
 	r.allEvents = make(map[memmodel.Key]struct{})
+	r.ded = stats.Dedupe{}
 }
+
+// SetMemo enables collective checking: each iteration's execution is
+// collapsed to its signature and the verdict is fetched from (or
+// computed once into) memo. Memos may be shared across recorders and
+// goroutines; passing nil reverts to naive per-iteration checking.
+func (r *Recorder) SetMemo(m *collective.Memo) {
+	r.memo = m
+	if m != nil && r.seen == nil {
+		r.seen = make(map[collective.Sig]struct{})
+	}
+}
+
+// Dedupe returns the current run's collective-checking counters (zero
+// when no memo is set). Hits are classified against this recorder's
+// own signature history, so the counters are deterministic regardless
+// of memo sharing.
+func (r *Recorder) Dedupe() stats.Dedupe { return r.ded }
 
 func (r *Recorder) resetIteration() {
 	r.exec = memmodel.NewExecution()
@@ -204,7 +239,21 @@ func (r *Recorder) EndIteration() *Violation {
 		}
 	}
 
-	res := memmodel.Check(exec, r.arch)
+	var res memmodel.Result
+	if r.memo != nil {
+		// Collective checking: collapse the execution to its canonical
+		// signature; the shared memo model-checks each unique
+		// (program, observed-ordering) pair at most once.
+		sig := collective.Signature(exec)
+		res, _ = r.memo.Check(sig, exec, r.arch)
+		_, dup := r.seen[sig]
+		if !dup {
+			r.seen[sig] = struct{}{}
+		}
+		r.ded.Note(dup)
+	} else {
+		res = memmodel.Check(exec, r.arch)
+	}
 
 	// Fold this iteration's rf and co (immediate edges) into rfcoRUN
 	// (Definition 1), regardless of validity.

@@ -4,8 +4,10 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/collective"
 	"repro/internal/memmodel"
 	"repro/internal/memsys"
+	"repro/internal/stats"
 )
 
 const (
@@ -177,5 +179,76 @@ func TestRMWEventsRecorded(t *testing.T) {
 	r2.WriteSerialized(1, 0, 1, ax, 6)
 	if v := r2.EndIteration(); v == nil {
 		t.Fatal("broken RMW atomicity accepted")
+	}
+}
+
+// TestCollectiveRecorderMatchesNaive: a memoized recorder must return
+// the same verdict stream as a naive one, and must classify repeats of
+// an ordering as dedupe hits — including repeats across test-runs
+// (ResetAll), which reset the per-run counters but not the signature
+// history.
+func TestCollectiveRecorderMatchesNaive(t *testing.T) {
+	outcomes := [][2]uint64{{102, 101}, {102, 0}, {102, 101}, {0, 0}, {102, 101}}
+	naive := NewRecorder(memmodel.TSO{})
+	coll := NewRecorder(memmodel.TSO{})
+	coll.SetMemo(collective.NewMemo())
+	for i, o := range outcomes {
+		serialMP(naive, o[0], o[1])
+		vn := naive.EndIteration()
+		serialMP(coll, o[0], o[1])
+		vc := coll.EndIteration()
+		if (vn == nil) != (vc == nil) {
+			t.Fatalf("iteration %d: naive violation=%v, collective violation=%v", i, vn, vc)
+		}
+		if vn != nil && vn.Result.Kind != vc.Result.Kind {
+			t.Fatalf("iteration %d: kinds differ: %v vs %v", i, vn.Result.Kind, vc.Result.Kind)
+		}
+	}
+	d := coll.Dedupe()
+	// 5 checks, 3 unique orderings, 2 repeats of {102,101}.
+	if d.Checks != 5 || d.Unique != 3 || d.Hits != 2 {
+		t.Fatalf("dedupe = %+v, want 5 checks / 3 unique / 2 hits", d)
+	}
+	if naive.Dedupe() != (stats.Dedupe{}) {
+		t.Fatalf("naive recorder counted dedupe: %+v", naive.Dedupe())
+	}
+
+	// A new run repeating a known ordering: per-run counters reset,
+	// history persists, so the repeat is a pure hit.
+	coll.ResetAll()
+	serialMP(coll, 102, 101)
+	if v := coll.EndIteration(); v != nil {
+		t.Fatal(v)
+	}
+	if d := coll.Dedupe(); d.Checks != 1 || d.Hits != 1 || d.Unique != 0 {
+		t.Fatalf("post-reset dedupe = %+v, want 1 check / 1 hit / 0 unique", d)
+	}
+}
+
+// TestCollectiveRecorderSharedMemoLocalCounters: two recorders sharing
+// one memo must keep independent, order-insensitive local counters —
+// each classifies hits against its own history even when the other
+// recorder already computed the verdict.
+func TestCollectiveRecorderSharedMemoLocalCounters(t *testing.T) {
+	memo := collective.NewMemo()
+	a := NewRecorder(memmodel.TSO{})
+	a.SetMemo(memo)
+	b := NewRecorder(memmodel.TSO{})
+	b.SetMemo(memo)
+	for _, r := range []*Recorder{a, b} {
+		serialMP(r, 102, 101)
+		if v := r.EndIteration(); v != nil {
+			t.Fatal(v)
+		}
+	}
+	// Both recorders saw a first-time signature locally...
+	for i, r := range []*Recorder{a, b} {
+		if d := r.Dedupe(); d.Unique != 1 || d.Hits != 0 {
+			t.Fatalf("recorder %d: dedupe = %+v, want 1 unique / 0 hits", i, d)
+		}
+	}
+	// ...but the shared memo model-checked it exactly once.
+	if d := memo.Stats(); d.Checks != 2 || d.Unique != 1 || d.Hits != 1 {
+		t.Fatalf("memo stats = %+v, want 2 checks / 1 unique / 1 hit", d)
 	}
 }

@@ -1,0 +1,264 @@
+// Package collective implements collective checking of candidate
+// executions (MTraceCheck-style, ISCA'17): across the iterations of a
+// test-run — and across the campaigns of a whole fleet — most observed
+// executions repeat the same interleaving, so re-deciding each one from
+// scratch wastes the checker's per-iteration hot path. This package
+// collapses executions into canonical, order-independent signatures
+// (per-thread program slices plus the observed rf and co conflict
+// orders), memoizes verdicts in a concurrency-safe table keyed by
+// signature so each unique (test, observed-ordering) pair is model-
+// checked at most once per memo lifetime, and offers a batch API that
+// groups pending executions by signature and dispatches only unique
+// representatives to memmodel.Check.
+//
+// Sharing a Memo across fleet workers is safe and deterministic: the
+// verdict for a signature is a pure function of (execution, memory
+// model) — the memo keys on both — so which worker computes it first
+// never changes any campaign's results, only how much work is saved.
+package collective
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/memmodel"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// Sig is a 128-bit canonical execution signature. Two executions of the
+// same test that observed the same rf and co conflict orders hash to
+// the same Sig regardless of the global commit interleaving that
+// produced them; executions of different tests (different per-thread
+// program slices) never collide except by 128-bit hash accident, which
+// the non-adversarial simulation workload makes negligible.
+type Sig struct{ Hi, Lo uint64 }
+
+// Section markers keep the variable-length sections of the canonical
+// serialization from aliasing one another.
+const (
+	sigThread uint64 = 0xA11CE<<8 | iota
+	sigCO
+	sigInit
+	sigNoRF
+)
+
+// Signature computes the canonical signature of x. The serialization is
+// order-independent by construction: events are walked per thread in
+// program order (never in commit order), rf is folded in at each read
+// as the producing write's stable Key, and co is walked per address in
+// address order. Initial writes — whose Keys depend on creation order,
+// i.e. on the interleaving — are canonicalized by their address.
+func Signature(x *memmodel.Execution) Sig {
+	h := fnv.New128a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	ekey := func(id relation.EventID) {
+		e := x.Event(id)
+		if e.IsInit() {
+			u64(sigInit)
+			u64(uint64(e.Addr))
+			return
+		}
+		u64(uint64(int64(e.Key.TID)))
+		u64(uint64(int64(e.Key.Instr)))
+		u64(uint64(int64(e.Key.Sub)))
+	}
+	for _, tid := range x.Threads() {
+		u64(sigThread)
+		u64(uint64(int64(tid)))
+		for _, id := range x.ThreadEvents(tid) {
+			e := x.Event(id)
+			// Instr and Sub matter beyond position: RMW atomicity
+			// pairs events by (Instr, consecutive Subs), so two
+			// kind/addr/value-identical slices with different pairing
+			// must not collide.
+			u64(uint64(int64(e.Key.Instr)))
+			u64(uint64(int64(e.Key.Sub)))
+			u64(uint64(e.Kind))
+			u64(uint64(e.Addr))
+			u64(e.Value)
+			if e.Atomic {
+				u64(1)
+			} else {
+				u64(0)
+			}
+			if e.IsRead() {
+				if w, ok := x.RF(id); ok {
+					ekey(w)
+				} else {
+					u64(sigNoRF)
+				}
+			}
+		}
+	}
+	for _, addr := range x.Addresses() {
+		u64(sigCO)
+		u64(uint64(addr))
+		for _, id := range x.CO(addr) {
+			ekey(id)
+		}
+	}
+	sum := h.Sum(nil)
+	return Sig{
+		Hi: binary.BigEndian.Uint64(sum[:8]),
+		Lo: binary.BigEndian.Uint64(sum[8:]),
+	}
+}
+
+// memoShards bounds lock contention between fleet workers.
+const memoShards = 64
+
+// Memo is a concurrency-safe verdict table keyed by execution
+// signature. A signature's verdict is computed at most once across all
+// goroutines sharing the memo: concurrent submitters of the same new
+// signature block on the first one's computation instead of repeating
+// it. The zero value is not ready; call NewMemo.
+type Memo struct {
+	checks  atomic.Uint64
+	hits    atomic.Uint64
+	entries atomic.Uint64
+	shards  [memoShards]memoShard
+}
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[Sig]*memoEntry
+}
+
+type memoEntry struct {
+	once sync.Once
+	res  memmodel.Result
+}
+
+// NewMemo returns an empty verdict table.
+func NewMemo() *Memo {
+	m := &Memo{}
+	for i := range m.shards {
+		m.shards[i].m = make(map[Sig]*memoEntry)
+	}
+	return m
+}
+
+func (m *Memo) entry(sig Sig) (*memoEntry, bool) {
+	s := &m.shards[sig.Lo%memoShards]
+	s.mu.Lock()
+	e, ok := s.m[sig]
+	if !ok {
+		e = &memoEntry{}
+		s.m[sig] = e
+		m.entries.Add(1)
+	}
+	s.mu.Unlock()
+	return e, ok
+}
+
+// archKey folds the memory model into the lookup key: a verdict is a
+// function of (execution, arch), and memos are exported for sharing,
+// so a TSO verdict must never answer an SC query.
+func archKey(sig Sig, arch memmodel.Arch) Sig {
+	h := fnv.New64a()
+	h.Write([]byte(arch.Name()))
+	n := h.Sum64()
+	return Sig{Hi: sig.Hi ^ n, Lo: sig.Lo ^ (n<<32 | n>>32)}
+}
+
+// Check returns the verdict for the execution whose signature is sig,
+// running memmodel.Check at most once per *valid* signature. hit
+// reports whether the verdict was already present (or being computed
+// by a concurrent submitter).
+//
+// Invalid verdicts are special-cased: a hit on a known-invalid
+// signature re-derives the witness (Cycle, Detail) from the submitted
+// execution instead of returning the representative's. Signature-equal
+// executions agree on Valid and Kind — those are graph properties,
+// identical for isomorphic executions — but the witness cycle found
+// first depends on the submitter's dense EventID numbering, so reusing
+// the representative's would make Result details depend on which
+// fleet worker checked first. Violations are terminal for a campaign,
+// so the re-derivation never costs more than one extra check per
+// campaign.
+func (m *Memo) Check(sig Sig, x *memmodel.Execution, arch memmodel.Arch) (res memmodel.Result, hit bool) {
+	m.checks.Add(1)
+	e, _ := m.entry(archKey(sig, arch))
+	computed := false
+	e.once.Do(func() {
+		e.res = memmodel.Check(x, arch)
+		computed = true
+	})
+	if computed {
+		return e.res, false
+	}
+	m.hits.Add(1)
+	if !e.res.Valid {
+		return memmodel.Check(x, arch), true
+	}
+	return e.res, true
+}
+
+// Len returns the number of unique signatures seen.
+func (m *Memo) Len() int { return int(m.entries.Load()) }
+
+// Stats snapshots the memo's global counters. Unlike per-campaign
+// counters, Hits here depends on which submitter of a concurrently-new
+// signature won the race only in attribution, never in total: Checks -
+// Unique == Hits always holds.
+func (m *Memo) Stats() stats.Dedupe {
+	return stats.Dedupe{
+		Checks: m.checks.Load(),
+		Hits:   m.hits.Load(),
+		Unique: m.entries.Load(),
+	}
+}
+
+// Batch accumulates pending executions and checks them collectively:
+// Flush groups them by signature and dispatches one representative per
+// unique signature to memmodel.Check (through the shared memo when one
+// was provided, so batches also reuse verdicts across flushes and
+// across goroutines).
+type Batch struct {
+	arch memmodel.Arch
+	memo *Memo
+	pend []pending
+}
+
+type pending struct {
+	x   *memmodel.Execution
+	sig Sig
+}
+
+// NewBatch returns a batch checking against arch. memo may be nil, in
+// which case the batch dedupes against a private table.
+func NewBatch(arch memmodel.Arch, memo *Memo) *Batch {
+	if memo == nil {
+		memo = NewMemo()
+	}
+	return &Batch{arch: arch, memo: memo}
+}
+
+// Add enqueues x for the next Flush and returns its signature. The
+// execution must not be mutated until after the flush.
+func (b *Batch) Add(x *memmodel.Execution) Sig {
+	sig := Signature(x)
+	b.pend = append(b.pend, pending{x: x, sig: sig})
+	return sig
+}
+
+// Len returns the number of pending executions.
+func (b *Batch) Len() int { return len(b.pend) }
+
+// Flush collectively checks all pending executions and returns one
+// Result per Add, in Add order, clearing the pending set.
+func (b *Batch) Flush() []memmodel.Result {
+	out := make([]memmodel.Result, len(b.pend))
+	for i, p := range b.pend {
+		out[i], _ = b.memo.Check(p.sig, p.x, b.arch)
+	}
+	b.pend = b.pend[:0]
+	return out
+}

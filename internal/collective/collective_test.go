@@ -1,0 +1,377 @@
+package collective
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/memsys"
+	"repro/internal/relation"
+)
+
+const (
+	ax memsys.Addr = 0x1000
+	ay memsys.Addr = 0x1040
+)
+
+// op is one step of a scripted execution replay: a commit in global
+// interleaving order.
+type op struct {
+	tid, instr int
+	write      bool
+	addr       memsys.Addr
+	val        uint64
+}
+
+// replay builds an execution from ops in the given global order: the
+// same op multiset in a different order yields the same per-thread
+// slices, and rf/co are resolved from the final value map / write
+// order, which the caller keeps fixed across permutations.
+func replay(t *testing.T, ops []op, co map[memsys.Addr][]uint64, rf map[[2]int]uint64) *memmodel.Execution {
+	t.Helper()
+	x := memmodel.NewExecution()
+	writes := map[uint64]relation.EventID{}
+	var reads []relation.EventID
+	for _, o := range ops {
+		kind := memmodel.KindRead
+		if o.write {
+			kind = memmodel.KindWrite
+		}
+		id := x.AddEvent(memmodel.Event{
+			Key:   memmodel.Key{TID: o.tid, Instr: o.instr},
+			Kind:  kind,
+			Addr:  o.addr,
+			Value: o.val,
+		})
+		if o.write {
+			writes[o.val] = id
+		} else {
+			reads = append(reads, id)
+		}
+	}
+	for addr, vals := range co {
+		for _, v := range vals {
+			if err := x.AppendCO(writes[v]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = addr
+	}
+	for _, r := range reads {
+		e := x.Event(r)
+		want := rf[[2]int{e.Key.TID, e.Key.Instr}]
+		var w relation.EventID
+		if want == 0 {
+			w = x.InitWrite(e.Addr)
+		} else {
+			w = writes[want]
+		}
+		if err := x.SetRF(r, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return x
+}
+
+// mpOps is a message-passing execution: two writes on thread 1, two
+// reads on thread 2 observing (readY, readX).
+func mpOps(readY, readX uint64) ([]op, map[memsys.Addr][]uint64, map[[2]int]uint64) {
+	ops := []op{
+		{tid: 1, instr: 0, write: true, addr: ax, val: 101},
+		{tid: 1, instr: 1, write: true, addr: ay, val: 102},
+		{tid: 2, instr: 0, addr: ay, val: readY},
+		{tid: 2, instr: 1, addr: ax, val: readX},
+	}
+	co := map[memsys.Addr][]uint64{ax: {101}, ay: {102}}
+	rf := map[[2]int]uint64{{2, 0}: readY, {2, 1}: readX}
+	return ops, co, rf
+}
+
+// permute reorders the global commit order while keeping each thread's
+// subsequence intact (a different legal interleaving of the same run).
+func permute(ops []op) []op {
+	out := make([]op, 0, len(ops))
+	byTID := map[int][]op{}
+	var tids []int
+	for _, o := range ops {
+		if _, ok := byTID[o.tid]; !ok {
+			tids = append(tids, o.tid)
+		}
+		byTID[o.tid] = append(byTID[o.tid], o)
+	}
+	// Round-robin pop instead of thread-at-a-time.
+	for len(out) < len(ops) {
+		for _, tid := range tids {
+			if len(byTID[tid]) > 0 {
+				out = append(out, byTID[tid][0])
+				byTID[tid] = byTID[tid][1:]
+			}
+		}
+	}
+	return out
+}
+
+func TestSignatureInterleavingIndependent(t *testing.T) {
+	ops, co, rf := mpOps(102, 101)
+	a := Signature(replay(t, ops, co, rf))
+	b := Signature(replay(t, permute(ops), co, rf))
+	if a != b {
+		t.Fatalf("same logical execution, different signatures: %v vs %v", a, b)
+	}
+}
+
+func TestSignatureInitWriteCreationOrderIndependent(t *testing.T) {
+	// Two threads each read a different location's initial value;
+	// reversing their commit order reverses init-write creation order
+	// (and so the init Keys), which the signature must canonicalize
+	// away. Per-thread program order is untouched by the swap.
+	ops := []op{
+		{tid: 1, instr: 0, addr: ax, val: 0},
+		{tid: 2, instr: 0, addr: ay, val: 0},
+	}
+	rev := []op{ops[1], ops[0]}
+	rf := map[[2]int]uint64{{1, 0}: 0, {2, 0}: 0}
+	a := Signature(replay(t, ops, nil, rf))
+	b := Signature(replay(t, rev, nil, rf))
+	if a != b {
+		t.Fatalf("init-write creation order leaked into signature: %v vs %v", a, b)
+	}
+}
+
+func TestSignatureDistinguishesRF(t *testing.T) {
+	mk := func(readY, readX uint64) Sig {
+		ops, co, rf := mpOps(readY, readX)
+		return Signature(replay(t, ops, co, rf))
+	}
+	sigs := map[Sig][2]uint64{}
+	for _, o := range [][2]uint64{{102, 101}, {102, 0}, {0, 101}, {0, 0}} {
+		s := mk(o[0], o[1])
+		if prev, dup := sigs[s]; dup {
+			t.Fatalf("outcomes %v and %v share a signature", prev, o)
+		}
+		sigs[s] = o
+	}
+}
+
+func TestSignatureDistinguishesCO(t *testing.T) {
+	ops := []op{
+		{tid: 1, instr: 0, write: true, addr: ax, val: 1},
+		{tid: 2, instr: 0, write: true, addr: ax, val: 2},
+	}
+	a := Signature(replay(t, ops, map[memsys.Addr][]uint64{ax: {1, 2}}, nil))
+	b := Signature(replay(t, ops, map[memsys.Addr][]uint64{ax: {2, 1}}, nil))
+	if a == b {
+		t.Fatal("coherence order not captured by signature")
+	}
+}
+
+func TestMemoChecksOncePerSignature(t *testing.T) {
+	m := NewMemo()
+	ops, co, rf := mpOps(102, 101)
+	for i := 0; i < 5; i++ {
+		x := replay(t, ops, co, rf)
+		res, hit := m.Check(Signature(x), x, memmodel.TSO{})
+		if !res.Valid {
+			t.Fatalf("valid MP outcome rejected: %s", res.Detail)
+		}
+		if hit != (i > 0) {
+			t.Fatalf("submission %d: hit = %v", i, hit)
+		}
+	}
+	d := m.Stats()
+	if d.Checks != 5 || d.Unique != 1 || d.Hits != 4 {
+		t.Fatalf("stats = %+v, want 5/1/4", d)
+	}
+}
+
+func TestMemoVerdictMatchesDirectCheck(t *testing.T) {
+	m := NewMemo()
+	for _, o := range [][2]uint64{{102, 101}, {102, 0}, {0, 0}} {
+		ops, co, rf := mpOps(o[0], o[1])
+		x := replay(t, ops, co, rf)
+		want := memmodel.Check(x, memmodel.TSO{})
+		// Submit a different interleaving of the same execution: the
+		// memoized verdict must match the direct check of either.
+		x2 := replay(t, permute(ops), co, rf)
+		got, _ := m.Check(Signature(x2), x2, memmodel.TSO{})
+		if got.Valid != want.Valid || got.Kind != want.Kind {
+			t.Fatalf("outcome %v: memo (%v,%v) != direct (%v,%v)",
+				o, got.Valid, got.Kind, want.Valid, want.Kind)
+		}
+	}
+}
+
+// TestMemoKeysPerArch: a memo shared between checkers of different
+// memory models must never answer an SC query with a TSO verdict. The
+// SB outcome (both reads stale) is the canonical discriminator:
+// TSO-valid, SC-invalid.
+func TestMemoKeysPerArch(t *testing.T) {
+	m := NewMemo()
+	sb := func() *memmodel.Execution {
+		ops := []op{
+			{tid: 1, instr: 0, write: true, addr: ax, val: 1},
+			{tid: 1, instr: 1, addr: ay, val: 0},
+			{tid: 2, instr: 0, write: true, addr: ay, val: 2},
+			{tid: 2, instr: 1, addr: ax, val: 0},
+		}
+		co := map[memsys.Addr][]uint64{ax: {1}, ay: {2}}
+		rf := map[[2]int]uint64{{1, 1}: 0, {2, 1}: 0}
+		return replay(t, ops, co, rf)
+	}
+	x := sb()
+	sig := Signature(x)
+	if res, _ := m.Check(sig, x, memmodel.TSO{}); !res.Valid {
+		t.Fatalf("SB rejected under TSO: %s", res.Detail)
+	}
+	res, hit := m.Check(sig, sb(), memmodel.SC{})
+	if hit {
+		t.Fatal("SC query answered from the TSO entry")
+	}
+	if res.Valid {
+		t.Fatal("SB accepted under SC via cross-arch memo pollution")
+	}
+	if d := m.Stats(); d.Unique != 2 {
+		t.Fatalf("unique = %d, want one entry per arch", d.Unique)
+	}
+}
+
+// TestMemoHitRederivesInvalidWitness: a hit on a known-invalid
+// signature must report the witness of the *submitted* execution, not
+// the representative's — otherwise Result details would depend on
+// which fleet worker checked the signature first.
+func TestMemoHitRederivesInvalidWitness(t *testing.T) {
+	m := NewMemo()
+	ops, co, rf := mpOps(102, 0) // forbidden MP outcome
+	x1 := replay(t, ops, co, rf)
+	if res, hit := m.Check(Signature(x1), x1, memmodel.TSO{}); res.Valid || hit {
+		t.Fatalf("representative: valid=%v hit=%v", res.Valid, hit)
+	}
+	x2 := replay(t, permute(ops), co, rf) // same signature, new EventIDs
+	got, hit := m.Check(Signature(x2), x2, memmodel.TSO{})
+	if !hit || got.Valid {
+		t.Fatalf("repeat: valid=%v hit=%v", got.Valid, hit)
+	}
+	want := memmodel.Check(x2, memmodel.TSO{})
+	if got.Detail != want.Detail {
+		t.Errorf("hit returned foreign witness:\n got %q\nwant %q", got.Detail, want.Detail)
+	}
+}
+
+// TestSignatureDistinguishesRMWPairing: atomicity pairs events by
+// (Instr, consecutive Subs), so an RMW pair and a kind/addr/value-
+// identical unpaired read+write must not share a signature.
+func TestSignatureDistinguishesRMWPairing(t *testing.T) {
+	build := func(paired bool) *memmodel.Execution {
+		x := memmodel.NewExecution()
+		w1 := x.AddEvent(memmodel.Event{
+			Key: memmodel.Key{TID: 1, Instr: 0}, Kind: memmodel.KindWrite, Addr: ax, Value: 1,
+		})
+		rInstr, rSub := 5, 0
+		if !paired {
+			rInstr, rSub = 4, 0 // read half demoted to its own instruction
+		}
+		r := x.AddEvent(memmodel.Event{
+			Key: memmodel.Key{TID: 2, Instr: rInstr, Sub: rSub}, Kind: memmodel.KindRead,
+			Addr: ax, Value: 1, Atomic: true,
+		})
+		w2 := x.AddEvent(memmodel.Event{
+			Key: memmodel.Key{TID: 2, Instr: 5, Sub: 1}, Kind: memmodel.KindWrite,
+			Addr: ax, Value: 3, Atomic: true,
+		})
+		intruder := x.AddEvent(memmodel.Event{
+			Key: memmodel.Key{TID: 3, Instr: 0}, Kind: memmodel.KindWrite, Addr: ax, Value: 2,
+		})
+		for _, w := range []relation.EventID{w1, intruder, w2} {
+			if err := x.AppendCO(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := x.SetRF(r, w1); err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+	pairedX, unpairedX := build(true), build(false)
+	if Signature(pairedX) == Signature(unpairedX) {
+		t.Fatal("RMW pairing not captured by signature")
+	}
+	// And the verdicts genuinely differ, which is why collision would
+	// be unsound: the paired version breaks atomicity, the unpaired
+	// one does not.
+	paired := memmodel.Check(pairedX, memmodel.TSO{})
+	unpaired := memmodel.Check(unpairedX, memmodel.TSO{})
+	if paired.Kind != memmodel.ViolationAtomicity || unpaired.Kind == memmodel.ViolationAtomicity {
+		t.Fatalf("unexpected verdicts: paired=%v unpaired=%v", paired.Kind, unpaired.Kind)
+	}
+}
+
+func TestMemoConcurrentSubmitters(t *testing.T) {
+	m := NewMemo()
+	// Two executions, one valid (both reads fresh) and one forbidden
+	// (fresh y, stale x), submitted repeatedly from many goroutines.
+	// Executions are built up front and only read concurrently.
+	type tc struct {
+		x     *memmodel.Execution
+		sig   Sig
+		valid bool
+	}
+	var cases []tc
+	for _, o := range [][2]uint64{{102, 101}, {102, 0}} {
+		ops, co, rf := mpOps(o[0], o[1])
+		x := replay(t, ops, co, rf)
+		cases = append(cases, tc{x: x, sig: Signature(x), valid: o[1] == 101})
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	var flipped sync.Map
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				c := cases[i%2]
+				res, _ := m.Check(c.sig, c.x, memmodel.TSO{})
+				if res.Valid != c.valid {
+					flipped.Store(i, res.Kind)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	flipped.Range(func(k, v any) bool {
+		t.Errorf("submission %v: verdict flipped under concurrency (%v)", k, v)
+		return true
+	})
+	d := m.Stats()
+	if d.Unique != 2 {
+		t.Fatalf("unique = %d, want 2", d.Unique)
+	}
+	if d.Checks != goroutines*20 || d.Checks-d.Unique != d.Hits {
+		t.Fatalf("inconsistent counters: %+v", d)
+	}
+}
+
+func TestBatchMatchesNaive(t *testing.T) {
+	b := NewBatch(memmodel.TSO{}, nil)
+	outcomes := [][2]uint64{{102, 101}, {102, 0}, {102, 101}, {0, 0}, {102, 0}, {102, 101}}
+	var want []memmodel.Result
+	for _, o := range outcomes {
+		ops, co, rf := mpOps(o[0], o[1])
+		x := replay(t, ops, co, rf)
+		want = append(want, memmodel.Check(x, memmodel.TSO{}))
+		b.Add(x)
+	}
+	if b.Len() != len(outcomes) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(outcomes))
+	}
+	got := b.Flush()
+	for i := range want {
+		if got[i].Valid != want[i].Valid || got[i].Kind != want[i].Kind {
+			t.Errorf("execution %d: collective (%v,%v) != naive (%v,%v)",
+				i, got[i].Valid, got[i].Kind, want[i].Valid, want[i].Kind)
+		}
+	}
+	if b.Len() != 0 {
+		t.Error("Flush left pending executions behind")
+	}
+}

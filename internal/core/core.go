@@ -13,12 +13,14 @@ import (
 	"repro/internal/bugs"
 	"repro/internal/checker"
 	"repro/internal/coherence"
+	"repro/internal/collective"
 	"repro/internal/coverage"
 	"repro/internal/gp"
 	"repro/internal/host"
 	"repro/internal/machine"
 	"repro/internal/memmodel"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/testgen"
 )
 
@@ -63,6 +65,14 @@ type Config struct {
 	MaxTestRuns int
 	// MaxSimTicks optionally bounds simulated time (0 = unbounded).
 	MaxSimTicks sim.Tick
+	// Memo, when non-nil, enables collective checking: each
+	// iteration's execution is collapsed to its canonical signature
+	// and each unique (program, observed-ordering) pair is model-
+	// checked at most once per memo lifetime. One memo may be shared
+	// by many campaigns (the fleet shares one across all its workers);
+	// verdicts — and therefore Results — are identical with or without
+	// it, only the checking work is deduplicated.
+	Memo *collective.Memo
 }
 
 // DefaultConfig returns a campaign configuration at the paper's
@@ -115,6 +125,11 @@ type Result struct {
 	TotalCoverage float64
 	// MaxNDT and LastNDT track test suitability over the campaign.
 	MaxNDT, LastNDT float64
+	// Dedupe tallies collective checking over the campaign (zero when
+	// Config.Memo is nil). Hits are classified against the campaign's
+	// own signature history, so the tally is deterministic even when
+	// the memo is shared across fleet workers.
+	Dedupe stats.Dedupe
 }
 
 func (r Result) String() string {
@@ -172,6 +187,7 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 	tracker := coverage.NewTracker(table, cfg.Coverage)
 
 	rec := checker.NewRecorder(memmodel.TSO{})
+	rec.SetMemo(cfg.Memo)
 	trap := host.NewErrorTrap()
 	m, err := machine.New(mcfg, tracker, trap, rec)
 	if err != nil {
@@ -288,6 +304,7 @@ func (c *Campaign) Advance(ctx context.Context, extra int) (bool, error) {
 		}
 		steps++
 		c.out.TestRuns++
+		c.out.Dedupe.Merge(res.Dedupe)
 		c.out.LastNDT = res.NDT
 		if res.NDT > c.out.MaxNDT {
 			c.out.MaxNDT = res.NDT

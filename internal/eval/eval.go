@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/bugs"
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/fleet"
@@ -133,7 +134,10 @@ func RunCell(spec GeneratorSpec, bug bugs.Bug, sc Scale) (Cell, error) {
 		}
 	} else {
 		cfg := campaignFor(spec, proto, bug.Name, sc)
-		results, _, err := fleet.SampleSet(context.Background(), cfg, sc.Samples, sc.Seed, fleet.Options{Workers: 1})
+		// Cells run collectively: the samples of one cell share a
+		// verdict memo (fresh per cell, so cell results stay a pure
+		// function of (spec, bug, sc)).
+		results, _, err := fleet.SampleSet(context.Background(), cfg, sc.Samples, sc.Seed, fleet.Options{Workers: 1, Collective: true})
 		if err != nil {
 			return cell, err
 		}
@@ -321,10 +325,14 @@ func Table6(w io.Writer, specs []GeneratorSpec, sc Scale) error {
 			}
 		}
 	}
+	// All Table 6 campaigns (bug-free, so long-lived) share one verdict
+	// memo across cells and workers; results are memo-independent.
+	memo := collective.NewMemo()
 	bests, err := fleet.Map(context.Background(), sc.Parallel, len(items),
 		func(_ context.Context, i int) (float64, error) {
 			cfg := campaignFor(items[i].spec, items[i].proto, "", sc)
 			cfg.Seed = sc.Seed + int64(items[i].sample)*104729
+			cfg.Memo = memo
 			res, err := core.RunCampaign(cfg)
 			if err != nil {
 				return 0, err

@@ -27,7 +27,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
 // Options tune a fleet run.
@@ -52,6 +54,14 @@ type Options struct {
 	// MigrationSize is how many elites each island sends per epoch
 	// (default 2).
 	MigrationSize int
+	// Collective enables collective checking: all samples share one
+	// verdict memo table, so a (test, observed-ordering) pair is
+	// model-checked at most once per fleet run — across workers and
+	// islands. Verdicts and Results are identical either way (the memo
+	// only deduplicates work), so determinism at any worker count is
+	// preserved. If the campaign config already carries a Memo it is
+	// used as-is (e.g. to share verdicts across several fleet runs).
+	Collective bool
 	// Events, when non-nil, receives one Event per completed sample
 	// and one per island epoch. Sends are blocking: the consumer must
 	// drain the channel until SampleSet returns. The channel is never
@@ -59,9 +69,9 @@ type Options struct {
 	Events chan<- Event
 }
 
-// DefaultOptions runs on all cores, runs every sample to completion,
-// and leaves the island model off.
-func DefaultOptions() Options { return Options{} }
+// DefaultOptions runs on all cores with collective checking on, runs
+// every sample to completion, and leaves the island model off.
+func DefaultOptions() Options { return Options{Collective: true} }
 
 func (o Options) withDefaults() Options {
 	if o.MigrationInterval <= 0 {
@@ -107,6 +117,11 @@ type Stats struct {
 	MaxCoverage float64
 	// Epochs and Migrations count island-model activity.
 	Epochs, Migrations int
+	// Dedupe snapshots the shared verdict memo after the run (zero
+	// when Collective is off and no Memo was supplied): fleet-wide
+	// checks, unique signatures and hits. Checks - Unique == Hits;
+	// all three are deterministic at any worker count.
+	Dedupe stats.Dedupe
 	// Wall is the fleet's wall-clock time.
 	Wall time.Duration
 }
@@ -160,6 +175,13 @@ func SampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64, opts
 	em.stats.Samples = n
 	em.stats.Workers = Workers(opts.Workers, n)
 
+	// Collective checking: every sample's campaign shares one verdict
+	// memo, keyed by canonical execution signature — the fleet-wide
+	// "check once, reuse everywhere" table.
+	if opts.Collective && cfg.Memo == nil {
+		cfg.Memo = collective.NewMemo()
+	}
+
 	var (
 		results []core.Result
 		err     error
@@ -168,6 +190,9 @@ func SampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64, opts
 		results, err = islandSampleSet(ctx, cfg, n, baseSeed, opts, em)
 	} else {
 		results, err = pooledSampleSet(ctx, cfg, n, baseSeed, opts, em)
+	}
+	if cfg.Memo != nil {
+		em.stats.Dedupe = cfg.Memo.Stats()
 	}
 	em.stats.Wall = time.Since(start)
 	return results, em.stats, err

@@ -320,3 +320,95 @@ func TestWorkersResolution(t *testing.T) {
 		t.Errorf("Workers(-1, 0) = %d, want 1", got)
 	}
 }
+
+// TestFleetCollectiveMatchesNaive is the collective-checking acceptance
+// guarantee: with a shared verdict memo the fleet must find the same
+// violations in the same samples after the same number of test-runs as
+// naive per-iteration checking — the memo may only deduplicate work.
+func TestFleetCollectiveMatchesNaive(t *testing.T) {
+	const n, baseSeed = 4, 100
+	for _, bug := range []string{"", "LQ+no-TSO"} {
+		cfg := scaledConfig(core.GenRandom, bug, 30)
+		naive, _, err := SampleSet(context.Background(), cfg, n, baseSeed, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coll, st, err := SampleSet(context.Background(), cfg, n, baseSeed, Options{Workers: 1, Collective: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Dedupe.Checks == 0 || st.Dedupe.Unique == 0 {
+			t.Fatalf("bug=%q: collective fleet never consulted the memo: %+v", bug, st.Dedupe)
+		}
+		if st.Dedupe.Checks-st.Dedupe.Unique != st.Dedupe.Hits {
+			t.Fatalf("bug=%q: inconsistent memo counters: %+v", bug, st.Dedupe)
+		}
+		for i := range coll {
+			got := coll[i]
+			got.Dedupe = naive[i].Dedupe // the only field allowed to differ
+			if got != naive[i] {
+				t.Errorf("bug=%q sample %d: collective %+v\n              != naive %+v", bug, i, coll[i], naive[i])
+			}
+		}
+	}
+}
+
+// TestFleetCollectiveDeterminism: sharing one memo across workers must
+// not perturb any sample's Result — including its Dedupe tally, which
+// is classified against the campaign's own signature history precisely
+// so that racing on the shared memo cannot leak into Results.
+func TestFleetCollectiveDeterminism(t *testing.T) {
+	const n, baseSeed = 6, 100
+	cfg := scaledConfig(core.GenRandom, "LQ+no-TSO", 40)
+	var want []core.Result
+	var wantUnique uint64
+	for _, workers := range []int{1, 4, 8} {
+		restoreProcs(t, workers)
+		got, st, err := SampleSet(context.Background(), cfg, n, baseSeed,
+			Options{Workers: workers, Collective: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want, wantUnique = got, st.Dedupe.Unique
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("sample %d diverges at workers=%d:\n got %+v\nwant %+v", i, workers, got[i], want[i])
+			}
+		}
+		if st.Dedupe.Unique != wantUnique {
+			t.Errorf("workers=%d: fleet-wide unique signatures = %d, want %d",
+				workers, st.Dedupe.Unique, wantUnique)
+		}
+	}
+}
+
+// TestFleetCollectiveIslands: the memo must compose with the island
+// model (migrated elites re-evaluated by other islands are where the
+// cross-campaign sharing pays off) without perturbing results.
+func TestFleetCollectiveIslands(t *testing.T) {
+	const n, baseSeed = 3, 7
+	cfg := scaledConfig(core.GenGPAll, "", 24)
+	opts := Options{Workers: 1, Islands: true, MigrationInterval: 8, MigrationSize: 2}
+	naive, _, err := SampleSet(context.Background(), cfg, n, baseSeed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Collective = true
+	coll, st, err := SampleSet(context.Background(), cfg, n, baseSeed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dedupe.Checks == 0 {
+		t.Fatalf("island fleet never consulted the memo: %+v", st.Dedupe)
+	}
+	for i := range coll {
+		got := coll[i]
+		got.Dedupe = naive[i].Dedupe
+		if got != naive[i] {
+			t.Errorf("island sample %d: collective %+v != naive %+v", i, coll[i], naive[i])
+		}
+	}
+}

@@ -75,11 +75,7 @@ func islandSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64
 			// mid-epoch.
 			for i, is := range isles {
 				if !is.done {
-					results[i] = is.camp.Result()
-					em.emit(Event{
-						Sample: i, Epoch: em.stats.Epochs, Done: true, Stopped: true,
-						Result: results[i], Elapsed: time.Since(is.started),
-					})
+					finish(i, true)
 				}
 			}
 			return results, err

@@ -21,6 +21,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memsys"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/testgen"
 )
 
@@ -118,6 +119,9 @@ type RunResult struct {
 	Ticks sim.Tick
 	// Iterations is how many iterations actually executed.
 	Iterations int
+	// Dedupe is the run's collective-checking tally (zero when the
+	// recorder checks naively).
+	Dedupe stats.Dedupe
 }
 
 // errorTrap collects protocol errors raised during a run.
@@ -255,6 +259,7 @@ func (h *Host) RunTest(t *testgen.Test) (RunResult, error) {
 
 	res.NDT = h.rec.NDT()
 	res.FitAddrs = h.rec.FitAddrs()
+	res.Dedupe = h.rec.Dedupe()
 	res.Ticks = h.m.Sim.Now() - start
 	h.runs++
 	return res, nil

@@ -66,8 +66,14 @@ func (r Result) Err() error {
 }
 
 // Check decides whether execution x is valid under arch. The procedure
-// is the complete polynomial-time pre-silicon check of §4.1: all conflict
-// orders are visible, so each constraint is a DFS over explicit edges.
+// is the complete polynomial-time pre-silicon check of §4.1: all
+// conflict orders are visible, so each constraint is a cycle search
+// over explicit edges. The search runs on the incremental acyclicity
+// engine (relation.Topo): the co ∪ fr core shared by the uniproc and
+// GHB constraint graphs is topologically sorted once and its sort
+// state reused for both, and each constraint's own edges are inserted
+// incrementally with the first order-closing insertion yielding the
+// witness cycle.
 func Check(x *Execution, arch Arch) Result {
 	if err := x.Validate(); err != nil {
 		return Result{Kind: ViolationStructural, Detail: err.Error()}
@@ -77,14 +83,23 @@ func Check(x *Execution, arch Arch) Result {
 	co := x.CORelation()
 	fr := x.FRRelation()
 
+	// Shared core: co ∪ fr appears in both constraint graphs. It is
+	// acyclic by construction (no edge enters a read), but a cycle here
+	// would be a same-address ordering violation, so classify it as
+	// uniproc if it ever happens.
+	base := relation.NewTopo(x.NumEvents())
+	for _, rel := range []*relation.Relation{co, fr} {
+		if cycle, ok := base.AddRelation(rel); !ok {
+			return uniprocViolation(x, cycle)
+		}
+	}
+
 	// Constraint 1 — uniproc / SC-per-location:
 	// acyclic(po-loc ∪ rf ∪ co ∪ fr).
-	uniproc := relation.Union(x.POLocRelation(), rf, co, fr)
-	if cycle, ok := uniproc.AcyclicCheck(); !ok {
-		return Result{
-			Kind:   ViolationUniproc,
-			Cycle:  cycle,
-			Detail: describeCycle(x, cycle, "po-loc ∪ com"),
+	uni := base.Clone()
+	for _, rel := range []*relation.Relation{x.POLocRelation(), rf} {
+		if cycle, ok := uni.AddRelation(rel); !ok {
+			return uniprocViolation(x, cycle)
 		}
 	}
 
@@ -96,20 +111,31 @@ func Check(x *Execution, arch Arch) Result {
 	}
 
 	// Constraint 3 — global happens-before:
-	// acyclic(ppo ∪ fences ∪ rfe ∪ co ∪ fr).
-	ghb := relation.Union(x.RFERelation(), co, fr)
+	// acyclic(ppo ∪ fences ∪ rfe ∪ co ∪ fr). Reuses base directly: the
+	// uniproc check is done with its clone.
+	ppo := relation.New()
 	for _, tid := range x.Threads() {
-		arch.PPOEdges(x, x.ThreadEvents(tid), ghb)
+		arch.PPOEdges(x, x.ThreadEvents(tid), ppo)
 	}
-	if cycle, ok := ghb.AcyclicCheck(); !ok {
-		return Result{
-			Kind:   ViolationGHB,
-			Cycle:  cycle,
-			Detail: describeCycle(x, cycle, "ghb("+arch.Name()+")"),
+	for _, rel := range []*relation.Relation{x.RFERelation(), ppo} {
+		if cycle, ok := base.AddRelation(rel); !ok {
+			return Result{
+				Kind:   ViolationGHB,
+				Cycle:  cycle,
+				Detail: describeCycle(x, cycle, "ghb("+arch.Name()+")"),
+			}
 		}
 	}
 
 	return Result{Valid: true}
+}
+
+func uniprocViolation(x *Execution, cycle []relation.EventID) Result {
+	return Result{
+		Kind:   ViolationUniproc,
+		Cycle:  cycle,
+		Detail: describeCycle(x, cycle, "po-loc ∪ com"),
+	}
 }
 
 // checkAtomicity verifies every RMW pair. A pair is the read half

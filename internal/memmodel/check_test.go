@@ -1,6 +1,7 @@
 package memmodel
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/memsys"
@@ -347,5 +348,103 @@ func TestSetRFValidation(t *testing.T) {
 	}
 	if err := x1.SetRF(r, r); err == nil {
 		t.Error("read as rf source accepted")
+	}
+}
+
+// TestAtomicityInterleavedWriteViolation: a plain write from a third
+// thread serializing between an RMW's read source and its write half
+// must break atomicity even when every other constraint holds.
+func TestAtomicityInterleavedWriteViolation(t *testing.T) {
+	b := newBuilder(t)
+	b.write(1, x, 1)  // the RMW's read source
+	b.rmw(2, x, 1, 3) // reads 1, writes 3
+	b.write(3, x, 2)  // intruder
+	b.co(x, 1, 2, 3)  // intruder serializes inside the RMW window
+	res := Check(b.done(), TSO{})
+	if res.Valid {
+		t.Fatal("interleaved same-address write inside RMW window accepted")
+	}
+	if res.Kind != ViolationAtomicity {
+		t.Fatalf("kind = %v (%s), want atomicity", res.Kind, res.Detail)
+	}
+}
+
+// TestAtomicityInterleavedWriteOutsideWindow: the same three writes are
+// fine when the intruder serializes after the RMW completes.
+func TestAtomicityInterleavedWriteOutsideWindow(t *testing.T) {
+	b := newBuilder(t)
+	b.write(1, x, 1)
+	b.rmw(2, x, 1, 3)
+	b.write(3, x, 2)
+	b.co(x, 1, 3, 2) // intruder last: window intact
+	res := Check(b.done(), TSO{})
+	if !res.Valid {
+		t.Fatalf("post-RMW write rejected: %s (%s)", res.Kind, res.Detail)
+	}
+}
+
+// TestDescribeCycleOutput pins the witness rendering: the relation
+// label, every event on the cycle, the arrow separators, and the
+// closing repetition of the first event.
+func TestDescribeCycleOutput(t *testing.T) {
+	b := newBuilder(t)
+	b.write(1, x, 1)
+	b.write(1, x, 2)
+	b.read(2, x, 2)
+	b.read(2, x, 1) // stale after fresh
+	res := Check(b.done(), TSO{})
+	if res.Valid || res.Kind != ViolationUniproc {
+		t.Fatalf("expected uniproc violation, got %+v", res)
+	}
+	if len(res.Cycle) < 2 {
+		t.Fatalf("witness too short: %v", res.Cycle)
+	}
+	if !strings.HasPrefix(res.Detail, "cycle in po-loc ∪ com: ") {
+		t.Errorf("Detail missing relation label: %q", res.Detail)
+	}
+	if got, want := strings.Count(res.Detail, " -> "), len(res.Cycle); got != want {
+		t.Errorf("Detail has %d arrows, want %d (cycle closes on its first event): %q",
+			got, want, res.Detail)
+	}
+	for _, id := range res.Cycle {
+		if !strings.Contains(res.Detail, b.x.Event(id).String()) {
+			t.Errorf("Detail omits cycle event %v: %q", b.x.Event(id), res.Detail)
+		}
+	}
+	first := b.x.Event(res.Cycle[0]).String()
+	if !strings.HasSuffix(res.Detail, " -> "+first) {
+		t.Errorf("Detail does not close on the first event %q: %q", first, res.Detail)
+	}
+}
+
+// TestStructuralMissingRF: a read with no rf edge is a malformed
+// execution and must be rejected as structural, not crash the search.
+func TestStructuralMissingRF(t *testing.T) {
+	x1 := NewExecution()
+	w := x1.AddEvent(Event{Key: Key{TID: 1}, Kind: KindWrite, Addr: x, Value: 1})
+	if err := x1.AppendCO(w); err != nil {
+		t.Fatal(err)
+	}
+	x1.AddEvent(Event{Key: Key{TID: 2}, Kind: KindRead, Addr: x, Value: 1})
+	res := Check(x1, TSO{})
+	if res.Valid || res.Kind != ViolationStructural {
+		t.Fatalf("read without rf not caught: %+v", res)
+	}
+	if !strings.Contains(res.Detail, "no rf edge") {
+		t.Errorf("unhelpful structural detail: %q", res.Detail)
+	}
+}
+
+// TestStructuralWriteMissingFromCO: a committed write absent from the
+// coherence order (e.g. a dropped serialization) is structural.
+func TestStructuralWriteMissingFromCO(t *testing.T) {
+	x1 := NewExecution()
+	x1.AddEvent(Event{Key: Key{TID: 1}, Kind: KindWrite, Addr: x, Value: 1})
+	res := Check(x1, TSO{})
+	if res.Valid || res.Kind != ViolationStructural {
+		t.Fatalf("write outside co not caught: %+v", res)
+	}
+	if !strings.Contains(res.Detail, "not in coherence order") {
+		t.Errorf("unhelpful structural detail: %q", res.Detail)
 	}
 }

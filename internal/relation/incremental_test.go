@@ -1,0 +1,221 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// addAll inserts rel into t, failing the test on an unexpected cycle.
+func addAll(t *testing.T, topo *Topo, rel *Relation) {
+	t.Helper()
+	if cycle, ok := topo.AddRelation(rel); !ok {
+		t.Fatalf("unexpected cycle %v", cycle)
+	}
+}
+
+// checkOrder asserts every inserted edge respects the maintained order.
+func checkOrder(t *testing.T, topo *Topo, rel *Relation) {
+	t.Helper()
+	for _, e := range rel.Edges() {
+		if topo.Order(e.From) >= topo.Order(e.To) {
+			t.Fatalf("edge %d->%d violates order (%d >= %d)",
+				e.From, e.To, topo.Order(e.From), topo.Order(e.To))
+		}
+	}
+}
+
+func TestTopoChainStaysSorted(t *testing.T) {
+	topo := NewTopo(8)
+	r := New()
+	for i := EventID(0); i < 7; i++ {
+		r.Add(i, i+1)
+	}
+	addAll(t, topo, r)
+	checkOrder(t, topo, r)
+	if topo.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", topo.Len())
+	}
+}
+
+func TestTopoBackEdgeInsertionReorders(t *testing.T) {
+	topo := NewTopo(4)
+	// Register 3 before 0 so the edge 0->3 violates the initial order
+	// and forces a Pearce–Kelly reorder.
+	if _, ok := topo.AddEdge(3, 2); !ok {
+		t.Fatal("3->2 rejected")
+	}
+	if _, ok := topo.AddEdge(0, 3); !ok {
+		t.Fatal("0->3 rejected")
+	}
+	if topo.Order(0) >= topo.Order(3) || topo.Order(3) >= topo.Order(2) {
+		t.Fatalf("order not restored: ord(0)=%d ord(3)=%d ord(2)=%d",
+			topo.Order(0), topo.Order(3), topo.Order(2))
+	}
+}
+
+func TestTopoSelfEdgeIsCycle(t *testing.T) {
+	topo := NewTopo(2)
+	cycle, ok := topo.AddEdge(1, 1)
+	if ok {
+		t.Fatal("self-edge accepted")
+	}
+	if len(cycle) != 1 || cycle[0] != 1 {
+		t.Fatalf("cycle = %v, want [1]", cycle)
+	}
+}
+
+func TestTopoDuplicateEdgesIgnored(t *testing.T) {
+	topo := NewTopo(2)
+	for i := 0; i < 3; i++ {
+		if _, ok := topo.AddEdge(0, 1); !ok {
+			t.Fatal("duplicate insertion rejected")
+		}
+	}
+	if topo.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after duplicates", topo.Len())
+	}
+}
+
+// TestTopoCycleWitnessShape asserts the AcyclicCheck convention: each
+// consecutive pair of the witness is an edge, and the rejected edge
+// (from, to) closes it.
+func TestTopoCycleWitnessShape(t *testing.T) {
+	topo := NewTopo(5)
+	r := New()
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(2, 3)
+	addAll(t, topo, r)
+	cycle, ok := topo.AddEdge(3, 0)
+	if ok {
+		t.Fatal("cycle-closing edge accepted")
+	}
+	if len(cycle) < 2 || cycle[0] != 0 || cycle[len(cycle)-1] != 3 {
+		t.Fatalf("cycle = %v, want path 0..3", cycle)
+	}
+	for i := 0; i+1 < len(cycle); i++ {
+		if !r.Has(cycle[i], cycle[i+1]) {
+			t.Fatalf("witness step %d->%d is not an edge", cycle[i], cycle[i+1])
+		}
+	}
+	// A rejected insertion must leave the engine usable.
+	if _, ok := topo.AddEdge(0, 4); !ok {
+		t.Fatal("engine unusable after rejected insertion")
+	}
+}
+
+func TestTopoCloneIsIndependent(t *testing.T) {
+	base := NewTopo(4)
+	if _, ok := base.AddEdge(0, 1); !ok {
+		t.Fatal("0->1 rejected")
+	}
+	c := base.Clone()
+	if _, ok := c.AddEdge(1, 2); !ok {
+		t.Fatal("clone insert rejected")
+	}
+	if base.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("Len base=%d clone=%d, want 1 and 2", base.Len(), c.Len())
+	}
+	// The clone can close a cycle the base must not see.
+	if _, ok := c.AddEdge(2, 0); ok {
+		t.Fatal("clone missed cycle 0->1->2->0")
+	}
+	if _, ok := base.AddEdge(1, 0); ok {
+		t.Fatal("base missed cycle 0->1->0")
+	}
+}
+
+// TestTopoMatchesDFSOnRandomGraphs cross-validates the incremental
+// engine against the reference three-colour DFS on random graphs: both
+// must agree on cyclicity, and any witness must be a genuine cycle.
+func TestTopoMatchesDFSOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(30)
+		edges := rng.Intn(3 * n)
+		r := New()
+		for i := 0; i < edges; i++ {
+			r.Add(EventID(rng.Intn(n)), EventID(rng.Intn(n)))
+		}
+		_, wantAcyclic := r.AcyclicCheck()
+
+		topo := NewTopo(n)
+		cycle, gotAcyclic := topo.AddRelation(r)
+		if gotAcyclic != wantAcyclic {
+			t.Fatalf("trial %d: incremental acyclic=%v, DFS acyclic=%v on %v",
+				trial, gotAcyclic, wantAcyclic, r)
+		}
+		if !gotAcyclic {
+			for i := range cycle {
+				next := cycle[(i+1)%len(cycle)]
+				if cycle[i] != next && !r.Has(cycle[i], next) {
+					t.Fatalf("trial %d: witness step %d->%d is not an edge of %v",
+						trial, cycle[i], next, r)
+				}
+			}
+		} else {
+			checkOrder(t, topo, r)
+		}
+	}
+}
+
+// layeredDAG builds a dense DAG of depth layers × width nodes with
+// forward edges only — the shape of a GHB graph over a long execution.
+func layeredDAG(layers, width int) *Relation {
+	r := New()
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			from := EventID(l*width + i)
+			r.Add(from, EventID((l+1)*width+i))
+			r.Add(from, EventID((l+1)*width+(i+1)%width))
+		}
+	}
+	return r
+}
+
+// BenchmarkAcyclicDFS is the reference full-DFS cycle search over a
+// pre-built relation.
+func BenchmarkAcyclicDFS(b *testing.B) {
+	r := layeredDAG(100, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.AcyclicCheck(); !ok {
+			b.Fatal("layered DAG reported cyclic")
+		}
+	}
+}
+
+// BenchmarkAcyclicIncremental builds the same graph through the
+// incremental engine (insertion cost included).
+func BenchmarkAcyclicIncremental(b *testing.B) {
+	r := layeredDAG(100, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topo := NewTopo(800)
+		if _, ok := topo.AddRelation(r); !ok {
+			b.Fatal("layered DAG reported cyclic")
+		}
+	}
+}
+
+// BenchmarkAcyclicIncrementalReuse measures the sort-state reuse path:
+// the base graph is sorted once, and each iteration pays only for a
+// clone plus a small delta — the checker's per-constraint pattern.
+func BenchmarkAcyclicIncrementalReuse(b *testing.B) {
+	r := layeredDAG(100, 8)
+	base := NewTopo(800)
+	if _, ok := base.AddRelation(r); !ok {
+		b.Fatal("layered DAG reported cyclic")
+	}
+	delta := New()
+	for i := 0; i < 8; i++ {
+		delta.Add(EventID(i), EventID(99*8+i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topo := base.Clone()
+		if _, ok := topo.AddRelation(delta); !ok {
+			b.Fatal("forward delta reported cyclic")
+		}
+	}
+}

@@ -1,12 +1,58 @@
 // Package stats provides the small set of summary statistics used by the
 // evaluation harness (arithmetic means over samples, as reported in
-// Table 4 of the paper, plus dispersion measures for EXPERIMENTS.md).
+// Table 4 of the paper, plus dispersion measures for EXPERIMENTS.md) and
+// the collective-checking dedupe counters surfaced by the fleet.
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
+
+// Dedupe aggregates collective-checking counters: how many candidate
+// executions were submitted to the checker, how many were signature
+// duplicates of an earlier one (hits, skipping a full model check), and
+// how many distinct signatures were seen.
+type Dedupe struct {
+	// Checks is the number of candidate executions submitted.
+	Checks uint64
+	// Hits counts submissions whose signature was already checked.
+	Hits uint64
+	// Unique counts distinct execution signatures (Checks - Hits when
+	// the counters come from a single scope).
+	Unique uint64
+}
+
+// Note records one submission.
+func (d *Dedupe) Note(hit bool) {
+	d.Checks++
+	if hit {
+		d.Hits++
+	} else {
+		d.Unique++
+	}
+}
+
+// Merge folds o's counters into d.
+func (d *Dedupe) Merge(o Dedupe) {
+	d.Checks += o.Checks
+	d.Hits += o.Hits
+	d.Unique += o.Unique
+}
+
+// HitRate returns Hits/Checks, or 0 when nothing was checked.
+func (d Dedupe) HitRate() float64 {
+	if d.Checks == 0 {
+		return 0
+	}
+	return float64(d.Hits) / float64(d.Checks)
+}
+
+func (d Dedupe) String() string {
+	return fmt.Sprintf("%d checks, %d unique, %d hits (%.1f%% dedupe)",
+		d.Checks, d.Unique, d.Hits, 100*d.HitRate())
+}
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {

@@ -46,3 +46,29 @@ func TestMinMax(t *testing.T) {
 		t.Error("Min/Max nil wrong")
 	}
 }
+
+func TestDedupeCounters(t *testing.T) {
+	var d Dedupe
+	if d.HitRate() != 0 {
+		t.Errorf("empty HitRate = %v, want 0", d.HitRate())
+	}
+	d.Note(false)
+	d.Note(true)
+	d.Note(true)
+	d.Note(false)
+	if d.Checks != 4 || d.Hits != 2 || d.Unique != 2 {
+		t.Fatalf("counters = %+v, want 4/2/2", d)
+	}
+	if d.HitRate() != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", d.HitRate())
+	}
+	var m Dedupe
+	m.Merge(d)
+	m.Merge(Dedupe{Checks: 6, Hits: 5, Unique: 1})
+	if m.Checks != 10 || m.Hits != 7 || m.Unique != 3 {
+		t.Fatalf("merged = %+v, want 10/7/3", m)
+	}
+	if got := m.String(); got != "10 checks, 3 unique, 7 hits (70.0% dedupe)" {
+		t.Errorf("String = %q", got)
+	}
+}

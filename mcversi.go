@@ -34,6 +34,7 @@ import (
 	"math/rand"
 
 	"repro/internal/bugs"
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/fleet"
@@ -141,8 +142,21 @@ func RunSamples(cfg CampaignConfig, n int, baseSeed int64) ([]CampaignResult, er
 	return res, err
 }
 
+// CollectiveMemo is a concurrency-safe verdict memo table for
+// collective checking: candidate executions are collapsed to canonical
+// order-independent signatures and each unique (test, observed-
+// ordering) pair is model-checked at most once per memo lifetime. Set
+// CampaignConfig.Memo — or FleetOptions.Collective, which shares one
+// memo across all of a fleet's samples — to enable it. Verdicts are
+// identical with or without a memo; only the checking work shrinks.
+type CollectiveMemo = collective.Memo
+
+// NewCollectiveMemo returns an empty verdict memo, e.g. for sharing
+// verdicts across several fleet runs via CampaignConfig.Memo.
+func NewCollectiveMemo() *CollectiveMemo { return collective.NewMemo() }
+
 // FleetOptions tune a parallel campaign fleet (worker count, early
-// stop, GP island migration, progress events).
+// stop, GP island migration, collective checking, progress events).
 type FleetOptions = fleet.Options
 
 // FleetEvent is one streamed fleet progress report.
