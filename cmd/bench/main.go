@@ -3,17 +3,20 @@
 // performance trajectory is comparable PR-over-PR without parsing `go
 // test -bench` text output:
 //
-//	go run ./cmd/bench                 # writes BENCH_2.json
+//	go run ./cmd/bench                 # writes BENCH_3.json
 //	go run ./cmd/bench -out perf.json  # custom path
 //	go run ./cmd/bench -out -          # stdout only
 //
 // The checker A/B runs the exact workload of the CI-proven
 // BenchmarkCollectiveChecker (internal/benchwork), and the derived
 // checker_collective_speedup field records the naive/collective ratio
-// (see EXPERIMENTS.md, "Collective vs naive checking").
+// (see EXPERIMENTS.md, "Collective vs naive checking"). The scenario
+// sweep benchmark drives a 4-scenario fleet (SC/TSO/PSO/RMO on MESI)
+// end to end, so the scenario layer's overhead is tracked PR-over-PR.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,8 +27,16 @@ import (
 	"repro/internal/benchwork"
 	"repro/internal/checker"
 	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/fleet"
+	"repro/internal/gp"
+	"repro/internal/host"
 	"repro/internal/memmodel"
+	"repro/internal/memsys"
 	"repro/internal/relation"
+	"repro/internal/scenario"
+	"repro/internal/testgen"
 )
 
 // Snapshot is the BENCH_<n>.json schema.
@@ -80,8 +91,34 @@ func layeredDAG(layers, width int) *relation.Relation {
 	return r
 }
 
+// sweepScenarios returns the 4-model MESI column of the registry.
+func sweepScenarios() []scenario.Scenario {
+	var out []scenario.Scenario
+	for _, name := range []string{"mesi-sc", "mesi-tso", "mesi-pso", "mesi-rmo"} {
+		s, err := scenario.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// sweepConfig is a small, fixed campaign configuration for the sweep
+// benchmark: rand generator, 10 test-runs, tiny tests.
+func sweepConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Generator = core.GenRandom
+	cfg.Test = testgen.Config{Size: 48, Threads: 8, Layout: memsys.MustLayout(1024, 16)}
+	cfg.GP = gp.PaperParams()
+	cfg.Coverage = coverage.DefaultParams()
+	cfg.Host = host.Options{Iterations: 2, Barrier: host.HostBarrier, MaxTicksPerIteration: 30_000_000}
+	cfg.MaxTestRuns = 10
+	return cfg
+}
+
 func main() {
-	out := flag.String("out", "BENCH_2.json", "snapshot path (- for stdout only)")
+	out := flag.String("out", "BENCH_3.json", "snapshot path (- for stdout only)")
 	flag.Parse()
 
 	progs, orders := benchwork.CheckerWorkload()
@@ -124,6 +161,16 @@ func main() {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				collective.Signature(x)
+			}
+		}),
+		run("scenario/sweep4", func(b *testing.B) {
+			scens := sweepScenarios()
+			cfg := sweepConfig()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := fleet.ScenarioSweep(context.Background(), cfg, scens, 1, 7,
+					fleet.Options{Collective: true}); err != nil {
+					panic(err)
+				}
 			}
 		}),
 	)

@@ -1,8 +1,18 @@
-// Command mcversi runs one McVerSi verification campaign: a generator
+// Command mcversi runs McVerSi verification campaigns: a generator
 // (rand | gp-all | gp-std-xo) hunting one injected bug (or none) on a
-// simulated MESI or TSO-CC machine. Multi-sample runs are sharded
-// across cores by the campaign fleet; -parallel 1 forces the
-// sequential path (results are identical either way for a fixed seed).
+// simulated MESI or TSO-CC machine, checked against a scenario's
+// axiomatic model. Multi-sample runs are sharded across cores by the
+// campaign fleet; -parallel 1 forces the sequential path (results are
+// identical either way for a fixed seed).
+//
+// The verification target is a scenario (-list-scenarios to enumerate):
+//
+//	mcversi -scenario mesi-pso            # one scenario
+//	mcversi -scenario mesi-tso,mesi-rmo   # sweep a subset
+//	mcversi -scenario all                 # sweep every registered one
+//
+// Without -scenario the legacy -protocol/-bug flags select the paper's
+// TSO target directly.
 package main
 
 import (
@@ -33,6 +43,9 @@ func main() {
 		"collective checking: dedupe executions by signature, one shared verdict memo per fleet (disable for naive A/B benchmarks)")
 	progress := flag.Bool("progress", false, "stream per-sample fleet events to stderr")
 	list := flag.Bool("list", false, "list the 11 studied bugs and exit")
+	scenarioFlag := flag.String("scenario", "",
+		"verification scenario(s): a registered name, a comma-separated list, or 'all' (-list-scenarios for names); overrides -protocol/-bug")
+	listScenarios := flag.Bool("list-scenarios", false, "list the registered scenarios and exit")
 	flag.Parse()
 
 	if *list {
@@ -45,8 +58,48 @@ func main() {
 		}
 		return
 	}
+	if *listScenarios {
+		for _, s := range mcversi.Scenarios() {
+			fmt.Printf("%-12s %-28s %s\n", s.Name, s.ID(), s.Description)
+		}
+		return
+	}
 
-	cfg := mcversi.ScaledCampaignConfig(mcversi.GeneratorKind(*gen), mcversi.Protocol(*proto), *bug, *mem)
+	var scens []mcversi.Scenario
+	if *scenarioFlag != "" {
+		names := strings.Split(*scenarioFlag, ",")
+		if *scenarioFlag == "all" {
+			scens = mcversi.Scenarios()
+		} else {
+			for _, name := range names {
+				s, err := mcversi.ScenarioByName(strings.TrimSpace(name))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "mcversi:", err)
+					os.Exit(2)
+				}
+				scens = append(scens, s)
+			}
+		}
+	}
+
+	var base mcversi.Scenario
+	if len(scens) > 0 {
+		if *islands {
+			// Islands exchange chromosomes between populations bred for
+			// one machine contract; scenario sweeps run different
+			// contracts side by side, so the combination is rejected
+			// rather than silently dropped.
+			fmt.Fprintln(os.Stderr, "mcversi: -islands is not supported with -scenario sweeps")
+			os.Exit(2)
+		}
+		base = scens[0]
+	} else {
+		base = mcversi.Scenario{Protocol: mcversi.Protocol(*proto), Model: "TSO"}
+		if *bug != "" {
+			base.Bugs = []string{*bug}
+		}
+	}
+	cfg := mcversi.ScaledScenarioConfig(mcversi.GeneratorKind(*gen), base, *mem)
 	cfg.MaxTestRuns = *budget
 
 	ctx := context.Background()
@@ -83,30 +136,60 @@ func main() {
 					dedupe = fmt.Sprintf(", %.0f%% dedupe (%d unique sigs)",
 						100*ev.Result.Dedupe.HitRate(), ev.Result.Dedupe.Unique)
 				}
-				fmt.Fprintf(os.Stderr, "[fleet] sample %d %s: %d runs, %.1f%% coverage%s, %s\n",
-					ev.Sample, state, ev.Result.TestRuns, 100*ev.Result.TotalCoverage, dedupe, ev.Elapsed.Round(time.Millisecond))
+				scen := ""
+				if ev.Scenario != "" {
+					scen = " " + ev.Scenario
+				}
+				fmt.Fprintf(os.Stderr, "[fleet] sample %d%s %s: %d runs, %.1f%% coverage%s, %s\n",
+					ev.Sample, scen, state, ev.Result.TestRuns, 100*ev.Result.TotalCoverage, dedupe, ev.Elapsed.Round(time.Millisecond))
 			}
 		}()
 	}
 
-	results, st, err := mcversi.RunSamplesFleet(ctx, cfg, *samples, *seed, opts)
+	var (
+		st  mcversi.FleetStats
+		err error
+	)
+	found, totalRuns, totalSamples := 0, 0, 0
+	if len(scens) > 0 {
+		// Scenario sweep: one fleet across the whole matrix, results
+		// grouped per scenario.
+		var grouped [][]mcversi.CampaignResult
+		grouped, st, err = mcversi.RunScenarioSweep(ctx, cfg, scens, *samples, *seed, opts)
+		for si, results := range grouped {
+			fmt.Printf("scenario %s (%s):\n", scens[si].Name, scens[si].ID())
+			for i, r := range results {
+				fmt.Printf("  sample %d: %s\n", i, r)
+				totalRuns += r.TestRuns
+				totalSamples++
+				if r.Found {
+					found++
+					fmt.Printf("    %s\n", strings.TrimSpace(r.Detail))
+				}
+			}
+		}
+	} else {
+		var results []mcversi.CampaignResult
+		results, st, err = mcversi.RunSamplesFleet(ctx, cfg, *samples, *seed, opts)
+		// On error (e.g. -timeout expiry) still report every sample's
+		// tally — completed samples and partial ones — before exiting
+		// nonzero.
+		for i, r := range results {
+			fmt.Printf("sample %d: %s\n", i, r)
+			totalRuns += r.TestRuns
+			totalSamples++
+			if r.Found {
+				found++
+				fmt.Printf("  %s\n", strings.TrimSpace(r.Detail))
+			}
+		}
+	}
 	if events != nil {
 		close(events)
 		<-drained
 	}
-	// On error (e.g. -timeout expiry) still report every sample's tally
-	// — completed samples and partial ones — before exiting nonzero.
-	found, totalRuns := 0, 0
-	for i, r := range results {
-		fmt.Printf("sample %d: %s\n", i, r)
-		totalRuns += r.TestRuns
-		if r.Found {
-			found++
-			fmt.Printf("  %s\n", strings.TrimSpace(r.Detail))
-		}
-	}
-	fmt.Printf("\n%d/%d samples found the bug (%d workers, %d test-runs total, %s wall)\n",
-		found, len(results), st.Workers, totalRuns, st.Wall.Round(time.Millisecond))
+	fmt.Printf("\n%d/%d samples found a bug (%d workers, %d test-runs total, %s wall)\n",
+		found, totalSamples, st.Workers, totalRuns, st.Wall.Round(time.Millisecond))
 	if st.Dedupe.Checks > 0 {
 		fmt.Printf("collective checking: %s\n", st.Dedupe)
 	}

@@ -1,5 +1,8 @@
 // Command tables regenerates the paper's evaluation tables (4, 5 and 6)
-// at a configurable scale. See EXPERIMENTS.md for paper-vs-measured.
+// at a configurable scale, plus the scenario-matrix report (-table
+// matrix): litmus-shape discrimination across SC/TSO/PSO/RMO and a
+// bug-free soundness smoke over every registered scenario. See
+// EXPERIMENTS.md for paper-vs-measured.
 package main
 
 import (
@@ -12,7 +15,7 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 4, "table to regenerate: 4, 5 or 6")
+	table := flag.String("table", "4", "table to regenerate: 4, 5, 6 or matrix")
 	full := flag.Bool("full", false, "use the full reproduction scale (slower)")
 	parallel := flag.Int("parallel", 0, "fleet workers sharding table cells (0 = all cores, 1 = sequential)")
 	flag.Parse()
@@ -24,15 +27,17 @@ func main() {
 	sc.Parallel = *parallel
 	var err error
 	switch *table {
-	case 4:
+	case "4":
 		err = eval.Table4(os.Stdout, eval.Columns(), bugs.All(), sc)
-	case 5:
+	case "5":
 		err = eval.Table5(os.Stdout, eval.Columns(), bugs.All(), sc, []int{100, 400, 1000})
-	case 6:
+	case "6":
 		sc.Samples = 2
 		err = eval.Table6(os.Stdout, eval.Columns(), sc)
+	case "matrix":
+		err = eval.ScenarioMatrix(os.Stdout, sc)
 	default:
-		err = fmt.Errorf("unknown table %d", *table)
+		err = fmt.Errorf("unknown table %q (4, 5, 6 or matrix)", *table)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)

@@ -58,6 +58,8 @@ func ReplaySerial(rec *checker.Recorder, progs []testgen.Program, order []int) {
 				mem[in.Addr.WordAddr()] = in.WriteID
 				rec.CommitWrite(tid, idx, 0, in.Addr, in.WriteID, false)
 				rec.WriteSerialized(tid, idx, 0, in.Addr, in.WriteID)
+			case testgen.OpFence:
+				rec.CommitFence(tid, idx, 0, in.Fence)
 			}
 		}
 	}

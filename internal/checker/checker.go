@@ -44,6 +44,10 @@ type edge struct {
 // per iteration and accumulates run-level non-determinism state.
 type Recorder struct {
 	arch memmodel.Arch
+	// scope is the scenario identity memo lookups are confined to (see
+	// SetScope); verdicts recorded under one scope are invisible to
+	// every other.
+	scope string
 
 	// Collective-checking state (nil memo = naive per-iteration
 	// checking). seen is the recorder-lifetime signature history used
@@ -104,6 +108,13 @@ func (r *Recorder) SetMemo(m *collective.Memo) {
 	}
 }
 
+// SetScope confines the recorder's memo lookups to the given scenario
+// identity (model + relaxation set + bugs). Two recorders sharing one
+// memo under different scopes can never exchange verdicts: a signature
+// that is valid under one scenario's machine contract may carry a
+// different meaning under another's, so verdicts must not leak across.
+func (r *Recorder) SetScope(scope string) { r.scope = scope }
+
 // Dedupe returns the current run's collective-checking counters (zero
 // when no memo is set). Hits are classified against this recorder's
 // own signature history, so the counters are deterministic regardless
@@ -159,6 +170,19 @@ func (r *Recorder) CommitWrite(tid, instr, sub int, addr memsys.Addr, val uint64
 // serialization order, which is the observed coherence order.
 func (r *Recorder) WriteSerialized(tid, instr, sub int, addr memsys.Addr, val uint64) {
 	r.serialized = append(r.serialized, memmodel.Key{TID: tid, Instr: instr, Sub: sub})
+}
+
+// CommitFence implements cpu.Observer: explicit fences become fence
+// events of the candidate execution. Fences carry no address and take
+// no conflict edges, so they stay out of the run-level NDT state.
+func (r *Recorder) CommitFence(tid, instr, sub int, kind memmodel.FenceKind) {
+	key := memmodel.Key{TID: tid, Instr: instr, Sub: sub}
+	id := r.exec.AddEvent(memmodel.Event{
+		Key:   key,
+		Kind:  memmodel.KindFence,
+		Fence: kind,
+	})
+	r.eventByKey[key] = id
 }
 
 func (r *Recorder) noteEvent(key memmodel.Key, addr memsys.Addr) {
@@ -245,7 +269,7 @@ func (r *Recorder) EndIteration() *Violation {
 		// signature; the shared memo model-checks each unique
 		// (program, observed-ordering) pair at most once.
 		sig := collective.Signature(exec)
-		res, _ = r.memo.Check(sig, exec, r.arch)
+		res, _ = r.memo.CheckScoped(r.scope, sig, exec, r.arch)
 		_, dup := r.seen[sig]
 		if !dup {
 			r.seen[sig] = struct{}{}

@@ -77,6 +77,13 @@ type CacheL1 interface {
 	Store(addr memsys.Addr, val uint64, cb func())
 	Atomic(addr memsys.Addr, apply func(old uint64) uint64, cb func(old uint64))
 	Flush(addr memsys.Addr, cb func())
+	// Acquire applies a fence's acquire side at the cache, making
+	// writes that serialized before the fence visible to po-later
+	// loads. Lazily-coherent protocols (TSO-CC) self-invalidate their
+	// stale Shared lines — the same action their RMWs perform; eagerly
+	// invalidating protocols need no action. The core invokes it when
+	// committing full and load-load fences.
+	Acquire()
 	// SetInvalListener registers the LQ notification hook: it is
 	// invoked with a line address whenever the protocol (correctly)
 	// forwards an invalidation of that line to the core. The studied
@@ -199,6 +206,13 @@ type Msg struct {
 	// AckCount is the number of invalidation acks the requestor must
 	// collect before its GETX completes.
 	AckCount int
+	// Dropped marks an Unblock from a requestor that did NOT retain the
+	// line: its copy was invalidated while the data was in flight
+	// (IS_I), so the directory must not record it as owner or sharer.
+	// Without it the L2 believes a core owns a line the core already
+	// discarded, and the next forwarded request to that core can never
+	// be answered — a wedge that manifests as an MT_SB recycle livelock.
+	Dropped bool
 	// Ts, Epoch, Writer carry TSO-CC timestamp metadata.
 	Ts     uint32
 	Epoch  uint32

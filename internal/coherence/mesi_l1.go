@@ -177,6 +177,11 @@ func (c *MESIL1) SetInvalListener(fn func(line memsys.Addr)) { c.invalNotify = f
 // ResetCaches implements CacheL1.
 func (c *MESIL1) ResetCaches() { c.array.Clear() }
 
+// Acquire implements CacheL1. MESI invalidates eagerly — remote writes
+// already invalidated any stale copy here — so a fence needs no cache
+// action.
+func (c *MESIL1) Acquire() {}
+
 // Stats returns hit/miss counters.
 func (c *MESIL1) Stats() (hits, misses uint64) { return c.hits, c.misses }
 

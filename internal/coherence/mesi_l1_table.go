@@ -436,8 +436,11 @@ func l1DataInISI(c *MESIL1, x *l1Ctx) {
 }
 
 func l1DataInISIUnblock(c *MESIL1, x *l1Ctx) {
+	// The line is discarded right after the once-only use, so the
+	// unblock must carry Dropped: the directory would otherwise record
+	// this core as owner/sharer of a line it no longer holds.
 	c.send(c.homeTile(x.addr), interconnect.VNetRequest,
-		&Msg{Type: MsgUnblock, Addr: x.addr, Requestor: c.id})
+		&Msg{Type: MsgUnblock, Addr: x.addr, Requestor: c.id, Dropped: true})
 	l1DataInISI(c, x)
 }
 

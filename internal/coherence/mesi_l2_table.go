@@ -66,6 +66,17 @@ func buildMESIL2Table() {
 
 		// ---- BE (exclusive grant, waiting unblock) ----------------
 		{l2BE, l2Unblock}: func(c *MESIL2, x *l2Ctx) {
+			if x.msg.Dropped {
+				// The grantee's copy was invalidated in flight (IS_I)
+				// and discarded after its once-only use; the L2 still
+				// holds the data, so the line simply returns to SS
+				// with no sharers.
+				x.line.state = l2SS
+				x.line.owner = -1
+				x.line.sharers = 0
+				x.line.expectClean = false
+				return
+			}
 			x.line.state = l2MT
 			x.line.owner = x.msg.Requestor
 			x.line.sharers = 0
@@ -224,7 +235,12 @@ func buildMESIL2Table() {
 			l2MaybeFinishSB(c, x)
 		},
 		{l2MTSB, l2Unblock}: func(c *MESIL2, x *l2Ctx) {
-			x.line.addSharer(x.msg.Requestor)
+			// A Dropped unblock means the requestor discarded its copy
+			// (IS_I): complete the transaction without recording it as
+			// a sharer.
+			if !x.msg.Dropped {
+				x.line.addSharer(x.msg.Requestor)
+			}
 			x.line.gotUnb = true
 			l2MaybeFinishSB(c, x)
 		},

@@ -70,6 +70,14 @@ type tsoL1Line struct {
 	data      memsys.LineData
 	dirty     bool
 	readsLeft int
+	// grantSeq is the L2 fetch generation at the time this line's data
+	// was granted (echoed from the grant's AckCount). Fetches whose
+	// generation is not newer are stale — they were aimed at an
+	// earlier grant of this line — and must be ignored: serving one
+	// would destroy the current grant while the L2 discards the
+	// out-of-generation ack, leaving the L2 convinced this core still
+	// owns a line it no longer holds.
+	grantSeq int
 	// wts/wepoch record the owner's timestamp at the time of the last
 	// write to this line. Fetch responses must report the write-time
 	// timestamp (not the current one): the ≥-vs-> comparison bug only
@@ -172,6 +180,12 @@ func (c *TSOCCL1) SetInvalListener(fn func(line memsys.Addr)) { c.invalNotify = 
 // ResetCaches implements CacheL1. Timestamps and last-seen state are
 // deliberately kept: they are non-test simulation state (§5.1).
 func (c *TSOCCL1) ResetCaches() { c.array.Clear() }
+
+// Acquire implements CacheL1: the fence's acquire side is the same
+// self-invalidation TSO-CC applies on RMWs — without it, explicit
+// fences would not flush timestamp-stale Shared lines, and a po-later
+// load could read a value older than writes ordered before the fence.
+func (c *TSOCCL1) Acquire() { c.selfInvalidate() }
 
 // Stats returns hit/miss/self-invalidation/reset counters.
 func (c *TSOCCL1) Stats() (hits, misses, selfInvs, resets uint64) {

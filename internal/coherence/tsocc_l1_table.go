@@ -97,6 +97,9 @@ func init() {
 			c.notify(x.addr)
 		},
 		{tsoEX, tFetch}: func(c *TSOCCL1, x *tsoL1Ctx) {
+			if x.msg.AckCount <= x.line.grantSeq {
+				return // stale: aimed at an earlier grant of this line
+			}
 			// Remote read: provide data and downgrade to Shared;
 			// the line stays valid, so the LQ needs no notice.
 			x.line.state = tsoSH
@@ -111,6 +114,9 @@ func init() {
 			x.line.dirty = false
 		},
 		{tsoEX, tFetchInv}: func(c *TSOCCL1, x *tsoL1Ctx) {
+			if x.msg.AckCount <= x.line.grantSeq {
+				return // stale: aimed at an earlier grant of this line
+			}
 			// Ownership transfer or L2 eviction: full invalidation.
 			data := x.line.data
 			c.send(c.homeTile(x.addr), interconnect.VNetResponse, &Msg{
@@ -140,6 +146,7 @@ func init() {
 			x.line.state = tsoSH
 			x.line.readsLeft = c.MaxReads - 1 // the primary load reads once
 			x.line.dirty = false
+			x.line.grantSeq = x.msg.AckCount
 			c.satisfyPrimary(x.line)
 			c.settle(x.line)
 		},
@@ -149,6 +156,7 @@ func init() {
 			x.line.data = *x.msg.Data
 			x.line.state = tsoEX
 			x.line.dirty = false
+			x.line.grantSeq = x.msg.AckCount
 			c.satisfyPrimary(x.line)
 			c.settle(x.line)
 		},

@@ -255,6 +255,7 @@ func (c *TSOCCL2) respondData(x *tsoL2Ctx, core int) {
 	c.send(L1Node(core), interconnect.VNetResponse, &Msg{
 		Type: MsgTData, Addr: x.addr, Data: &data,
 		Writer: x.line.writer, Ts: x.line.ts, Epoch: x.line.epoch,
+		AckCount: x.line.fetchSeq,
 	})
 }
 
@@ -262,6 +263,7 @@ func (c *TSOCCL2) respondDataEx(x *tsoL2Ctx, core int) {
 	data := x.line.data
 	c.send(L1Node(core), interconnect.VNetResponse, &Msg{
 		Type: MsgTDataEx, Addr: x.addr, Data: &data,
+		AckCount: x.line.fetchSeq,
 	})
 }
 

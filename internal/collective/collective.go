@@ -81,6 +81,7 @@ func Signature(x *memmodel.Execution) Sig {
 			u64(uint64(int64(e.Key.Instr)))
 			u64(uint64(int64(e.Key.Sub)))
 			u64(uint64(e.Kind))
+			u64(uint64(e.Fence))
 			u64(uint64(e.Addr))
 			u64(e.Value)
 			if e.Atomic {
@@ -158,12 +159,17 @@ func (m *Memo) entry(sig Sig) (*memoEntry, bool) {
 	return e, ok
 }
 
-// archKey folds the memory model into the lookup key: a verdict is a
-// function of (execution, arch), and memos are exported for sharing,
-// so a TSO verdict must never answer an SC query.
-func archKey(sig Sig, arch memmodel.Arch) Sig {
+// archKey folds the memory model and the scenario scope into the lookup
+// key: a verdict is a function of (execution, arch), and memos are
+// exported for sharing, so a TSO verdict must never answer an SC query —
+// and verdicts recorded under one scenario (model + relaxation set +
+// bugs) must never answer a query from another, even when both check the
+// same model name.
+func archKey(sig Sig, arch memmodel.Arch, scope string) Sig {
 	h := fnv.New64a()
 	h.Write([]byte(arch.Name()))
+	h.Write([]byte{0})
+	h.Write([]byte(scope))
 	n := h.Sum64()
 	return Sig{Hi: sig.Hi ^ n, Lo: sig.Lo ^ (n<<32 | n>>32)}
 }
@@ -184,8 +190,16 @@ func archKey(sig Sig, arch memmodel.Arch) Sig {
 // so the re-derivation never costs more than one extra check per
 // campaign.
 func (m *Memo) Check(sig Sig, x *memmodel.Execution, arch memmodel.Arch) (res memmodel.Result, hit bool) {
+	return m.CheckScoped("", sig, x, arch)
+}
+
+// CheckScoped is Check confined to a scenario scope: lookups under
+// different scopes never share verdicts, so one memo can serve a whole
+// scenario matrix without cross-scenario leakage. The empty scope is
+// itself a scope (the one Check uses).
+func (m *Memo) CheckScoped(scope string, sig Sig, x *memmodel.Execution, arch memmodel.Arch) (res memmodel.Result, hit bool) {
 	m.checks.Add(1)
-	e, _ := m.entry(archKey(sig, arch))
+	e, _ := m.entry(archKey(sig, arch, scope))
 	computed := false
 	e.once.Do(func() {
 		e.res = memmodel.Check(x, arch)

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/bugs"
 	"repro/internal/checker"
 	"repro/internal/coherence"
 	"repro/internal/collective"
@@ -18,7 +17,7 @@ import (
 	"repro/internal/gp"
 	"repro/internal/host"
 	"repro/internal/machine"
-	"repro/internal/memmodel"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/testgen"
@@ -43,11 +42,16 @@ const (
 // Config parameterizes one verification campaign (one sample of a
 // Table 4 cell).
 type Config struct {
-	// Machine is the simulated system; Bugs and Seed are overridden by
-	// the fields below.
+	// Scenario is the verification target: coherence protocol, axiomatic
+	// model, legal core relaxations and injected bugs. The zero value is
+	// normalized to the paper's target (Machine.Protocol — or MESI —
+	// checked against TSO, no relaxations, no bugs), so pre-scenario
+	// configurations keep working.
+	Scenario scenario.Scenario
+	// Machine is the base simulated topology (cores, cache geometry,
+	// mesh). Protocol, Relax, Bugs and Seed are overridden from
+	// Scenario and Seed.
 	Machine machine.Config
-	// Bug names the injected bug ("" for a bug-free run).
-	Bug string
 	// Seed drives simulation and test generation.
 	Seed int64
 	// Test is the test-generation configuration (Table 3).
@@ -89,6 +93,24 @@ func DefaultConfig() Config {
 	}
 }
 
+// ResolvedScenario normalizes and validates the campaign's scenario:
+// an unset protocol falls back to the machine config's (then MESI), an
+// unset model to TSO. This keeps pre-scenario configurations — which
+// set Machine.Protocol directly — meaning what they always meant.
+func (c Config) ResolvedScenario() (scenario.Scenario, error) {
+	s := c.Scenario
+	if s.Protocol == "" {
+		s.Protocol = c.Machine.Protocol
+	}
+	if s.Protocol == "" {
+		s.Protocol = machine.MESI
+	}
+	if s.Model == "" {
+		s.Model = "TSO"
+	}
+	return s, s.Validate()
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	switch c.Generator {
@@ -102,11 +124,22 @@ func (c Config) Validate() error {
 	if err := c.Test.Validate(); err != nil {
 		return err
 	}
-	return c.Machine.Validate()
+	s, err := c.ResolvedScenario()
+	if err != nil {
+		return err
+	}
+	mcfg, err := s.Apply(c.Machine)
+	if err != nil {
+		return err
+	}
+	return mcfg.Validate()
 }
 
 // Result summarizes one campaign.
 type Result struct {
+	// Scenario is the canonical identity (scenario.Scenario.ID) of the
+	// verification target the campaign ran against.
+	Scenario string
 	// Found reports whether a bug manifested.
 	Found bool
 	// Source classifies the detection channel when found.
@@ -147,6 +180,7 @@ func (r Result) String() string {
 // the tally at any point.
 type Campaign struct {
 	cfg     Config
+	scn     scenario.Scenario
 	tracker *coverage.Tracker
 	h       *host.Host
 	gen     *testgen.Generator
@@ -157,22 +191,23 @@ type Campaign struct {
 	finished bool
 }
 
-// NewCampaign builds all components for one campaign.
+// NewCampaign builds all components for one campaign: the scenario is
+// resolved once and supplies the machine contract (protocol, relax,
+// bugs), the checker's axiomatic model, and the collective-checking
+// memo scope.
 func NewCampaign(cfg Config) (*Campaign, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	mcfg := cfg.Machine
-	mcfg.Seed = cfg.Seed
-	if cfg.Bug != "" {
-		set, err := bugs.SetFor(cfg.Bug)
-		if err != nil {
-			return nil, err
-		}
-		mcfg.Bugs = set
-	} else {
-		mcfg.Bugs = bugs.Set{}
+	scn, err := cfg.ResolvedScenario()
+	if err != nil {
+		return nil, err
 	}
+	mcfg, err := scn.Apply(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	mcfg.Seed = cfg.Seed
 
 	protoTable := coherence.MESITransitions()
 	if mcfg.Protocol == machine.TSOCC {
@@ -186,8 +221,13 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 	}
 	tracker := coverage.NewTracker(table, cfg.Coverage)
 
-	rec := checker.NewRecorder(memmodel.TSO{})
+	arch, err := scn.Arch()
+	if err != nil {
+		return nil, err
+	}
+	rec := checker.NewRecorder(arch)
 	rec.SetMemo(cfg.Memo)
+	rec.SetScope(scn.ID())
 	trap := host.NewErrorTrap()
 	m, err := machine.New(mcfg, tracker, trap, rec)
 	if err != nil {
@@ -201,7 +241,7 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 		return nil, err
 	}
 
-	c := &Campaign{cfg: cfg, tracker: tracker, h: h, gen: gen}
+	c := &Campaign{cfg: cfg, scn: scn, tracker: tracker, h: h, gen: gen}
 	if cfg.Generator != GenRandom {
 		params := cfg.GP
 		if cfg.Generator == GenGPStdXO {
@@ -220,6 +260,9 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 
 // Host exposes the campaign's host (for inspection).
 func (c *Campaign) Host() *host.Host { return c.h }
+
+// Scenario returns the campaign's resolved verification target.
+func (c *Campaign) Scenario() scenario.Scenario { return c.scn }
 
 // Tracker exposes the coverage tracker.
 func (c *Campaign) Tracker() *coverage.Tracker { return c.tracker }
@@ -324,6 +367,7 @@ func (c *Campaign) Advance(ctx context.Context, extra int) (bool, error) {
 // point, including after a cancelled Advance.
 func (c *Campaign) Result() Result {
 	out := c.out
+	out.Scenario = c.scn.ID()
 	out.SimTicks = c.h.Machine().Sim.Now()
 	out.SimSeconds = out.SimTicks.Seconds()
 	out.Committed = c.h.Machine().CommittedInstructions()

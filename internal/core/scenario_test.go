@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestScenarioSoundness: every registered scenario is self-consistent —
+// a bug-free machine realizing the scenario's legal relaxations must
+// stay quiet when checked against the scenario's own model. This is the
+// cross-model analogue of TestNoFalsePositives: SC cores under SC, the
+// Table 2 core under TSO, non-FIFO stores under PSO, squash-free loads
+// under RMO.
+func TestScenarioSoundness(t *testing.T) {
+	for _, scn := range scenario.All() {
+		scn := scn
+		t.Run(scn.Name, func(t *testing.T) {
+			cfg := scaledConfig(GenGPAll, scn.Protocol, "", 1024, 12)
+			cfg.Scenario = scn
+			cfg.Seed = 99
+			res, err := RunCampaign(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Found {
+				t.Fatalf("scenario %s false positive: %s / %s", scn.Name, res.Source, res.Detail)
+			}
+			if res.TestRuns != 12 {
+				t.Errorf("TestRuns = %d, want 12", res.TestRuns)
+			}
+			if res.Scenario != scn.ID() {
+				t.Errorf("Result.Scenario = %q, want %q", res.Scenario, scn.ID())
+			}
+		})
+	}
+}
+
+// TestScenarioBugHunt: injected bugs still manifest under the scenario
+// layer — the canonical pipeline bugs on the paper's TSO target, found
+// through a scenario-shaped config.
+func TestScenarioBugHunt(t *testing.T) {
+	scn, err := scenario.ByName("mesi-tso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn.Bugs = []string{"LQ+no-TSO"}
+	cfg := scaledConfig(GenRandom, scn.Protocol, "", 1024, 60)
+	cfg.Scenario = scn
+	cfg.Seed = 2
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("LQ+no-TSO not found through the scenario layer")
+	}
+}
+
+// TestResolvedScenarioCompatibility: pre-scenario configurations that
+// set Machine.Protocol directly still resolve to the paper's target.
+func TestResolvedScenarioCompatibility(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Machine.Protocol = "TSO-CC"
+	s, err := cfg.ResolvedScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Protocol != "TSO-CC" || s.Model != "TSO" {
+		t.Errorf("resolved %s/%s, want TSO-CC/TSO", s.Protocol, s.Model)
+	}
+	// An explicit scenario wins over the machine protocol.
+	cfg.Scenario = scenario.Scenario{Protocol: "MESI", Model: "PSO", Relax: scenario.RelaxFor("PSO")}
+	s, err = cfg.ResolvedScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Protocol != "MESI" || s.Model != "PSO" {
+		t.Errorf("resolved %s/%s, want MESI/PSO", s.Protocol, s.Model)
+	}
+}
+
+// TestIncoherentScenarioRejected: a relaxation the model forbids cannot
+// build a campaign.
+func TestIncoherentScenarioRejected(t *testing.T) {
+	cfg := scaledConfig(GenRandom, "MESI", "", 1024, 10)
+	cfg.Scenario = scenario.Scenario{Protocol: "MESI", Model: "TSO", Relax: scenario.RelaxFor("PSO")}
+	if _, err := NewCampaign(cfg); err == nil {
+		t.Error("NonFIFOSB under TSO accepted")
+	}
+}

@@ -13,6 +13,17 @@
 //   - locked RMWs drain the store buffer and execute atomically (full
 //     fence), clflush likewise;
 //   - loads forward from earlier same-address stores (TSO rfi).
+//
+// Beyond the Table 2 TSO core, Relax selects *legal* ordering
+// configurations as scenario features rather than bugs: StrongStores
+// drains every store before commit (realizing SC), NonFIFOSB drains the
+// store buffer out of order while keeping same-address FIFO and
+// store-store fence groups (realizing PSO's W→W relaxation), and
+// NoLoadSquash disables the invalidation squash while keeping
+// same-address load issue in order (realizing RMO's R→R relaxation).
+// Explicit fences (testgen.OpFence) re-impose the dropped orders: a full
+// fence drains the store buffer and blocks younger loads, a store-store
+// fence opens a new drain group, a load-load fence blocks younger loads.
 package cpu
 
 import (
@@ -20,6 +31,7 @@ import (
 
 	"repro/internal/bugs"
 	"repro/internal/coherence"
+	"repro/internal/memmodel"
 	"repro/internal/memsys"
 	"repro/internal/sim"
 	"repro/internal/testgen"
@@ -39,6 +51,8 @@ type Observer interface {
 	// performed at the coherence point; calls across all cores arrive
 	// in global serialization order.
 	WriteSerialized(tid, instr, sub int, addr memsys.Addr, val uint64)
+	// CommitFence reports a committed explicit fence in program order.
+	CommitFence(tid, instr, sub int, kind memmodel.FenceKind)
 }
 
 // nopObserver discards events.
@@ -47,6 +61,51 @@ type nopObserver struct{}
 func (nopObserver) CommitRead(int, int, int, memsys.Addr, uint64, bool)  {}
 func (nopObserver) CommitWrite(int, int, int, memsys.Addr, uint64, bool) {}
 func (nopObserver) WriteSerialized(int, int, int, memsys.Addr, uint64)   {}
+func (nopObserver) CommitFence(int, int, int, memmodel.FenceKind)        {}
+
+// Relax selects the core's legal ordering configuration — scenario
+// features, not bugs. Unlike the bugs.Set toggles (which silently break
+// an enforcement mechanism the checker still assumes), these knobs
+// change the architecture contract itself and are only valid when the
+// scenario checks against a model that permits them (see
+// internal/scenario's legality rules).
+type Relax struct {
+	// StrongStores drains each store to its coherence point before the
+	// store commits, removing the W→R (store buffer) relaxation. SC
+	// scenarios require it. Store-to-load forwarding is disabled in
+	// favour of stalling, since forwarding a globally-invisible store
+	// is itself the relaxation SC forbids.
+	StrongStores bool
+	// NonFIFOSB drains up to Config.NoFIFOWays store-buffer entries
+	// concurrently — relaxing W→W — while preserving same-address FIFO
+	// and never draining past a store-store fence group boundary. Legal
+	// under PSO and RMO only.
+	NonFIFOSB bool
+	// NoLoadSquash disables the LQ invalidation squash — relaxing R→R —
+	// while keeping same-address loads issuing in order (coherence still
+	// demands SC per location) and blocking loads from issuing past
+	// uncommitted full/load-load fences and atomics. Legal under RMO
+	// only.
+	NoLoadSquash bool
+}
+
+// Any reports whether at least one knob deviates from the Table 2 core.
+func (r Relax) Any() bool { return r != Relax{} }
+
+// String renders the enabled knobs canonically (empty for the default).
+func (r Relax) String() string {
+	s := ""
+	if r.StrongStores {
+		s += "+sc-stores"
+	}
+	if r.NonFIFOSB {
+		s += "+sb-ooo"
+	}
+	if r.NoLoadSquash {
+		s += "+lq-nosquash"
+	}
+	return s
+}
 
 // Config holds the core parameters (Table 2).
 type Config struct {
@@ -58,9 +117,11 @@ type Config struct {
 	// SBSize bounds the store buffer.
 	SBSize int
 	// NoFIFOWays is how many store-buffer entries drain concurrently
-	// under the SQ+no-FIFO bug.
+	// under the SQ+no-FIFO bug or the legal NonFIFOSB relaxation.
 	NoFIFOWays int
-	Bugs       bugs.Set
+	// Relax is the legal ordering configuration (scenario feature).
+	Relax Relax
+	Bugs  bugs.Set
 }
 
 // DefaultConfig returns the Table 2 core configuration.
@@ -82,6 +143,7 @@ type sbEntry struct {
 	val      uint64
 	instr    int
 	sub      int
+	group    uint32 // store-store fence drain group
 	draining bool
 }
 
@@ -103,6 +165,7 @@ type Core struct {
 	outLoads   int
 	sb         []sbEntry
 	sbDrains   int
+	sbGroup    uint32
 	flushBusy  bool
 	delayUntil sim.Tick
 
@@ -145,6 +208,7 @@ func (c *Core) Load(prog testgen.Program) {
 	c.outLoads = 0
 	c.sb = c.sb[:0]
 	c.sbDrains = 0
+	c.sbGroup = 0
 	c.flushBusy = false
 	c.done = len(prog) == 0
 	c.running = false
@@ -172,13 +236,21 @@ func (c *Core) schedule() {
 	c.sim.Schedule(0, c.advance)
 }
 
+// squashDisabled reports whether LQ invalidation squashes are off:
+// either the LQ+no-TSO bug (silently breaking the TSO contract) or the
+// legal NoLoadSquash relaxation (the RMO contract never promised R→R).
+func (c *Core) squashDisabled() bool {
+	return c.cfg.Bugs.LQNoTSO || c.cfg.Relax.NoLoadSquash
+}
+
 // onInvalidation is the LQ snoop: the protocol forwarded an invalidation
 // of lineAddr. All speculatively-performed, uncommitted loads on that
 // line are marked violated and will squash at commit.
 //
-// Bug LQ+no-TSO: the squash is skipped entirely.
+// Bug LQ+no-TSO (and the legal NoLoadSquash relaxation): the squash is
+// skipped entirely.
 func (c *Core) onInvalidation(lineAddr memsys.Addr) {
-	if c.cfg.Bugs.LQNoTSO || !c.running {
+	if c.squashDisabled() || !c.running {
 		return
 	}
 	dirty := false
@@ -290,7 +362,7 @@ func (c *Core) issueLoad(idx int) {
 		st := &c.status[idx]
 		st.performed = true
 		st.val = val
-		if invalidated && !c.cfg.Bugs.LQNoTSO {
+		if invalidated && !c.squashDisabled() {
 			// The fill arrived with a pending invalidation (IS_I):
 			// the data predates the invalidation, and a fence or an
 			// older operation may already have completed after the
@@ -311,7 +383,44 @@ func (c *Core) issueLoad(idx int) {
 	})
 }
 
+// loadStalled reports whether load j must wait before issuing, under the
+// legal ordering knobs:
+//
+//   - StrongStores: an older in-window same-word store has not reached
+//     its coherence point. Forwarding a globally-invisible store is the
+//     store-buffer relaxation SC forbids, so the load waits for the
+//     drain instead of forwarding.
+//   - NoLoadSquash: an older same-word load (or RMW) has not performed.
+//     With invalidation squashes off, issuing same-address loads in
+//     order is what keeps SC-per-location intact.
+func (c *Core) loadStalled(j int) bool {
+	if !c.cfg.Relax.StrongStores && !c.cfg.Relax.NoLoadSquash {
+		return false
+	}
+	addr := c.prog[j].Addr.WordAddr()
+	for k := j - 1; k >= c.nextCommit; k-- {
+		in := &c.prog[k]
+		if in.Addr.WordAddr() != addr || c.status[k].performed {
+			continue
+		}
+		if c.cfg.Relax.StrongStores && (in.Kind == testgen.OpWrite || in.Kind == testgen.OpRMW) {
+			return true
+		}
+		if c.cfg.Relax.NoLoadSquash && in.IsLoad() {
+			return true
+		}
+	}
+	return false
+}
+
 // issueWindow issues eligible loads out of order within the ROB window.
+// With squashing available, loads speculate past uncommitted fences and
+// atomics and the LQ invalidation squash repairs any too-early value at
+// commit — which is precisely how the LQ bugs manifest through fenced
+// litmus shapes. Only under the legal NoLoadSquash relaxation does the
+// fence enforce younger-load order structurally: the scan stops at an
+// uncommitted full or load-load fence (and at atomics, which imply
+// them).
 func (c *Core) issueWindow() {
 	limit := c.nextCommit + c.cfg.ROBSize
 	if limit > len(c.prog) {
@@ -322,33 +431,64 @@ func (c *Core) issueWindow() {
 			return
 		}
 		in := &c.prog[j]
+		if c.cfg.Relax.NoLoadSquash {
+			if in.Kind == testgen.OpRMW {
+				return
+			}
+			if in.Kind == testgen.OpFence && in.Fence != testgen.FenceSS {
+				return
+			}
+		}
 		st := &c.status[j]
 		if st.issued {
 			continue
 		}
 		switch in.Kind {
 		case testgen.OpRead:
-			c.issueLoad(j)
+			if !c.loadStalled(j) {
+				c.issueLoad(j)
+			}
 		case testgen.OpReadAddrDp:
-			if c.depReady(j) {
+			if c.depReady(j) && !c.loadStalled(j) {
 				c.issueLoad(j)
 			}
 		}
 	}
 }
 
-// drainSB issues store-buffer entries to the L1. FIFO by default; the
-// SQ+no-FIFO bug drains several entries concurrently so younger stores
-// can reach the coherence point first.
+// drainSB issues store-buffer entries to the L1. FIFO by default. The
+// SQ+no-FIFO bug drains several entries concurrently with no further
+// constraint, so younger stores can reach the coherence point first —
+// including same-address ones, which is exactly why it is a bug under
+// every model. The legal NonFIFOSB relaxation also drains concurrently,
+// but keeps same-address stores FIFO (coherence requires SC per
+// location) and never drains past a store-store fence group boundary.
 func (c *Core) drainSB() {
+	bugOOO := c.cfg.Bugs.SQNoFIFO
+	relaxOOO := c.cfg.Relax.NonFIFOSB && !bugOOO
 	ways := 1
-	if c.cfg.Bugs.SQNoFIFO {
+	if bugOOO || relaxOOO {
 		ways = c.cfg.NoFIFOWays
 	}
 	for i := 0; i < len(c.sb) && c.sbDrains < ways; i++ {
 		e := &c.sb[i]
 		if e.draining {
 			continue
+		}
+		if relaxOOO {
+			if e.group != c.sb[0].group {
+				break
+			}
+			blocked := false
+			for j := 0; j < i; j++ {
+				if c.sb[j].addr.WordAddr() == e.addr.WordAddr() {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
 		}
 		e.draining = true
 		c.sbDrains++
@@ -371,7 +511,7 @@ func (c *Core) drainSB() {
 			}
 			c.schedule()
 		})
-		if !c.cfg.Bugs.SQNoFIFO {
+		if !bugOOO && !relaxOOO {
 			return
 		}
 	}
@@ -425,14 +565,53 @@ func (c *Core) commitHead() bool {
 		return true
 
 	case testgen.OpWrite:
+		if c.cfg.Relax.StrongStores {
+			// SC stores: the store reaches its coherence point before
+			// it commits, so no later operation can overtake it.
+			if !st.issued {
+				st.issued = true
+				c.sb = append(c.sb, sbEntry{addr: in.Addr, val: in.WriteID, instr: idx, sub: 0, group: c.sbGroup})
+				c.drainSB()
+				return false
+			}
+			if !st.performed {
+				return false
+			}
+			c.obs.CommitWrite(c.id, idx, 0, in.Addr, in.WriteID, false)
+			c.committed++
+			c.nextCommit++
+			return true
+		}
 		if len(c.sb) >= c.cfg.SBSize {
 			return false
 		}
-		c.sb = append(c.sb, sbEntry{addr: in.Addr, val: in.WriteID, instr: idx, sub: 0})
+		c.sb = append(c.sb, sbEntry{addr: in.Addr, val: in.WriteID, instr: idx, sub: 0, group: c.sbGroup})
 		c.obs.CommitWrite(c.id, idx, 0, in.Addr, in.WriteID, false)
 		c.committed++
 		c.nextCommit++
 		c.drainSB()
+		return true
+
+	case testgen.OpFence:
+		// Release side: a full fence waits for the store buffer to
+		// drain; a store-store fence closes the current drain group; a
+		// load-load fence has no store-side effect. Acquire side: full
+		// and load-load fences apply the cache's acquire action
+		// (self-invalidation under lazy coherence) so po-later loads
+		// observe writes serialized before the fence.
+		if in.Fence == testgen.FenceFull && len(c.sb) > 0 {
+			c.drainSB()
+			return false
+		}
+		if in.Fence == testgen.FenceSS && len(c.sb) > 0 {
+			c.sbGroup++
+		}
+		if in.Fence != testgen.FenceSS {
+			c.l1.Acquire()
+		}
+		c.obs.CommitFence(c.id, idx, 0, in.Fence)
+		c.committed++
+		c.nextCommit++
 		return true
 
 	case testgen.OpRMW:

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/bugs"
+	"repro/internal/memmodel"
 	"repro/internal/memsys"
 	"repro/internal/sim"
 	"repro/internal/testgen"
@@ -74,6 +75,7 @@ func (f *fakeL1) Flush(addr memsys.Addr, cb func()) {
 
 func (f *fakeL1) SetInvalListener(fn func(memsys.Addr)) { f.notify = fn }
 func (f *fakeL1) ResetCaches()                          {}
+func (f *fakeL1) Acquire()                              {}
 
 // events records observer callbacks.
 type events struct {
@@ -93,6 +95,10 @@ func (e *events) CommitWrite(tid, instr, sub int, addr memsys.Addr, val uint64, 
 
 func (e *events) WriteSerialized(tid, instr, sub int, addr memsys.Addr, val uint64) {
 	e.serial = append(e.serial, instr)
+}
+
+func (e *events) CommitFence(tid, instr, sub int, kind memmodel.FenceKind) {
+	e.order = append(e.order, "F")
 }
 
 func run(t *testing.T, prog testgen.Program, cfg Config, setup func(*fakeL1)) (*Core, *fakeL1, *events) {

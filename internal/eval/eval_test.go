@@ -77,3 +77,22 @@ func TestTable6Parallel(t *testing.T) {
 		t.Errorf("parallel Table 6 diverges from sequential:\n--- seq ---\n%s--- par ---\n%s", seq.String(), par.String())
 	}
 }
+
+// TestScenarioMatrixReport: the matrix report renders the corpus
+// discrimination rows and one soundness-smoke line per registered
+// scenario, and the (tiny) bug-free smokes stay quiet.
+func TestScenarioMatrixReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ScenarioMatrix(&buf, tinyScale(0)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SB", "MP", "LB", "SB+mfences", "mesi-pso", "mesi-rmo", "tsocc-rmo", "mesi-sc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NO:") {
+		t.Errorf("scenario soundness smoke reported a violation:\n%s", out)
+	}
+}

@@ -87,6 +87,9 @@ func (o Options) withDefaults() Options {
 type Event struct {
 	// Sample is the work-item index (seed = core.SampleSeed(base, Sample)).
 	Sample int
+	// Scenario names the work item's verification target (scenario
+	// sweeps only; empty for single-scenario fleets).
+	Scenario string
 	// Epoch is the island epoch that just finished (island mode only).
 	Epoch int
 	// Done marks the sample's final event.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/machine"
 	"repro/internal/memsys"
+	"repro/internal/scenario"
 	"repro/internal/testgen"
 )
 
@@ -21,8 +22,7 @@ import (
 // preserving all generator behaviours.
 func scaledConfig(gen core.GeneratorKind, bug string, budget int) core.Config {
 	cfg := core.DefaultConfig()
-	cfg.Machine.Protocol = machine.MESI
-	cfg.Bug = bug
+	cfg.Scenario = scenario.ForBug(machine.MESI, bug)
 	cfg.Generator = gen
 	cfg.Test = testgen.Config{
 		Size:    96,

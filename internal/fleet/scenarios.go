@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// ScenarioSweep shards a campaign fleet across a scenario matrix: every
+// (scenario, sample) pair is one work item, with the item's seed a pure
+// function of (baseSeed, flat index) — the same derivation the plain
+// SampleSet uses — so sweep results are byte-identical at any worker
+// count. Under Options.Collective all items share one verdict memo;
+// the memo's scenario scoping keeps verdicts from leaking between
+// scenarios, so sharing is safe even across different machine
+// contracts.
+//
+// The result is indexed [scenario][sample]. StopOnFound cancels the
+// whole sweep (all scenarios) as soon as any sample finds a bug.
+// Options.Islands is ignored: islands exchange chromosomes between
+// populations bred for one machine contract, which makes no sense
+// across scenarios; run per-scenario island fleets via SampleSet
+// instead.
+func ScenarioSweep(ctx context.Context, base core.Config, scens []scenario.Scenario, samples int, baseSeed int64, opts Options) ([][]core.Result, Stats, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	n := len(scens) * samples
+	em := &emitter{ch: opts.Events}
+	em.stats.Samples = n
+	em.stats.Workers = Workers(opts.Workers, n)
+
+	if opts.Collective && base.Memo == nil {
+		base.Memo = collective.NewMemo()
+	}
+
+	ctx, stop := context.WithCancelCause(ctx)
+	defer stop(nil)
+
+	flat, err := Map(ctx, opts.Workers, n, func(ctx context.Context, i int) (core.Result, error) {
+		cfg := base
+		cfg.Scenario = scens[i/samples]
+		cfg.Seed = core.SampleSeed(baseSeed, i)
+		camp, err := core.NewCampaign(cfg)
+		if err != nil {
+			return core.Result{}, err
+		}
+		t0 := time.Now()
+		res, err := camp.RunContext(ctx)
+		ev := Event{Sample: i, Scenario: cfg.Scenario.Name, Result: res, Elapsed: time.Since(t0), Done: true}
+		if err != nil {
+			ev.Stopped = true
+			em.emit(ev)
+			if errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), errEarlyStop) {
+				return res, nil
+			}
+			return res, err
+		}
+		if opts.StopOnFound && res.Found {
+			stop(errEarlyStop)
+		}
+		em.emit(ev)
+		return res, nil
+	})
+	if errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), errEarlyStop) {
+		err = nil
+	}
+
+	out := make([][]core.Result, len(scens))
+	for si := range scens {
+		out[si] = flat[si*samples : (si+1)*samples]
+	}
+	if base.Memo != nil {
+		em.stats.Dedupe = base.Memo.Stats()
+	}
+	em.stats.Wall = time.Since(start)
+	return out, em.stats, err
+}

@@ -1,0 +1,118 @@
+package host
+
+import (
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/checker"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/memmodel"
+	"repro/internal/memsys"
+)
+
+// buildRelax assembles a host whose machine runs with the given legal
+// relaxations, checked against an arbitrary model — the harness for
+// showing that a relaxation is a real reordering (a stronger model
+// flags it) and that the matching model absorbs it.
+func buildRelax(t *testing.T, relax cpu.Relax, arch memmodel.Arch, seed int64) *Host {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Relax = relax
+	cfg.Seed = seed
+	rec := checker.NewRecorder(arch)
+	trap := NewErrorTrap()
+	m, err := machine.New(cfg, nil, trap, rec)
+	if err != nil {
+		t.Fatalf("machine.New: %v", err)
+	}
+	return New(m, rec, trap, smallOpts())
+}
+
+// TestNonFIFOSBViolatesTSO: the legal out-of-order store-buffer drain is
+// a genuine W→W reordering — checking the relaxed machine against TSO
+// (which it no longer implements) must flag it quickly.
+func TestNonFIFOSBViolatesTSO(t *testing.T) {
+	h := buildRelax(t, cpu.Relax{NonFIFOSB: true}, memmodel.TSO{}, 3)
+	v := hunt(t, h, memsys.MustLayout(1024, 16), 60, 9)
+	if v == nil {
+		t.Fatal("non-FIFO store buffer not flagged under TSO within budget")
+	}
+	if v.Source != SourceChecker {
+		t.Fatalf("unexpected violation source %v: %v", v.Source, v)
+	}
+}
+
+// TestNonFIFOSBSoundUnderPSO: the same relaxed machine checked against
+// PSO — the model that permits the reordering — stays quiet.
+func TestNonFIFOSBSoundUnderPSO(t *testing.T) {
+	h := buildRelax(t, cpu.Relax{NonFIFOSB: true}, memmodel.PSO{}, 4)
+	if v := hunt(t, h, memsys.MustLayout(1024, 16), 25, 10); v != nil {
+		t.Fatalf("false positive under PSO: %v", v)
+	}
+}
+
+// TestNoLoadSquashViolatesPSO: squash-free loads are a genuine R→R
+// reordering — PSO (which preserves R→R) must flag the RMO-relaxed
+// machine.
+func TestNoLoadSquashViolatesPSO(t *testing.T) {
+	h := buildRelax(t, cpu.Relax{NonFIFOSB: true, NoLoadSquash: true}, memmodel.PSO{}, 3)
+	v := hunt(t, h, memsys.MustLayout(1024, 16), 40, 9)
+	if v == nil {
+		t.Fatal("squash-free loads not flagged under PSO within budget")
+	}
+}
+
+// TestRMORelaxSoundUnderRMO: the fully relaxed machine checked against
+// RMO stays quiet.
+func TestRMORelaxSoundUnderRMO(t *testing.T) {
+	h := buildRelax(t, cpu.Relax{NonFIFOSB: true, NoLoadSquash: true}, memmodel.RMO{}, 3)
+	if v := hunt(t, h, memsys.MustLayout(1024, 16), 25, 9); v != nil {
+		t.Fatalf("false positive under RMO: %v", v)
+	}
+}
+
+// TestStrongStoresSoundUnderSC: the store-drain-before-commit core
+// checked against SC — the strongest contract — stays quiet.
+func TestStrongStoresSoundUnderSC(t *testing.T) {
+	h := buildRelax(t, cpu.Relax{StrongStores: true}, memmodel.SC{}, 6)
+	if v := hunt(t, h, memsys.MustLayout(1024, 16), 25, 11); v != nil {
+		t.Fatalf("false positive under SC: %v", v)
+	}
+}
+
+// TestDefaultCoreViolatesSC: without StrongStores the Table 2 store
+// buffer is visible to an SC checker — the reason scenario validation
+// requires the knob for SC targets.
+func TestDefaultCoreViolatesSC(t *testing.T) {
+	h := buildRelax(t, cpu.Relax{}, memmodel.SC{}, 6)
+	v := hunt(t, h, memsys.MustLayout(1024, 16), 40, 11)
+	if v == nil {
+		t.Fatal("store buffer not flagged under SC within budget")
+	}
+}
+
+// TestRelaxedBugStillFound: a real bug on a relaxed machine is still a
+// bug — the LQ+no-TSO squash bug composes with the PSO store relaxation
+// and the PSO checker still catches the R→R break.
+func TestRelaxedBugStillFound(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Relax = cpu.Relax{NonFIFOSB: true}
+	set, err := bugs.SetFor("LQ+no-TSO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Bugs = set
+	cfg.Seed = 8
+	rec := checker.NewRecorder(memmodel.PSO{})
+	trap := NewErrorTrap()
+	m, err := machine.New(cfg, nil, trap, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(m, rec, trap, smallOpts())
+	v := hunt(t, h, memsys.MustLayout(1024, 16), 60, 12)
+	if v == nil {
+		t.Fatal("LQ+no-TSO not found on the PSO-relaxed machine")
+	}
+}

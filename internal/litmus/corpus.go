@@ -1,0 +1,90 @@
+package litmus
+
+// Known is one weak-memory classic with its per-model expected verdict —
+// a known-answer pin for the axiomatic checkers. The expectations come
+// from the literature's model containment chain SC ⊃ TSO ⊃ PSO ⊃ RMO: a
+// shape distinguishes an adjacent model pair when its outcome is
+// forbidden under the stronger model and allowed under the weaker.
+type Known struct {
+	// Name is the classic's name.
+	Name string
+	// Cycle is the generating diy cycle.
+	Cycle Cycle
+	// ForbiddenUnder maps a model name (SC, TSO, PSO, RMO) to whether
+	// the outcome is forbidden by that model.
+	ForbiddenUnder map[string]bool
+}
+
+// Materialize builds the executable litmus test for the shape.
+func (k Known) Materialize() (*Test, bool) {
+	rot, ok := k.Cycle.rotateToExternalClose()
+	if !ok {
+		return nil, false
+	}
+	t, ok := materialize(rot)
+	if !ok {
+		return nil, false
+	}
+	t.Name = k.Name
+	return t, true
+}
+
+// Corpus returns the weak-model classics with per-model expected
+// outcomes. The discrimination ladder down the containment chain:
+//
+//   - SB separates SC from TSO (the store buffer's W→R relaxation);
+//   - MP and 2+2W separate TSO from PSO (the W→W relaxation);
+//   - LB separates PSO from RMO (the R→W relaxation);
+//   - the fenced variants are forbidden everywhere, pinning each
+//     model's fence semantics (full, store-store, load-load).
+func Corpus() []Known {
+	forbidden := func(models ...string) map[string]bool {
+		m := map[string]bool{"SC": false, "TSO": false, "PSO": false, "RMO": false}
+		for _, name := range models {
+			m[name] = true
+		}
+		return m
+	}
+	return []Known{
+		{
+			Name:           "SB",
+			Cycle:          Cycle{Fre, PodWR, Fre, PodWR},
+			ForbiddenUnder: forbidden("SC"),
+		},
+		{
+			Name:           "MP",
+			Cycle:          Cycle{Rfe, PodRR, Fre, PodWW},
+			ForbiddenUnder: forbidden("SC", "TSO"),
+		},
+		{
+			Name:           "2+2W",
+			Cycle:          Cycle{Wse, PodWW, Wse, PodWW},
+			ForbiddenUnder: forbidden("SC", "TSO"),
+		},
+		{
+			Name:           "S",
+			Cycle:          Cycle{Rfe, PodRW, Wse, PodWW},
+			ForbiddenUnder: forbidden("SC", "TSO"),
+		},
+		{
+			Name:           "LB",
+			Cycle:          Cycle{Rfe, PodRW, Rfe, PodRW},
+			ForbiddenUnder: forbidden("SC", "TSO", "PSO"),
+		},
+		{
+			Name:           "SB+mfences",
+			Cycle:          Cycle{MFencedWR, Fre, MFencedWR, Fre},
+			ForbiddenUnder: forbidden("SC", "TSO", "PSO", "RMO"),
+		},
+		{
+			Name:           "MP+fences",
+			Cycle:          Cycle{Rfe, LLFencedRR, Fre, SSFencedWW},
+			ForbiddenUnder: forbidden("SC", "TSO", "PSO", "RMO"),
+		},
+		{
+			Name:           "2+2W+ssfences",
+			Cycle:          Cycle{Wse, SSFencedWW, Wse, SSFencedWW},
+			ForbiddenUnder: forbidden("SC", "TSO", "PSO", "RMO"),
+		},
+	}
+}

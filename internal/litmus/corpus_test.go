@@ -1,0 +1,109 @@
+package litmus
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+// TestCorpusKnownAnswers pins the SC/TSO/PSO/RMO checkers with the
+// weak-model classics: each shape's outcome must be forbidden exactly
+// under the models the literature says forbid it.
+func TestCorpusKnownAnswers(t *testing.T) {
+	for _, k := range Corpus() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			tst, ok := k.Materialize()
+			if !ok {
+				t.Fatalf("%s did not materialize", k.Name)
+			}
+			for _, model := range memmodel.Names() {
+				arch, err := memmodel.ByName(model)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, pinned := k.ForbiddenUnder[model]
+				if !pinned {
+					t.Fatalf("%s has no expectation for %s", k.Name, model)
+				}
+				if got := Forbidden(tst, arch); got != want {
+					t.Errorf("%s under %s: forbidden = %v, want %v\n%s", k.Name, model, got, want, tst)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusDistinguishesAdjacentModels: for every adjacent pair in the
+// containment chain, at least one corpus shape is forbidden under the
+// stronger model and allowed under the weaker — the discrimination
+// property the scenario matrix relies on.
+func TestCorpusDistinguishesAdjacentModels(t *testing.T) {
+	chain := memmodel.Names() // strongest to weakest
+	for k := 0; k+1 < len(chain); k++ {
+		strong, weak := chain[k], chain[k+1]
+		found := ""
+		for _, known := range Corpus() {
+			if known.ForbiddenUnder[strong] && !known.ForbiddenUnder[weak] {
+				found = known.Name
+				break
+			}
+		}
+		if found == "" {
+			t.Errorf("no corpus shape separates %s from %s", strong, weak)
+			continue
+		}
+		// The expectation must hold on the actual checkers too, not
+		// just the table.
+		known := corpusByName(t, found)
+		tst, ok := known.Materialize()
+		if !ok {
+			t.Fatalf("%s did not materialize", found)
+		}
+		sa, err := memmodel.ByName(strong)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wa, err := memmodel.ByName(weak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Forbidden(tst, sa) || Forbidden(tst, wa) {
+			t.Errorf("%s does not separate %s from %s on the checkers", found, strong, weak)
+		}
+		t.Logf("%s vs %s separated by %s", strong, weak, found)
+	}
+}
+
+func corpusByName(t *testing.T, name string) Known {
+	t.Helper()
+	for _, k := range Corpus() {
+		if k.Name == name {
+			return k
+		}
+	}
+	t.Fatalf("corpus shape %s missing", name)
+	return Known{}
+}
+
+// TestWeakSuitesGenerate: Generate produces non-empty conformance
+// suites for the weaker models too, every test forbidden under its own
+// model, and the weaker the model the more fence-laden the alphabet.
+func TestWeakSuitesGenerate(t *testing.T) {
+	for _, model := range memmodel.Names() {
+		arch, err := memmodel.ByName(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tests := Generate(arch, 4, 20)
+		if len(tests) == 0 {
+			t.Errorf("no %s tests generated", model)
+			continue
+		}
+		for _, tst := range tests {
+			if !Forbidden(tst, arch) {
+				t.Errorf("%s suite test %s not forbidden under %s", model, tst.Name, model)
+			}
+		}
+	}
+}

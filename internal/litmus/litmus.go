@@ -45,11 +45,17 @@ const (
 	// MFencedWR: a W→R program-order pair separated by mfence (the
 	// fence that restores order under TSO).
 	MFencedWR
+	// SSFencedWW: a W→W program-order pair separated by a store-store
+	// fence (the fence that restores order under PSO/RMO).
+	SSFencedWW
+	// LLFencedRR: an R→R program-order pair separated by a load-load
+	// fence (the fence that restores order under RMO).
+	LLFencedRR
 
 	numEdgeKinds
 )
 
-var edgeNames = [...]string{"Rfe", "Fre", "Wse", "PodRR", "PodRW", "PodWR", "PodWW", "MFencedWR"}
+var edgeNames = [...]string{"Rfe", "Fre", "Wse", "PodRR", "PodRW", "PodWR", "PodWW", "MFencedWR", "SSFencedWW", "LLFencedRR"}
 
 func (e EdgeKind) String() string { return edgeNames[e] }
 
@@ -60,7 +66,7 @@ func (e EdgeKind) external() bool { return e <= Wse }
 // have.
 func (e EdgeKind) srcIsWrite() bool {
 	switch e {
-	case Rfe, Wse, PodWR, PodWW, MFencedWR:
+	case Rfe, Wse, PodWR, PodWW, MFencedWR, SSFencedWW:
 		return true
 	default:
 		return false
@@ -69,10 +75,25 @@ func (e EdgeKind) srcIsWrite() bool {
 
 func (e EdgeKind) dstIsWrite() bool {
 	switch e {
-	case Fre, Wse, PodRW, PodWW:
+	case Fre, Wse, PodRW, PodWW, SSFencedWW:
 		return true
 	default:
 		return false
+	}
+}
+
+// fence returns the fence flavour a program-order edge inserts between
+// its endpoints, if any.
+func (e EdgeKind) fence() (memmodel.FenceKind, bool) {
+	switch e {
+	case MFencedWR:
+		return memmodel.FenceFull, true
+	case SSFencedWW:
+		return memmodel.FenceSS, true
+	case LLFencedRR:
+		return memmodel.FenceLL, true
+	default:
+		return 0, false
 	}
 }
 
@@ -159,8 +180,10 @@ type Event struct {
 	// Val is the value written (writes) or expected under the
 	// forbidden outcome (reads; filled by the execution builder).
 	Val uint64
-	// FenceBefore inserts an mfence before this event.
+	// FenceBefore inserts a fence of FenceKind before this event.
 	FenceBefore bool
+	// FenceKind is the flavour of the inserted fence.
+	FenceKind memmodel.FenceKind
 }
 
 // Test is a materialized litmus test.
@@ -190,7 +213,14 @@ func (t *Test) String() string {
 		fmt.Fprintf(&b, "  P%d:", tid)
 		for _, e := range evs {
 			if e.FenceBefore {
-				b.WriteString(" mfence;")
+				switch e.FenceKind {
+				case memmodel.FenceSS:
+					b.WriteString(" membar.ss;")
+				case memmodel.FenceLL:
+					b.WriteString(" membar.ll;")
+				default:
+					b.WriteString(" mfence;")
+				}
 			}
 			v := string(rune('x' + e.Var))
 			if e.IsWrite {
@@ -226,14 +256,17 @@ func materialize(c Cycle) (*Test, bool) {
 	thread, loc := 0, 0
 	maxVar := 0
 	fenceNext := false
+	fenceKind := memmodel.FenceFull
 	for _, e := range c {
 		ev := Event{
 			Thread:      thread,
 			IsWrite:     e.srcIsWrite(),
 			Var:         loc,
 			FenceBefore: fenceNext,
+			FenceKind:   fenceKind,
 		}
 		fenceNext = false
+		fenceKind = memmodel.FenceFull
 		for thread >= len(t.Threads) {
 			t.Threads = append(t.Threads, nil)
 		}
@@ -247,8 +280,9 @@ func materialize(c Cycle) (*Test, bool) {
 			thread++
 		} else {
 			loc = (loc + 1) % nPo
-			if e == MFencedWR {
+			if k, ok := e.fence(); ok {
 				fenceNext = true
+				fenceKind = k
 			}
 		}
 	}
@@ -293,8 +327,9 @@ func buildExecution(t *Test) (*memmodel.Execution, bool) {
 		for ei, ev := range evs {
 			if ev.FenceBefore {
 				x.AddEvent(memmodel.Event{
-					Key:  memmodel.Key{TID: ti, Instr: 1000 + ei},
-					Kind: memmodel.KindFence,
+					Key:   memmodel.Key{TID: ti, Instr: 1000 + ei},
+					Kind:  memmodel.KindFence,
+					Fence: ev.FenceKind,
 				})
 			}
 			kind := memmodel.KindRead
@@ -466,13 +501,37 @@ var wellKnownNames = map[string]string{
 	(Cycle{Rfe, PodRR, Fre, PodWW, Rfe, PodRR}).canonical(): "WRC-shape",
 	(Cycle{Rfe, PodRR, Fre, Rfe, PodRR, Fre}).canonical():   "IRIW",
 	(Cycle{MFencedWR, Fre, MFencedWR, Fre}).canonical():     "SB+mfences",
+	(Cycle{Rfe, LLFencedRR, Fre, SSFencedWW}).canonical():   "MP+fences",
+	(Cycle{Wse, SSFencedWW, Wse, SSFencedWW}).canonical():   "2+2W+ssfences",
 }
 
-// Generate enumerates well-formed cycles length by length up to maxLen,
-// deduplicates rotations, keeps those whose outcome is forbidden under
-// arch, and returns up to limit tests (diy generated 38 for x86-TSO).
+// alphabet returns the edge kinds relevant for arch. A fence edge whose
+// flavour restores an order the model already preserves generates a
+// shape indistinguishable from its unfenced twin, so each fence enters
+// the alphabet only for models that relax the order it restores — the
+// same reason diy's x86 alphabet carries mfence but no membar flavours.
+func alphabet(arch memmodel.Arch) []EdgeKind {
+	base := []EdgeKind{Rfe, Fre, Wse, PodRR, PodRW, PodWR, PodWW}
+	switch arch.Name() {
+	case "SC":
+		return base
+	case "TSO":
+		return append(base, MFencedWR)
+	case "PSO":
+		return append(base, MFencedWR, SSFencedWW)
+	default:
+		// RMO (and any weaker model): the full fence vocabulary.
+		return append(base, MFencedWR, SSFencedWW, LLFencedRR)
+	}
+}
+
+// Generate enumerates well-formed cycles length by length up to maxLen
+// over arch's edge alphabet, deduplicates rotations, keeps those whose
+// outcome is forbidden under arch, and returns up to limit tests (diy
+// generated 38 for x86-TSO).
 func Generate(arch memmodel.Arch, maxLen, limit int) []*Test {
 	seen := make(map[string]bool)
+	edges := alphabet(arch)
 	var out []*Test
 	for n := 4; n <= maxLen && len(out) < limit; n++ {
 		c := make(Cycle, n)
@@ -487,7 +546,7 @@ func Generate(arch memmodel.Arch, maxLen, limit int) []*Test {
 				}
 				return
 			}
-			for e := EdgeKind(0); e < numEdgeKinds; e++ {
+			for _, e := range edges {
 				c[pos] = e
 				rec(pos + 1)
 			}
@@ -538,11 +597,12 @@ func ToTestgen(t *Test, threads int) (*testgen.Test, []ReadProbe, error) {
 	for ti, evs := range t.Threads {
 		for _, ev := range evs {
 			if ev.FenceBefore {
-				// Model mfence as a locked RMW to a private
-				// scratch line (full fence on x86).
+				// Lower to the machine's explicit fence vocabulary
+				// (historically this was a locked RMW to a private
+				// scratch line; OpFence carries the flavour directly).
 				out.Nodes = append(out.Nodes, testgen.Node{
 					PID: ti,
-					Op:  testgen.Op{Kind: testgen.OpRMW, Addr: ScratchAddr(ti)},
+					Op:  testgen.Op{Kind: testgen.OpFence, Fence: ev.FenceKind},
 				})
 				idx[ti]++
 			}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/memmodel"
+	"repro/internal/testgen"
 )
 
 // mustMaterialize rotates the cycle to external closure and materializes
@@ -196,7 +197,7 @@ func TestToTestgenLowering(t *testing.T) {
 	}
 }
 
-func TestFencedLoweringEmitsRMW(t *testing.T) {
+func TestFencedLoweringEmitsFences(t *testing.T) {
 	c := Cycle{Fre, MFencedWR, Fre, MFencedWR}
 	tst := mustMaterialize(t, c)
 	Forbidden(tst, memmodel.TSO{}) // resolve expectations
@@ -204,14 +205,38 @@ func TestFencedLoweringEmitsRMW(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rmws := 0
+	fences := 0
 	for _, n := range low.Nodes {
-		if n.Op.Kind.String() == "RMW" {
-			rmws++
+		if n.Op.Kind == testgen.OpFence {
+			fences++
+			if n.Op.Fence != memmodel.FenceFull {
+				t.Errorf("mfence lowered as %s fence", n.Op.Fence)
+			}
 		}
 	}
-	if rmws != 2 {
-		t.Fatalf("fenced SB lowered with %d RMWs, want 2", rmws)
+	if fences != 2 {
+		t.Fatalf("fenced SB lowered with %d fences, want 2", fences)
+	}
+}
+
+// TestFencedLoweringCarriesFlavour: SS and LL fence edges lower to
+// fences of the matching flavour.
+func TestFencedLoweringCarriesFlavour(t *testing.T) {
+	c := Cycle{Rfe, LLFencedRR, Fre, SSFencedWW}
+	tst := mustMaterialize(t, c)
+	Forbidden(tst, memmodel.RMO{}) // resolve expectations
+	low, _, err := ToTestgen(tst, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[memmodel.FenceKind]int{}
+	for _, n := range low.Nodes {
+		if n.Op.Kind == testgen.OpFence {
+			got[n.Op.Fence]++
+		}
+	}
+	if got[memmodel.FenceSS] != 1 || got[memmodel.FenceLL] != 1 {
+		t.Fatalf("MP+fences lowered with fence flavours %v, want one ss and one ll", got)
 	}
 }
 

@@ -140,6 +140,9 @@ func RunSuite(cfg SuiteConfig, tests []*Test, seed int64) (SuiteResult, error) {
 	mcfg.Seed = seed
 	rec := checker.NewRecorder(memmodel.TSO{})
 	rec.SetMemo(cfg.Memo)
+	// Litmus runs are a distinct machine contract from campaign runs
+	// (different reset/program regime); confine any shared memo.
+	rec.SetScope("litmus:" + string(mcfg.Protocol))
 	trap := host.NewErrorTrap()
 	m, err := machine.New(mcfg, nil, trap, rec)
 	if err != nil {

@@ -6,6 +6,7 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/bugs"
 	"repro/internal/coherence"
@@ -25,6 +26,18 @@ const (
 	TSOCC Protocol = "TSO-CC"
 )
 
+// Protocols returns the valid protocol names.
+func Protocols() []Protocol { return []Protocol{MESI, TSOCC} }
+
+// ProtocolNames renders the valid protocol names for error messages.
+func ProtocolNames() string {
+	names := make([]string, 0, 2)
+	for _, p := range Protocols() {
+		names = append(names, string(p))
+	}
+	return strings.Join(names, ", ")
+}
+
 // Config describes the simulated system.
 type Config struct {
 	// Cores is the core count (Table 2: 8).
@@ -42,6 +55,9 @@ type Config struct {
 	Mesh interconnect.Config
 	// CPU is the core configuration (LSQ 32, ROB 40).
 	CPU cpu.Config
+	// Relax is the cores' legal ordering configuration (scenario
+	// feature, not a bug; see cpu.Relax).
+	Relax cpu.Relax
 	// Bugs are the enabled bug injections.
 	Bugs bugs.Set
 	// Seed drives all simulation randomness.
@@ -72,7 +88,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: tiles must be positive")
 	}
 	if c.Protocol != MESI && c.Protocol != TSOCC {
-		return fmt.Errorf("machine: unknown protocol %q", c.Protocol)
+		return fmt.Errorf("machine: unknown protocol %q (valid: %s)", c.Protocol, ProtocolNames())
 	}
 	if c.Cores > c.Mesh.Rows*c.Mesh.Cols || c.Tiles > c.Mesh.Rows*c.Mesh.Cols {
 		return fmt.Errorf("machine: mesh %dx%d too small for %d cores / %d tiles",
@@ -146,6 +162,7 @@ func New(cfg Config, cov coherence.CoverageSink, errs coherence.ErrorSink, obs c
 		m.L1s = append(m.L1s, l1)
 		cpuCfg := cfg.CPU
 		cpuCfg.Bugs = cfg.Bugs
+		cpuCfg.Relax = cfg.Relax
 		m.Cores = append(m.Cores, cpu.New(i, s, l1, cpuCfg, obs))
 	}
 

@@ -1,6 +1,11 @@
 package memmodel
 
-import "repro/internal/relation"
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
 
 // Arch describes an architecture's memory consistency model in the
 // axiomatic style: which part of program order is preserved (ppo), and
@@ -54,21 +59,27 @@ func (TSO) Name() string { return "TSO" }
 //     without passing a fence).
 func (TSO) PPOEdges(x *Execution, thread []relation.EventID, r *relation.Relation) {
 	// Scan backwards keeping the nearest later event of each class.
+	// Only full fences act as ordering points: SS/LL fence events add
+	// nothing TSO does not already preserve, and giving them in-edges
+	// would fabricate W→R paths through them, so they get none.
 	var nextRead, nextWrite, nextFence relation.EventID
 	haveRead, haveWrite, haveFence := false, false, false
 	for i := len(thread) - 1; i >= 0; i-- {
 		id := thread[i]
 		e := x.Event(id)
+		if e.Kind == KindFence && !e.IsFullFence() {
+			continue
+		}
 		if haveWrite {
 			r.Add(id, nextWrite)
 		}
 		if haveFence {
 			r.Add(id, nextFence)
 		}
-		if haveRead && (e.IsRead() || e.IsFence()) {
+		if haveRead && (e.IsRead() || e.IsFullFence()) {
 			r.Add(id, nextRead)
 		}
-		if e.IsFence() {
+		if e.IsFullFence() {
 			// A fence orders with everything after it; later events
 			// of all classes are reachable through the fence's own
 			// next-read/next-write edges.
@@ -83,11 +94,137 @@ func (TSO) PPOEdges(x *Execution, thread []relation.EventID, r *relation.Relatio
 	}
 }
 
+// PSO is partial store order (SPARC PSO): TSO with write→write order
+// also relaxed. Preserved program order is R→R and R→W only; full
+// fences restore everything and store-store fences restore W→W.
+type PSO struct{}
+
+// Name implements Arch.
+func (PSO) Name() string { return "PSO" }
+
+// PPOEdges implements Arch. The generated edge set is reachability-
+// equivalent to PSO's ppo ∪ fence:
+//
+//   - reads and full fences form a chain (R→R, R→F, F→R preserved);
+//   - each write takes an in-edge from the nearest preceding chain
+//     member (R→W, F→W) and from the nearest preceding W-ordering
+//     fence (store-store or full, F→W);
+//   - W-ordering fences chain among themselves, and a backward pass
+//     links each write to the nearest following W-ordering fence, so
+//     W …fence… W paths exist exactly when a fence intervenes;
+//   - writes get no other out-edges: no path from a write reaches a
+//     po-later read or write without passing a fence that orders it.
+func (PSO) PPOEdges(x *Execution, thread []relation.EventID, r *relation.Relation) {
+	var chainPrev, lastWW relation.EventID
+	haveChain, haveWW := false, false
+	for _, id := range thread {
+		e := x.Event(id)
+		chainMember := e.IsRead() || e.IsFullFence()
+		wwMember := e.OrdersWW()
+		if haveChain && (chainMember || e.IsWrite()) {
+			r.Add(chainPrev, id)
+		}
+		if haveWW && (wwMember || e.IsWrite()) {
+			r.Add(lastWW, id)
+		}
+		if chainMember {
+			chainPrev, haveChain = id, true
+		}
+		if wwMember {
+			lastWW, haveWW = id, true
+		}
+	}
+	var nextWW relation.EventID
+	haveWW = false
+	for i := len(thread) - 1; i >= 0; i-- {
+		id := thread[i]
+		e := x.Event(id)
+		if e.IsWrite() && haveWW {
+			r.Add(id, nextWW)
+		}
+		if e.OrdersWW() {
+			nextWW, haveWW = id, true
+		}
+	}
+}
+
+// RMO is relaxed memory order (SPARC RMO): no program order is
+// preserved between plain accesses at all — ordering exists only
+// through fences (and atomics, which imply full fences). Address
+// dependencies are conservatively treated as unordered: the recorded
+// executions carry no dependency edges, which can only under-approximate
+// the forbidden set, never flag a legal execution.
+type RMO struct{}
+
+// Name implements Arch.
+func (RMO) Name() string { return "RMO" }
+
+// PPOEdges implements Arch. Reads attach to the R-ordering fences
+// around them (load-load or full), writes to the W-ordering fences
+// (store-store or full), and each fence class chains among itself, so
+// a path between two accesses exists exactly when a fence flavour that
+// orders the pair intervenes. The two chains meet only at full fences,
+// which belong to both.
+func (RMO) PPOEdges(x *Execution, thread []relation.EventID, r *relation.Relation) {
+	var lastLL, lastWW relation.EventID
+	haveLL, haveWW := false, false
+	for _, id := range thread {
+		e := x.Event(id)
+		llMember := e.OrdersRR()
+		wwMember := e.OrdersWW()
+		if haveLL && (llMember || e.IsRead()) {
+			r.Add(lastLL, id)
+		}
+		if haveWW && (wwMember || e.IsWrite()) {
+			r.Add(lastWW, id)
+		}
+		if llMember {
+			lastLL, haveLL = id, true
+		}
+		if wwMember {
+			lastWW, haveWW = id, true
+		}
+	}
+	var nextLL, nextWW relation.EventID
+	haveLL, haveWW = false, false
+	for i := len(thread) - 1; i >= 0; i-- {
+		id := thread[i]
+		e := x.Event(id)
+		if e.IsRead() && haveLL {
+			r.Add(id, nextLL)
+		}
+		if e.IsWrite() && haveWW {
+			r.Add(id, nextWW)
+		}
+		if e.OrdersRR() {
+			nextLL, haveLL = id, true
+		}
+		if e.OrdersWW() {
+			nextWW, haveWW = id, true
+		}
+	}
+}
+
 // Architectures returns the models bundled with the framework, keyed by
-// name.
+// name, strongest first in the conventional SC ⊃ TSO ⊃ PSO ⊃ RMO chain.
 func Architectures() map[string]Arch {
 	return map[string]Arch{
 		"SC":  SC{},
 		"TSO": TSO{},
+		"PSO": PSO{},
+		"RMO": RMO{},
 	}
+}
+
+// Names returns the bundled model names, strongest to weakest.
+func Names() []string { return []string{"SC", "TSO", "PSO", "RMO"} }
+
+// ByName returns the named model, or an error listing the known names.
+func ByName(name string) (Arch, error) {
+	if a, ok := Architectures()[name]; ok {
+		return a, nil
+	}
+	known := Names()
+	sort.Strings(known)
+	return nil, fmt.Errorf("memmodel: unknown model %q (known: %v)", name, known)
 }

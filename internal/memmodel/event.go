@@ -26,11 +26,43 @@ const (
 	KindRead Kind = iota
 	// KindWrite is a store event.
 	KindWrite
-	// KindFence is a standalone fence event (mfence). Read-modify-write
-	// instructions map to a read and a write event both carrying the
-	// Atomic flag, which implies full fencing on x86 (Table 3).
+	// KindFence is a standalone fence event; its FenceKind selects the
+	// orders it restores. Read-modify-write instructions map to a read
+	// and a write event both carrying the Atomic flag, which implies
+	// full fencing on x86 (Table 3).
 	KindFence
 )
+
+// FenceKind selects the orders a KindFence event restores. The
+// vocabulary follows the SPARC membar flavours the weaker models need:
+// relaxed models are only testable if generated programs can selectively
+// re-impose the orders the model dropped.
+type FenceKind uint8
+
+const (
+	// FenceFull restores all of program order (mfence, membar #Sync).
+	FenceFull FenceKind = iota
+	// FenceSS restores write→write order (membar #StoreStore).
+	FenceSS
+	// FenceLL restores read→read order (membar #LoadLoad).
+	FenceLL
+
+	// NumFenceKinds bounds the FenceKind values.
+	NumFenceKinds
+)
+
+func (k FenceKind) String() string {
+	switch k {
+	case FenceFull:
+		return "full"
+	case FenceSS:
+		return "ss"
+	case FenceLL:
+		return "ll"
+	default:
+		return fmt.Sprintf("FenceKind(%d)", uint8(k))
+	}
+}
 
 func (k Kind) String() string {
 	switch k {
@@ -76,6 +108,8 @@ type Event struct {
 	Key Key
 	// Kind is the event class.
 	Kind Kind
+	// Fence is the fence flavour for KindFence events.
+	Fence FenceKind
 	// Addr is the word address accessed (unused for fences).
 	Addr memsys.Addr
 	// Value is the value read or written.
@@ -95,15 +129,36 @@ func (e *Event) IsRead() bool { return e.Kind == KindRead }
 // IsWrite reports whether the event is a write.
 func (e *Event) IsWrite() bool { return e.Kind == KindWrite }
 
-// IsFence reports whether the event acts as a full fence: either a
-// standalone fence or either half of an atomic RMW (x86 locked
-// instructions imply full fences).
+// IsFence reports whether the event is any kind of fence: a standalone
+// fence event of any flavour, or either half of an atomic RMW.
 func (e *Event) IsFence() bool { return e.Kind == KindFence || e.Atomic }
+
+// IsFullFence reports whether the event acts as a full fence: a
+// FenceFull event or either half of an atomic RMW (x86 locked
+// instructions imply full fences).
+func (e *Event) IsFullFence() bool {
+	return (e.Kind == KindFence && e.Fence == FenceFull) || e.Atomic
+}
+
+// OrdersWW reports whether the event re-imposes write→write order on the
+// accesses around it (full and store-store fences, atomics).
+func (e *Event) OrdersWW() bool {
+	return (e.Kind == KindFence && (e.Fence == FenceFull || e.Fence == FenceSS)) || e.Atomic
+}
+
+// OrdersRR reports whether the event re-imposes read→read order on the
+// accesses around it (full and load-load fences, atomics).
+func (e *Event) OrdersRR() bool {
+	return (e.Kind == KindFence && (e.Fence == FenceFull || e.Fence == FenceLL)) || e.Atomic
+}
 
 func (e *Event) String() string {
 	switch e.Kind {
 	case KindFence:
-		return fmt.Sprintf("%s F", e.Key)
+		if e.Fence == FenceFull {
+			return fmt.Sprintf("%s F", e.Key)
+		}
+		return fmt.Sprintf("%s F(%s)", e.Key, e.Fence)
 	default:
 		at := ""
 		if e.Atomic {

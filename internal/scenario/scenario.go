@@ -1,0 +1,397 @@
+// Package scenario makes the verification target a first-class, named,
+// serializable value. The paper's reproduction hard-wires one target —
+// the Table 2 machine checked against TSO — with its pieces scattered
+// across machine.Config, bugs.Set and the recorder's model; a Scenario
+// gathers them: coherence protocol, machine topology overrides, the
+// legal core relaxations (cpu.Relax), the injected bug set, and the
+// axiomatic model to check against. A registry names the bundled
+// scenarios, Validate enforces the legality rules that keep a scenario
+// coherent (a relaxed core must be checked against a model that permits
+// the relaxation), and Matrix enumerates protocol × model cross-products
+// for campaign sweeps — the TriCheck-style axis the ROADMAP's
+// "as many scenarios as you can imagine" goal asks for.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/bugs"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/memmodel"
+)
+
+// Scenario describes one complete verification target.
+type Scenario struct {
+	// Name is the registry key (empty for ad-hoc scenarios).
+	Name string `json:"name,omitempty"`
+	// Description is a one-line summary for listings.
+	Description string `json:"description,omitempty"`
+	// Protocol selects the coherence protocol.
+	Protocol machine.Protocol `json:"protocol"`
+	// Model names the axiomatic model to check against (SC, TSO, PSO,
+	// RMO).
+	Model string `json:"model"`
+	// Relax is the cores' legal ordering configuration. It must be
+	// covered by Model: a relaxation the model forbids would make every
+	// bug-free run a false positive.
+	Relax cpu.Relax `json:"relax,omitempty"`
+	// Bugs names the injected bugs (empty for a bug-free target).
+	Bugs []string `json:"bugs,omitempty"`
+	// Cores overrides the core count (0 keeps the Table 2 default).
+	Cores int `json:"cores,omitempty"`
+}
+
+// Arch returns the scenario's axiomatic model.
+func (s Scenario) Arch() (memmodel.Arch, error) {
+	return memmodel.ByName(s.Model)
+}
+
+// BugSet folds the scenario's bug names into an injection set.
+func (s Scenario) BugSet() (bugs.Set, error) {
+	var set bugs.Set
+	for _, name := range s.Bugs {
+		b, err := bugs.ByName(name)
+		if err != nil {
+			return bugs.Set{}, err
+		}
+		b.Enable(&set)
+	}
+	return set, nil
+}
+
+// Validate reports whether the scenario is internally coherent:
+// protocol and model known, bug names valid and applicable to the
+// protocol, and the relaxation set covered by the model. The relaxation
+// rules encode the model containment chain SC ⊃ TSO ⊃ PSO ⊃ RMO:
+//
+//   - Model SC requires StrongStores (the Table 2 store buffer is the
+//     W→R relaxation SC forbids) and the eager MESI protocol (TSO-CC's
+//     lazy self-invalidation only promises TSO);
+//   - NonFIFOSB (W→W relaxed) needs PSO or RMO;
+//   - NoLoadSquash (R→R relaxed) needs RMO.
+func (s Scenario) Validate() error {
+	valid := false
+	for _, p := range machine.Protocols() {
+		if s.Protocol == p {
+			valid = true
+		}
+	}
+	if !valid {
+		return fmt.Errorf("scenario %s: unknown protocol %q (valid: %s)",
+			s.describe(), s.Protocol, machine.ProtocolNames())
+	}
+	if _, err := s.Arch(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.describe(), err)
+	}
+	if s.Cores < 0 || s.Cores > 32 {
+		return fmt.Errorf("scenario %s: cores must be in [0,32], got %d", s.describe(), s.Cores)
+	}
+	for _, name := range s.Bugs {
+		b, err := bugs.ByName(name)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", s.describe(), err)
+		}
+		if b.Protocol != bugs.ProtoAny && string(b.Protocol) != string(s.Protocol) {
+			return fmt.Errorf("scenario %s: bug %q applies to protocol %s, not %s",
+				s.describe(), name, b.Protocol, s.Protocol)
+		}
+	}
+	switch s.Model {
+	case "SC":
+		if !s.Relax.StrongStores {
+			return fmt.Errorf("scenario %s: model SC requires Relax.StrongStores (the store buffer is a W→R relaxation SC forbids)", s.describe())
+		}
+		if s.Protocol != machine.MESI {
+			return fmt.Errorf("scenario %s: model SC requires the MESI protocol (TSO-CC's lazy coherence only promises TSO)", s.describe())
+		}
+	}
+	if s.Relax.NonFIFOSB && s.Model != "PSO" && s.Model != "RMO" {
+		return fmt.Errorf("scenario %s: Relax.NonFIFOSB (W→W relaxed) needs model PSO or RMO, not %s", s.describe(), s.Model)
+	}
+	if s.Relax.NoLoadSquash && s.Model != "RMO" {
+		return fmt.Errorf("scenario %s: Relax.NoLoadSquash (R→R relaxed) needs model RMO, not %s", s.describe(), s.Model)
+	}
+	return nil
+}
+
+// describe names the scenario for error messages.
+func (s Scenario) describe() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return fmt.Sprintf("%s/%s", s.Protocol, s.Model)
+}
+
+// ID returns the canonical scenario identity: protocol, model, the
+// relaxation set and the sorted bug list. Two scenarios with equal IDs
+// describe the same machine contract; collective-checking memo scopes
+// key on it so verdicts never leak between different contracts.
+func (s Scenario) ID() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s%s", s.Protocol, s.Model, s.Relax)
+	if s.Cores > 0 {
+		fmt.Fprintf(&b, "/c%d", s.Cores)
+	}
+	if len(s.Bugs) > 0 {
+		names := append([]string(nil), s.Bugs...)
+		sort.Strings(names)
+		fmt.Fprintf(&b, "+bugs=%s", strings.Join(names, ","))
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	if s.Name != "" {
+		return fmt.Sprintf("%s (%s)", s.Name, s.ID())
+	}
+	return s.ID()
+}
+
+// Apply folds the scenario into a base machine topology: protocol,
+// relaxations, bug set and core-count override. The base supplies
+// everything a scenario does not describe (cache geometry, mesh shape).
+func (s Scenario) Apply(base machine.Config) (machine.Config, error) {
+	if err := s.Validate(); err != nil {
+		return machine.Config{}, err
+	}
+	set, err := s.BugSet()
+	if err != nil {
+		return machine.Config{}, err
+	}
+	base.Protocol = s.Protocol
+	base.Relax = s.Relax
+	base.Bugs = set
+	if s.Cores > 0 {
+		base.Cores = s.Cores
+	}
+	return base, nil
+}
+
+// Parse deserializes a scenario and validates it; marshalling is plain
+// encoding/json over the exported fields.
+func Parse(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	return s, s.Validate()
+}
+
+// RelaxFor returns the canonical legal relaxation set realizing the
+// given model on the simulated cores: the strongest hardware the model
+// still permits to be tested as relaxed (SC strengthens the stores; TSO
+// is the Table 2 default; PSO adds out-of-order drain; RMO adds
+// squash-free loads).
+func RelaxFor(model string) cpu.Relax {
+	switch model {
+	case "SC":
+		return cpu.Relax{StrongStores: true}
+	case "PSO":
+		return cpu.Relax{NonFIFOSB: true}
+	case "RMO":
+		return cpu.Relax{NonFIFOSB: true, NoLoadSquash: true}
+	default:
+		return cpu.Relax{}
+	}
+}
+
+// ForBug is the pre-scenario configuration surface in scenario form:
+// the paper's TSO machine under proto with one named bug injected ("" =
+// bug-free). It is how the eval tables and the compatibility API map
+// their (protocol, bug) pairs onto the scenario layer.
+func ForBug(proto machine.Protocol, bug string) Scenario {
+	s := Scenario{Protocol: proto, Model: "TSO"}
+	if bug != "" {
+		s.Bugs = []string{bug}
+	}
+	return s
+}
+
+// registry of named scenarios.
+var (
+	regMu sync.RWMutex
+	reg   = map[string]Scenario{}
+)
+
+// Register adds a named scenario to the registry. The scenario must
+// validate and the name must be unused.
+func Register(s Scenario) error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: cannot register a nameless scenario")
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := reg[s.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", s.Name)
+	}
+	reg[s.Name] = s
+	return nil
+}
+
+// ByName returns the named scenario; the error lists the known names.
+func ByName(name string) (Scenario, error) {
+	regMu.RLock()
+	s, ok := reg[name]
+	regMu.RUnlock()
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return s, nil
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the registered scenarios in Names order.
+func All() []Scenario {
+	out := make([]Scenario, 0)
+	for _, n := range Names() {
+		s, _ := ByName(n)
+		out = append(out, s)
+	}
+	return out
+}
+
+// Default returns the paper's scenario: the Table 2 MESI machine
+// checked against TSO.
+func Default() Scenario {
+	s, err := ByName("mesi-tso")
+	if err != nil {
+		panic(err) // built-in; cannot happen
+	}
+	return s
+}
+
+// Matrix enumerates a protocol × model × bug cross-product. Zero-value
+// axes default to everything (both protocols, all four models, the
+// bug-free target).
+type Matrix struct {
+	Protocols []machine.Protocol `json:"protocols,omitempty"`
+	Models    []string           `json:"models,omitempty"`
+	// Bugs lists bug names to inject, one scenario per entry; the empty
+	// string is the bug-free target. Nil means bug-free only.
+	Bugs []string `json:"bugs,omitempty"`
+}
+
+// Enumerate expands the matrix into validated scenarios, skipping
+// incoherent combinations (SC on TSO-CC, protocol-mismatched bugs).
+// Relaxations are derived from each model via RelaxFor. The order is
+// deterministic: protocols outermost, then models strongest-to-weakest,
+// then bugs.
+func (m Matrix) Enumerate() []Scenario {
+	protos := m.Protocols
+	if len(protos) == 0 {
+		protos = machine.Protocols()
+	}
+	models := m.Models
+	if len(models) == 0 {
+		models = memmodel.Names()
+	}
+	bugList := m.Bugs
+	if len(bugList) == 0 {
+		bugList = []string{""}
+	}
+	var out []Scenario
+	for _, p := range protos {
+		for _, model := range models {
+			for _, bug := range bugList {
+				s := Scenario{
+					Protocol: p,
+					Model:    model,
+					Relax:    RelaxFor(model),
+				}
+				if bug != "" {
+					s.Bugs = []string{bug}
+				}
+				if s.Validate() != nil {
+					continue
+				}
+				s.Name = strings.ToLower(fmt.Sprintf("%s-%s", protoSlug(p), model))
+				if bug != "" {
+					s.Name += "+" + bug
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+func protoSlug(p machine.Protocol) string {
+	return strings.ReplaceAll(strings.ToLower(string(p)), "-", "")
+}
+
+func init() {
+	for _, s := range []Scenario{
+		{
+			Name:        "mesi-sc",
+			Description: "MESI with store-drain-before-commit cores, checked against SC",
+			Protocol:    machine.MESI,
+			Model:       "SC",
+			Relax:       RelaxFor("SC"),
+		},
+		{
+			Name:        "mesi-tso",
+			Description: "the paper's target: Table 2 MESI machine checked against TSO",
+			Protocol:    machine.MESI,
+			Model:       "TSO",
+		},
+		{
+			Name:        "mesi-pso",
+			Description: "MESI with out-of-order store-buffer drain, checked against PSO",
+			Protocol:    machine.MESI,
+			Model:       "PSO",
+			Relax:       RelaxFor("PSO"),
+		},
+		{
+			Name:        "mesi-rmo",
+			Description: "MESI with non-FIFO stores and squash-free loads, checked against RMO",
+			Protocol:    machine.MESI,
+			Model:       "RMO",
+			Relax:       RelaxFor("RMO"),
+		},
+		{
+			Name:        "tsocc-tso",
+			Description: "lazy TSO-CC coherence checked against TSO",
+			Protocol:    machine.TSOCC,
+			Model:       "TSO",
+		},
+		{
+			Name:        "tsocc-pso",
+			Description: "TSO-CC with out-of-order store-buffer drain, checked against PSO",
+			Protocol:    machine.TSOCC,
+			Model:       "PSO",
+			Relax:       RelaxFor("PSO"),
+		},
+		{
+			Name:        "tsocc-rmo",
+			Description: "TSO-CC with non-FIFO stores and squash-free loads, checked against RMO",
+			Protocol:    machine.TSOCC,
+			Model:       "RMO",
+			Relax:       RelaxFor("RMO"),
+		},
+	} {
+		if err := Register(s); err != nil {
+			panic(err)
+		}
+	}
+}

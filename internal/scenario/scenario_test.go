@@ -1,0 +1,202 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/machine"
+)
+
+func TestRegisteredScenariosValid(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("only %d registered scenarios, want >= 6", len(names))
+	}
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("registered scenario %s invalid: %v", s.Name, err)
+		}
+		if s.Description == "" {
+			t.Errorf("scenario %s has no description", s.Name)
+		}
+		if _, err := s.Arch(); err != nil {
+			t.Errorf("scenario %s arch: %v", s.Name, err)
+		}
+	}
+	// Every model appears, and both protocols.
+	ids := strings.Join(names, " ")
+	for _, want := range []string{"mesi-sc", "mesi-tso", "mesi-pso", "mesi-rmo", "tsocc-tso", "tsocc-pso", "tsocc-rmo"} {
+		if !strings.Contains(ids, want) {
+			t.Errorf("registered scenarios missing %s (have %s)", want, ids)
+		}
+	}
+}
+
+func TestValidateLegality(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scenario
+		ok   bool
+	}{
+		{"tso-default", Scenario{Protocol: machine.MESI, Model: "TSO"}, true},
+		{"sc-needs-strong-stores", Scenario{Protocol: machine.MESI, Model: "SC"}, false},
+		{"sc-with-strong-stores", Scenario{Protocol: machine.MESI, Model: "SC", Relax: cpu.Relax{StrongStores: true}}, true},
+		{"sc-on-tsocc", Scenario{Protocol: machine.TSOCC, Model: "SC", Relax: cpu.Relax{StrongStores: true}}, false},
+		{"nonfifo-under-tso", Scenario{Protocol: machine.MESI, Model: "TSO", Relax: cpu.Relax{NonFIFOSB: true}}, false},
+		{"nonfifo-under-pso", Scenario{Protocol: machine.MESI, Model: "PSO", Relax: cpu.Relax{NonFIFOSB: true}}, true},
+		{"nosquash-under-pso", Scenario{Protocol: machine.MESI, Model: "PSO", Relax: cpu.Relax{NonFIFOSB: true, NoLoadSquash: true}}, false},
+		{"nosquash-under-rmo", Scenario{Protocol: machine.MESI, Model: "RMO", Relax: cpu.Relax{NoLoadSquash: true}}, true},
+		{"unknown-model", Scenario{Protocol: machine.MESI, Model: "POWER"}, false},
+		{"unknown-protocol", Scenario{Protocol: "MOESI", Model: "TSO"}, false},
+		{"unknown-bug", Scenario{Protocol: machine.MESI, Model: "TSO", Bugs: []string{"nope"}}, false},
+		{"protocol-mismatched-bug", Scenario{Protocol: machine.MESI, Model: "TSO", Bugs: []string{"TSO-CC+compare"}}, false},
+		{"pipeline-bug-anywhere", Scenario{Protocol: machine.TSOCC, Model: "TSO", Bugs: []string{"LQ+no-TSO"}}, true},
+		{"too-many-cores", Scenario{Protocol: machine.MESI, Model: "TSO", Cores: 64}, false},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid scenario accepted", c.name)
+		}
+	}
+}
+
+func TestErrorsEnumerateAlternatives(t *testing.T) {
+	if _, err := ByName("nope"); err == nil || !strings.Contains(err.Error(), "mesi-tso") {
+		t.Errorf("ByName error does not list known names: %v", err)
+	}
+	err := (Scenario{Protocol: "MOESI", Model: "TSO"}).Validate()
+	if err == nil || !strings.Contains(err.Error(), "MESI") || !strings.Contains(err.Error(), "TSO-CC") {
+		t.Errorf("protocol error does not enumerate protocols: %v", err)
+	}
+	err = (Scenario{Protocol: machine.MESI, Model: "POWER"}).Validate()
+	if err == nil || !strings.Contains(err.Error(), "RMO") {
+		t.Errorf("model error does not enumerate models: %v", err)
+	}
+	err = (Scenario{Protocol: machine.MESI, Model: "TSO", Bugs: []string{"nope"}}).Validate()
+	if err == nil || !strings.Contains(err.Error(), "LQ+no-TSO") {
+		t.Errorf("bug error does not enumerate bug names: %v", err)
+	}
+}
+
+func TestIDCanonical(t *testing.T) {
+	a := Scenario{Protocol: machine.MESI, Model: "PSO", Relax: RelaxFor("PSO"), Bugs: []string{"SQ+no-FIFO", "LQ+no-TSO"}}
+	b := Scenario{Name: "other", Protocol: machine.MESI, Model: "PSO", Relax: RelaxFor("PSO"), Bugs: []string{"LQ+no-TSO", "SQ+no-FIFO"}}
+	if a.ID() != b.ID() {
+		t.Errorf("bug order changes ID: %q vs %q", a.ID(), b.ID())
+	}
+	c := a
+	c.Relax = cpu.Relax{}
+	if a.ID() == c.ID() {
+		t.Error("relaxation set not part of ID")
+	}
+	d := a
+	d.Model = "RMO"
+	if a.ID() == d.ID() {
+		t.Error("model not part of ID")
+	}
+}
+
+func TestApply(t *testing.T) {
+	s, err := ByName("mesi-rmo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := machine.DefaultConfig()
+	base.Protocol = machine.TSOCC // must be overridden
+	cfg, err := s.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Protocol != machine.MESI {
+		t.Errorf("protocol = %s, want MESI", cfg.Protocol)
+	}
+	if !cfg.Relax.NonFIFOSB || !cfg.Relax.NoLoadSquash {
+		t.Errorf("relax not applied: %+v", cfg.Relax)
+	}
+	if cfg.Bugs.Any() {
+		t.Error("bug-free scenario enabled bugs")
+	}
+	s.Bugs = []string{"LQ+no-TSO"}
+	cfg, err = s.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Bugs.LQNoTSO {
+		t.Error("bug not applied")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s, err := ByName("tsocc-pso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID() != s.ID() || back.Name != s.Name {
+		t.Errorf("round trip changed scenario: %v vs %v", back, s)
+	}
+	// Parse validates.
+	if _, err := Parse([]byte(`{"protocol":"MESI","model":"TSO","relax":{"NonFIFOSB":true}}`)); err == nil {
+		t.Error("Parse accepted an incoherent scenario")
+	}
+}
+
+func TestMatrixEnumerate(t *testing.T) {
+	scens := (Matrix{}).Enumerate()
+	if len(scens) != 7 {
+		t.Fatalf("default matrix has %d scenarios, want 7 (SC×TSO-CC is incoherent)", len(scens))
+	}
+	seen := map[string]bool{}
+	for _, s := range scens {
+		if err := s.Validate(); err != nil {
+			t.Errorf("enumerated scenario %s invalid: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate name %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	// A bug axis multiplies only where the bug applies.
+	m := Matrix{Models: []string{"TSO"}, Bugs: []string{"", "TSO-CC+compare"}}
+	scens = m.Enumerate()
+	// MESI/TSO bug-free, MESI/TSO+bug (skipped: protocol mismatch),
+	// TSOCC/TSO bug-free, TSOCC/TSO+bug.
+	if len(scens) != 3 {
+		t.Fatalf("bug matrix has %d scenarios, want 3: %v", len(scens), scens)
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndNameless(t *testing.T) {
+	if err := Register(Scenario{Protocol: machine.MESI, Model: "TSO"}); err == nil {
+		t.Error("nameless registration accepted")
+	}
+	if err := Register(Scenario{Name: "mesi-tso", Protocol: machine.MESI, Model: "TSO"}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestForBug(t *testing.T) {
+	s := ForBug(machine.TSOCC, "TSO-CC+compare")
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Model != "TSO" || len(s.Bugs) != 1 {
+		t.Errorf("ForBug shape wrong: %+v", s)
+	}
+	if s2 := ForBug(machine.MESI, ""); len(s2.Bugs) != 0 {
+		t.Errorf("bug-free ForBug carries bugs: %+v", s2)
+	}
+}

@@ -28,6 +28,8 @@ type Instr struct {
 	DepLoad int
 	// Delay is the NOP count for OpDelay.
 	Delay int
+	// Fence is the fence flavour for OpFence.
+	Fence FenceKind
 	// NodeIndex is the position of the originating gene in the flat
 	// test, for mapping dynamic events back to genes.
 	NodeIndex int
@@ -86,6 +88,7 @@ func Compile(t *Test) ([]Program, error) {
 			Addr:      n.Op.Addr,
 			DepLoad:   -1,
 			Delay:     n.Op.Delay,
+			Fence:     n.Op.Fence,
 			NodeIndex: nodeIdx,
 		}
 		switch n.Op.Kind {
@@ -109,13 +112,14 @@ func Compile(t *Test) ([]Program, error) {
 }
 
 // EventCount returns the number of memory-model events the programs will
-// produce per iteration (RMW contributes two; CacheFlush and Delay none).
+// produce per iteration (RMW contributes two, fences one; CacheFlush and
+// Delay none).
 func EventCount(progs []Program) int {
 	n := 0
 	for _, p := range progs {
 		for i := range p {
 			switch p[i].Kind {
-			case OpRead, OpReadAddrDp, OpWrite:
+			case OpRead, OpReadAddrDp, OpWrite, OpFence:
 				n++
 			case OpRMW:
 				n += 2

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"repro/internal/memmodel"
 	"repro/internal/memsys"
 )
 
@@ -36,8 +37,25 @@ const (
 	OpCacheFlush
 	// OpDelay is a constant delay using NOPs.
 	OpDelay
+	// OpFence is an explicit memory fence; Op.Fence selects the flavour
+	// (full, store-store or load-load). Fences give generated tests the
+	// vocabulary to discriminate the relaxed models: a weak-model
+	// violation is only distinguishable from legal reordering when the
+	// test can selectively re-impose the dropped order.
+	OpFence
 
 	numOpKinds
+)
+
+// FenceKind re-exports the memory-model fence flavours so test
+// construction does not need to import memmodel.
+type FenceKind = memmodel.FenceKind
+
+// The fence flavours of OpFence.
+const (
+	FenceFull = memmodel.FenceFull
+	FenceSS   = memmodel.FenceSS
+	FenceLL   = memmodel.FenceLL
 )
 
 func (k OpKind) String() string {
@@ -54,6 +72,8 @@ func (k OpKind) String() string {
 		return "CacheFlush"
 	case OpDelay:
 		return "Delay"
+	case OpFence:
+		return "Fence"
 	default:
 		return fmt.Sprintf("OpKind(%d)", uint8(k))
 	}
@@ -88,12 +108,16 @@ type Op struct {
 	Addr memsys.Addr
 	// Delay is the NOP count for OpDelay.
 	Delay int
+	// Fence is the flavour for OpFence.
+	Fence FenceKind
 }
 
 func (o Op) String() string {
 	switch o.Kind {
 	case OpDelay:
 		return fmt.Sprintf("Delay(%d)", o.Delay)
+	case OpFence:
+		return fmt.Sprintf("Fence(%s)", o.Fence)
 	default:
 		return fmt.Sprintf("%s(%s)", o.Kind, o.Addr)
 	}
@@ -181,16 +205,20 @@ type Bias struct {
 	Weight int
 }
 
-// DefaultBias returns Table 3's operation distribution:
-// Read 50%, ReadAddrDp 5%, Write 42%, RMW 1%, CacheFlush 1%, Delay 1%.
+// DefaultBias returns the operation distribution: Table 3's mix (Read
+// 50%, ReadAddrDp 5%, RMW 1%, CacheFlush 1%, Delay 1%) extended with a
+// 2% fence slot carved out of the write share (Write 42% → 40%), so
+// generated tests carry the ordering vocabulary the relaxed scenarios
+// need. The fence flavour is drawn uniformly at generation time.
 func DefaultBias() []Bias {
 	return []Bias{
 		{OpRead, 50},
 		{OpReadAddrDp, 5},
-		{OpWrite, 42},
+		{OpWrite, 40},
 		{OpRMW, 1},
 		{OpCacheFlush, 1},
 		{OpDelay, 1},
+		{OpFence, 2},
 	}
 }
 
@@ -301,6 +329,9 @@ func (g *Generator) RandomOp(constrained []memsys.Addr) Op {
 	}
 	if kind == OpDelay {
 		op.Delay = 1 + g.rng.Intn(g.cfg.DelayMax)
+	}
+	if kind == OpFence {
+		op.Fence = FenceKind(g.rng.Intn(int(memmodel.NumFenceKinds)))
 	}
 	return op
 }

@@ -37,6 +37,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/coverage"
+	"repro/internal/cpu"
 	"repro/internal/fleet"
 	"repro/internal/gp"
 	"repro/internal/host"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memmodel"
 	"repro/internal/memsys"
+	"repro/internal/scenario"
 	"repro/internal/testgen"
 )
 
@@ -102,10 +104,16 @@ func NewMemoryLayout(sizeBytes, stride int) (MemoryLayout, error) {
 // threads, 10 iterations per test-run, 8KB/16B test memory) with the
 // given generator, protocol and bug. Pass bug == "" for a bug-free run.
 func NewCampaignConfig(gen GeneratorKind, proto Protocol, bug string) CampaignConfig {
+	return NewScenarioCampaignConfig(gen, scenario.ForBug(proto, bug))
+}
+
+// NewScenarioCampaignConfig assembles a campaign at the paper's
+// parameters against an arbitrary verification scenario (protocol ×
+// model × relaxations × bugs).
+func NewScenarioCampaignConfig(gen GeneratorKind, scen Scenario) CampaignConfig {
 	cfg := core.DefaultConfig()
-	cfg.Machine.Protocol = proto
+	cfg.Scenario = scen
 	cfg.Generator = gen
-	cfg.Bug = bug
 	cfg.Test = testgen.Config{
 		Size:    1000,
 		Threads: cfg.Machine.Cores,
@@ -119,12 +127,50 @@ func NewCampaignConfig(gen GeneratorKind, proto Protocol, bug string) CampaignCo
 // behaviours. memBytes selects the test-memory size (1024 or 8192 in
 // the paper).
 func ScaledCampaignConfig(gen GeneratorKind, proto Protocol, bug string, memBytes int) CampaignConfig {
-	cfg := NewCampaignConfig(gen, proto, bug)
+	return ScaledScenarioConfig(gen, scenario.ForBug(proto, bug), memBytes)
+}
+
+// ScaledScenarioConfig assembles an interactive-scale campaign against
+// an arbitrary verification scenario.
+func ScaledScenarioConfig(gen GeneratorKind, scen Scenario, memBytes int) CampaignConfig {
+	cfg := NewScenarioCampaignConfig(gen, scen)
 	cfg.Test.Size = 96
 	cfg.Test.Layout = memsys.MustLayout(memBytes, 16)
 	cfg.GP.PopulationSize = 24
 	cfg.Host.Iterations = 3
 	return cfg
+}
+
+// Scenario is a named, serializable verification target: coherence
+// protocol, axiomatic model, legal core relaxations and injected bugs.
+type Scenario = scenario.Scenario
+
+// ScenarioMatrix enumerates protocol × model × bug cross-products.
+type ScenarioMatrix = scenario.Matrix
+
+// CoreRelax is the legal core ordering configuration of a scenario.
+type CoreRelax = cpu.Relax
+
+// Scenarios returns the registered scenarios (MESI/TSO-CC × SC/TSO/
+// PSO/RMO where coherent), sorted by name.
+func Scenarios() []Scenario { return scenario.All() }
+
+// ScenarioNames returns the registered scenario names, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName returns the named registered scenario; the error lists
+// the known names.
+func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
+
+// DefaultScenario returns the paper's target: the Table 2 MESI machine
+// checked against TSO.
+func DefaultScenario() Scenario { return scenario.Default() }
+
+// RunScenarioSweep shards a campaign fleet across a scenario matrix:
+// samples campaigns per scenario, seeds derived from baseSeed, results
+// indexed [scenario][sample] and byte-identical at any worker count.
+func RunScenarioSweep(ctx context.Context, cfg CampaignConfig, scens []Scenario, samples int, baseSeed int64, opts FleetOptions) ([][]CampaignResult, FleetStats, error) {
+	return fleet.ScenarioSweep(ctx, cfg, scens, samples, baseSeed, opts)
 }
 
 // Run executes a campaign to completion.
