@@ -368,3 +368,13 @@ func BenchmarkCollectiveChecker(b *testing.B) {
 	b.Run("naive", benchwork.BenchChecker(false, progs, orders))
 	b.Run("collective", benchwork.BenchChecker(true, progs, orders))
 }
+
+// BenchmarkCoverageHotpath is the per-transition recording A/B: one op
+// is one test-run's worth of coverage records plus the run-boundary
+// fitness pass, through the seed-style string-keyed tracker (legacy)
+// versus the interned, sharded engine (id). cmd/bench snapshots the
+// same workload into BENCH_4.json with the derived speedup.
+func BenchmarkCoverageHotpath(b *testing.B) {
+	b.Run("legacy-string", benchwork.BenchCoverage(false))
+	b.Run("interned-id", benchwork.BenchCoverage(true))
+}

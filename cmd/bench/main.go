@@ -3,7 +3,7 @@
 // performance trajectory is comparable PR-over-PR without parsing `go
 // test -bench` text output:
 //
-//	go run ./cmd/bench                 # writes BENCH_3.json
+//	go run ./cmd/bench                 # writes BENCH_4.json
 //	go run ./cmd/bench -out perf.json  # custom path
 //	go run ./cmd/bench -out -          # stdout only
 //
@@ -13,6 +13,13 @@
 // (see EXPERIMENTS.md, "Collective vs naive checking"). The scenario
 // sweep benchmark drives a 4-scenario fleet (SC/TSO/PSO/RMO on MESI)
 // end to end, so the scenario layer's overhead is tracked PR-over-PR.
+// The coverage-hotpath A/B (coverage/record-legacy vs
+// coverage/record-id) measures one full test-run's worth of transition
+// recording plus the run-boundary fitness pass through the seed-style
+// string-keyed tracker versus the interned, sharded engine;
+// coverage_hotpath_speedup and coverage_hotpath_alloc_ratio derive the
+// per-run time and allocation wins (see EXPERIMENTS.md, "Coverage
+// hot path").
 package main
 
 import (
@@ -118,7 +125,7 @@ func sweepConfig() core.Config {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "snapshot path (- for stdout only)")
+	out := flag.String("out", "BENCH_4.json", "snapshot path (- for stdout only)")
 	flag.Parse()
 
 	progs, orders := benchwork.CheckerWorkload()
@@ -163,6 +170,8 @@ func main() {
 				collective.Signature(x)
 			}
 		}),
+		run("coverage/record-legacy", benchwork.BenchCoverage(false)),
+		run("coverage/record-id", benchwork.BenchCoverage(true)),
 		run("scenario/sweep4", func(b *testing.B) {
 			scens := sweepScenarios()
 			cfg := sweepConfig()
@@ -183,6 +192,16 @@ func main() {
 	}
 	if inc, dfs := byName["relation/acyclic-incremental"], byName["relation/acyclic-dfs"]; inc.NsPerOp > 0 {
 		snap.Derived["relation_incremental_vs_dfs"] = dfs.NsPerOp / inc.NsPerOp
+	}
+	if id, legacy := byName["coverage/record-id"], byName["coverage/record-legacy"]; id.NsPerOp > 0 {
+		snap.Derived["coverage_hotpath_speedup"] = legacy.NsPerOp / id.NsPerOp
+		// The interned path is allocation-free on the hot path; guard
+		// the ratio's denominator so a zero rounds up to "at least N×".
+		denom := id.AllocsPerOp
+		if denom == 0 {
+			denom = 1
+		}
+		snap.Derived["coverage_hotpath_alloc_ratio"] = float64(legacy.AllocsPerOp) / float64(denom)
 	}
 
 	enc, err := json.MarshalIndent(snap, "", "  ")

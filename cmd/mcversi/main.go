@@ -193,6 +193,9 @@ func main() {
 	if st.Dedupe.Checks > 0 {
 		fmt.Printf("collective checking: %s\n", st.Dedupe)
 	}
+	if st.UnionCoverage > 0 {
+		fmt.Printf("fleet union coverage: %.1f%% of the transition table\n", 100*st.UnionCoverage)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcversi:", err)
 		os.Exit(1)

@@ -1,0 +1,141 @@
+package benchwork
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/machine"
+)
+
+// CoverageRecordsPerRun is the per-test-run record volume of the
+// coverage A/B workload: a real 1k-operation test-run dispatches a few
+// thousand protocol transitions, so one benchmark op is one run of
+// this many records followed by the run-boundary fitness pass.
+const CoverageRecordsPerRun = 2048
+
+// coverageWorkload builds the A/B record stream over the real MESI
+// vocabulary: a fixed stride walks the table so every run revisits
+// popular transitions many times (the shape that made the seed
+// tracker's inRun≈1 approximation wrong) while still touching most of
+// the vocabulary.
+func coverageWorkload() (*coverage.Table, []coverage.Transition, []coverage.TransitionID) {
+	table := machine.CoverageTable(machine.MESI)
+	n := table.Len()
+	trs := make([]coverage.Transition, CoverageRecordsPerRun)
+	ids := make([]coverage.TransitionID, CoverageRecordsPerRun)
+	for i := range trs {
+		id := coverage.TransitionID((i * 7) % n)
+		tr, _ := table.Lookup(id)
+		trs[i] = tr
+		ids[i] = id
+	}
+	return table, trs, ids
+}
+
+// legacyCoverageTracker replicates the seed repo's string-keyed,
+// mutex-guarded coverage tracker — the pre-interning baseline of the
+// coverage-hotpath A/B (kept here for the same reason checker/naive
+// is kept: so BENCH_<n>.json's derived speedup measures the real
+// before/after, not a strawman).
+type legacyCoverageTracker struct {
+	mu     sync.Mutex
+	all    map[coverage.Transition]struct{}
+	counts map[coverage.Transition]uint64
+	runSet map[coverage.Transition]struct{}
+	cutoff uint64
+}
+
+func newLegacyCoverageTracker(all []coverage.Transition, cutoff uint64) *legacyCoverageTracker {
+	t := &legacyCoverageTracker{
+		all:    make(map[coverage.Transition]struct{}, len(all)),
+		counts: make(map[coverage.Transition]uint64, len(all)),
+		runSet: make(map[coverage.Transition]struct{}),
+		cutoff: cutoff,
+	}
+	for _, tr := range all {
+		t.all[tr] = struct{}{}
+	}
+	return t
+}
+
+func (t *legacyCoverageTracker) RecordTransition(controller, state, event string) {
+	tr := coverage.Transition{Controller: controller, State: state, Event: event}
+	t.mu.Lock()
+	t.counts[tr]++
+	t.runSet[tr] = struct{}{}
+	t.mu.Unlock()
+}
+
+func (t *legacyCoverageTracker) StartRun() {
+	t.mu.Lock()
+	t.runSet = make(map[coverage.Transition]struct{})
+	t.mu.Unlock()
+}
+
+func (t *legacyCoverageTracker) EndRun() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rare, covered := 0, 0
+	for tr := range t.all {
+		total := t.counts[tr]
+		inRun := uint64(0)
+		if _, ok := t.runSet[tr]; ok {
+			inRun = 1
+		}
+		pre := total
+		if inRun > 0 && pre > 0 {
+			pre--
+		}
+		if pre < t.cutoff {
+			rare++
+			if inRun > 0 {
+				covered++
+			}
+		}
+	}
+	if rare == 0 {
+		return 0
+	}
+	return float64(covered) / float64(rare)
+}
+
+// BenchCoverage returns the coverage-hotpath A/B benchmark: one op is
+// one test-run — a StartRun, CoverageRecordsPerRun transition records,
+// and the EndRun fitness pass. interned=false drives the seed-style
+// string-keyed tracker; interned=true drives the Shard.RecordID fast
+// path of the current engine over the same pre-resolved vocabulary
+// (controllers resolve their dispatch tables to IDs once at machine
+// build, so per-record ID lookup is not part of the hot path in either
+// world).
+func BenchCoverage(interned bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		table, trs, ids := coverageWorkload()
+		params := coverage.DefaultParams()
+		var fit float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		if interned {
+			t := coverage.NewTrackerForTable(table, params)
+			for i := 0; i < b.N; i++ {
+				t.StartRun()
+				for _, id := range ids {
+					t.RecordID(id)
+				}
+				fit = t.EndRun()
+			}
+		} else {
+			t := newLegacyCoverageTracker(table.Transitions(), params.InitialCutoff)
+			for i := 0; i < b.N; i++ {
+				t.StartRun()
+				for _, tr := range trs {
+					t.RecordTransition(tr.Controller, tr.State, tr.Event)
+				}
+				fit = t.EndRun()
+			}
+		}
+		b.StopTimer()
+		_ = fit
+		b.ReportMetric(float64(CoverageRecordsPerRun), "records/op")
+	}
+}

@@ -34,6 +34,113 @@ type CoverageSink interface {
 	RecordTransition(controller, state, event string)
 }
 
+// TransitionID is the dense interned index of a transition in the
+// sink's vocabulary. It aliases uint32 (as does the coverage package's
+// TransitionID) so sinks satisfy IDCoverageSink structurally without
+// an import in either direction.
+type TransitionID = uint32
+
+// NoTransitionID marks a transition the sink's vocabulary does not
+// know; controllers fall back to the string path for it.
+const NoTransitionID TransitionID = ^TransitionID(0)
+
+// IDCoverageSink is the optional interned fast path of CoverageSink:
+// a sink that interns the protocol's transition vocabulary resolves
+// each (controller, state, event) triple to a TransitionID once, and
+// the per-event record becomes RecordID — no string handling on the
+// hot path. Controllers detect the interface at construction and
+// pre-resolve their whole dispatch table.
+type IDCoverageSink interface {
+	CoverageSink
+	// RecordID records one occurrence of an interned transition.
+	RecordID(id TransitionID)
+	// CoverageID resolves a transition to its interned ID; ok is
+	// false for transitions outside the vocabulary.
+	CoverageID(controller, state, event string) (TransitionID, bool)
+}
+
+// internKey names one dispatch-table entry for pre-resolution: the
+// dense (state, event) coordinates plus their string names.
+type internKey struct {
+	s, e         int
+	state, event string
+}
+
+// covRecorder is the coverage front end shared by all four
+// controllers: the sink, the optional interned fast path, and the
+// pre-resolved dense (state × event) TransitionID lattice. One
+// instance is built per controller at construction, so the per-event
+// record is a lattice load plus one RecordID call when the sink
+// interns, and the string API otherwise.
+type covRecorder struct {
+	controller string
+	sink       CoverageSink
+	fast       IDCoverageSink
+	ids        [][]TransitionID
+}
+
+// newCovRecorder pre-resolves a controller's transition vocabulary
+// against the sink. Lattice entries the sink's vocabulary does not
+// know stay NoTransitionID and fall back to the string path; a sink
+// without the fast path keeps the string path for everything.
+func newCovRecorder(sink CoverageSink, controller string, states, events int, keys []internKey) covRecorder {
+	r := covRecorder{controller: controller, sink: sink}
+	fast, ok := sink.(IDCoverageSink)
+	if !ok {
+		return r
+	}
+	ids := make([][]TransitionID, states)
+	for s := range ids {
+		row := make([]TransitionID, events)
+		for e := range row {
+			row[e] = NoTransitionID
+		}
+		ids[s] = row
+	}
+	for _, k := range keys {
+		if id, ok := fast.CoverageID(controller, k.state, k.event); ok {
+			ids[k.s][k.e] = id
+		}
+	}
+	r.fast, r.ids = fast, ids
+	return r
+}
+
+// record counts one executed transition, through the interned fast
+// path when available.
+func (r *covRecorder) record(state, event int, stateName, eventName string) {
+	if r.fast != nil {
+		if id := r.ids[state][event]; id != NoTransitionID {
+			r.fast.RecordID(id)
+			return
+		}
+	}
+	r.sink.RecordTransition(r.controller, stateName, eventName)
+}
+
+// resolve interns one transition outside the lattice (e.g. TSO-CC's
+// core-level timestamp reset); NoTransitionID when the sink has no
+// fast path or no such vocabulary entry.
+func (r *covRecorder) resolve(stateName, eventName string) TransitionID {
+	if r.fast == nil {
+		return NoTransitionID
+	}
+	if id, ok := r.fast.CoverageID(r.controller, stateName, eventName); ok {
+		return id
+	}
+	return NoTransitionID
+}
+
+// recordID counts a transition pre-resolved with resolve, falling back
+// to the string path when it never interned.
+func (r *covRecorder) recordID(id TransitionID, stateName, eventName string) {
+	if id != NoTransitionID {
+		r.fast.RecordID(id)
+		return
+	}
+	r.sink.RecordTransition(r.controller, stateName, eventName)
+}
+
 // ErrorSink receives protocol-level failures: invalid transitions and
 // data-integrity violations detected by the protocol machinery itself.
 type ErrorSink interface {

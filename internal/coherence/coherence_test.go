@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/bugs"
+	"repro/internal/coverage"
 	"repro/internal/interconnect"
 	"repro/internal/memsys"
 	"repro/internal/sim"
@@ -46,6 +47,13 @@ const (
 )
 
 func newSys(t *testing.T, proto string, seed int64, bug bugs.Set) *testSys {
+	return newSysSink(t, proto, seed, bug, nil)
+}
+
+// newSysSink is newSys with an overridable coverage sink (nil keeps
+// the default string-counting covCounter); the fast-path equivalence
+// test plugs in an interning sink here.
+func newSysSink(t *testing.T, proto string, seed int64, bug bugs.Set, sink CoverageSink) *testSys {
 	t.Helper()
 	s := sim.New(seed)
 	net := interconnect.New(s, interconnect.DefaultConfig())
@@ -53,6 +61,9 @@ func newSys(t *testing.T, proto string, seed int64, bug bugs.Set) *testSys {
 	ts := &testSys{
 		t: t, sim: s, net: net, mem: mem,
 		cov: newCovCounter(), errs: &CollectErrors{},
+	}
+	if sink == nil {
+		sink = ts.cov
 	}
 	if _, err := NewMemCtrl(s, net, mem); err != nil {
 		t.Fatalf("NewMemCtrl: %v", err)
@@ -62,7 +73,7 @@ func newSys(t *testing.T, proto string, seed int64, bug bugs.Set) *testSys {
 		case "MESI":
 			l1, err := NewMESIL1(s, net, MESIL1Config{
 				CoreID: i, Tiles: tTiles, SizeBytes: 1024, Ways: 2,
-				Bugs: bug, Coverage: ts.cov, Errors: ts.errs,
+				Bugs: bug, Coverage: sink, Errors: ts.errs,
 			}, 0, i)
 			if err != nil {
 				t.Fatalf("NewMESIL1: %v", err)
@@ -73,7 +84,7 @@ func newSys(t *testing.T, proto string, seed int64, bug bugs.Set) *testSys {
 			l1, err := NewTSOCCL1(s, net, TSOCCL1Config{
 				CoreID: i, Cores: tCores, Tiles: tTiles,
 				SizeBytes: 1024, Ways: 2,
-				Bugs: bug, Coverage: ts.cov, Errors: ts.errs,
+				Bugs: bug, Coverage: sink, Errors: ts.errs,
 			}, 0, i)
 			if err != nil {
 				t.Fatalf("NewTSOCCL1: %v", err)
@@ -87,7 +98,7 @@ func newSys(t *testing.T, proto string, seed int64, bug bugs.Set) *testSys {
 		case "MESI":
 			l2, err := NewMESIL2(s, net, MESIL2Config{
 				Tile: j, Cores: tCores, SizeBytes: 2048, Ways: 2,
-				Bugs: bug, Coverage: ts.cov, Errors: ts.errs,
+				Bugs: bug, Coverage: sink, Errors: ts.errs,
 			}, 1, j)
 			if err != nil {
 				t.Fatalf("NewMESIL2: %v", err)
@@ -96,7 +107,7 @@ func newSys(t *testing.T, proto string, seed int64, bug bugs.Set) *testSys {
 		case "TSO-CC":
 			l2, err := NewTSOCCL2(s, net, TSOCCL2Config{
 				Tile: j, Cores: tCores, SizeBytes: 2048, Ways: 2,
-				Bugs: bug, Coverage: ts.cov, Errors: ts.errs,
+				Bugs: bug, Coverage: sink, Errors: ts.errs,
 			}, 1, j)
 			if err != nil {
 				t.Fatalf("NewTSOCCL2: %v", err)
@@ -548,6 +559,102 @@ func TestCoverageSubsetOfTable(t *testing.T) {
 				t.Errorf("too few distinct transitions recorded: %d", len(ts.cov.seen))
 			}
 			ts.checkNoErrors()
+		})
+	}
+}
+
+// internCov is an interning sink: it resolves transitions through a
+// coverage.Table and receives the controllers' pre-resolved IDs via
+// the fast path, while tallying into the same map shape as covCounter
+// so the two can be compared record-for-record.
+type internCov struct {
+	table *coverage.Table
+	seen  map[Transition]uint64
+	byID  uint64 // records that arrived through RecordID
+	byStr uint64 // records that fell back to the string path
+}
+
+func newInternCov(all []Transition) *internCov {
+	vocab := make([]coverage.Transition, len(all))
+	for i, tr := range all {
+		vocab[i] = coverage.Transition{Controller: tr.Controller, State: tr.State, Event: tr.Event}
+	}
+	return &internCov{table: coverage.NewTable(vocab), seen: make(map[Transition]uint64)}
+}
+
+func (c *internCov) RecordTransition(controller, state, event string) {
+	c.seen[Transition{controller, state, event}]++
+	c.byStr++
+}
+
+func (c *internCov) RecordID(id TransitionID) {
+	tr, ok := c.table.Lookup(id)
+	if !ok {
+		panic(fmt.Sprintf("RecordID(%d) outside vocabulary", id))
+	}
+	c.seen[Transition{tr.Controller, tr.State, tr.Event}]++
+	c.byID++
+}
+
+func (c *internCov) CoverageID(controller, state, event string) (TransitionID, bool) {
+	return c.table.ID(coverage.Transition{Controller: controller, State: state, Event: event})
+}
+
+// TestIDFastPathMatchesStringPath drives the same seeded stress
+// workload through a string-only sink and through an interning sink:
+// the controllers must take the RecordID fast path for the latter and
+// both must observe the identical transition multiset.
+func TestIDFastPathMatchesStringPath(t *testing.T) {
+	for _, proto := range protocols {
+		t.Run(proto, func(t *testing.T) {
+			var all []Transition
+			if proto == "MESI" {
+				all = MESITransitions()
+			} else {
+				all = TSOCCTransitions()
+			}
+			fast := newInternCov(all)
+			slow := newSys(t, proto, 21, bugs.Set{})
+			sys := newSysSink(t, proto, 21, bugs.Set{}, fast)
+
+			drive := func(ts *testSys) {
+				rng := rand.New(rand.NewSource(21))
+				layout := memsys.MustLayout(1024, 16)
+				pool := layout.Pool()
+				for i := 0; i < 400; i++ {
+					core := rng.Intn(tCores)
+					addr := pool[rng.Intn(len(pool))]
+					switch rng.Intn(4) {
+					case 0, 1:
+						ts.store(core, addr, uint64(i+1))
+					case 2:
+						ts.load(core, addr)
+					case 3:
+						ts.flush(core, addr)
+					}
+				}
+				ts.quiesce()
+			}
+			drive(slow)
+			drive(sys)
+			slow.checkNoErrors()
+			sys.checkNoErrors()
+
+			if fast.byID == 0 {
+				t.Fatal("interning sink never took the RecordID fast path")
+			}
+			if fast.byStr != 0 {
+				t.Errorf("%d records fell back to the string path despite a full vocabulary", fast.byStr)
+			}
+			if len(fast.seen) != len(slow.cov.seen) {
+				t.Fatalf("distinct transitions diverge: id-path %d vs string-path %d",
+					len(fast.seen), len(slow.cov.seen))
+			}
+			for tr, n := range slow.cov.seen {
+				if fast.seen[tr] != n {
+					t.Errorf("count diverges for %v: id-path %d vs string-path %d", tr, fast.seen[tr], n)
+				}
+			}
 		})
 	}
 }

@@ -118,7 +118,11 @@ type MESIL1 struct {
 	net   *interconnect.Network
 	bugs  bugs.Set
 	cov   CoverageSink
-	errs  ErrorSink
+	// covRec is the interned coverage front end: every table entry's
+	// TransitionID is pre-resolved at construction, so recording is
+	// one RecordID call when the sink interns the vocabulary.
+	covRec covRecorder
+	errs   ErrorSink
 
 	// HitLatency is the L1 hit latency (Table 2: 3 cycles).
 	HitLatency sim.Tick
@@ -165,6 +169,11 @@ func NewMESIL1(s *sim.Sim, net *interconnect.Network, cfg MESIL1Config, row, col
 	if c.errs == nil {
 		c.errs = PanicErrors{}
 	}
+	keys := make([]internKey, 0, len(mesiL1Table))
+	for k := range mesiL1Table {
+		keys = append(keys, internKey{int(k.state), int(k.ev), k.state.String(), k.ev.String()})
+	}
+	c.covRec = newCovRecorder(c.cov, "L1Cache", len(l1StateNames), len(l1EventNames), keys)
 	if err := net.Register(L1Node(cfg.CoreID), c, row, col); err != nil {
 		return nil, err
 	}
@@ -355,7 +364,7 @@ func (c *MESIL1) dispatch(ev l1Event, addr memsys.Addr, line *mesiL1Line, msg *M
 		})
 		return
 	}
-	c.cov.RecordTransition("L1Cache", line.state.String(), ev.String())
+	c.covRec.record(int(line.state), int(ev), line.state.String(), ev.String())
 	h(c, &l1Ctx{addr: addr, line: line, msg: msg, op: op})
 }
 

@@ -98,7 +98,9 @@ type MESIL2 struct {
 	net   *interconnect.Network
 	bugs  bugs.Set
 	cov   CoverageSink
-	errs  ErrorSink
+	// covRec is the interned coverage front end (see MESIL1).
+	covRec covRecorder
+	errs   ErrorSink
 
 	// AccessLatency is the tile's tag+data access latency; together
 	// with routing it lands L2 round trips in Table 2's 30–80 band.
@@ -141,6 +143,11 @@ func NewMESIL2(s *sim.Sim, net *interconnect.Network, cfg MESIL2Config, row, col
 	if c.errs == nil {
 		c.errs = PanicErrors{}
 	}
+	keys := make([]internKey, 0, len(mesiL2Table))
+	for k := range mesiL2Table {
+		keys = append(keys, internKey{int(k.state), int(k.ev), k.state.String(), k.ev.String()})
+	}
+	c.covRec = newCovRecorder(c.cov, "L2Cache", len(l2StateNames), len(l2EventNames), keys)
 	if err := net.Register(L2Node(cfg.Tile), c, row, col); err != nil {
 		return nil, err
 	}
@@ -273,7 +280,7 @@ func (c *MESIL2) dispatch(ev l2Event, addr memsys.Addr, line *mesiL2Line, msg *M
 		})
 		return
 	}
-	c.cov.RecordTransition("L2Cache", line.state.String(), ev.String())
+	c.covRec.record(int(line.state), int(ev), line.state.String(), ev.String())
 	h(c, &l2Ctx{addr: addr, line: line, msg: msg})
 }
 

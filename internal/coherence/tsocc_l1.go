@@ -105,7 +105,12 @@ type TSOCCL1 struct {
 	net   *interconnect.Network
 	bugs  bugs.Set
 	cov   CoverageSink
-	errs  ErrorSink
+	// covRec is the interned coverage front end (see MESIL1);
+	// tsResetID is the pre-resolved core-level timestamp-reset
+	// pseudo-transition.
+	covRec    covRecorder
+	tsResetID TransitionID
+	errs      ErrorSink
 
 	// Timestamp machinery (per core, §5.3).
 	ts            uint32
@@ -168,6 +173,12 @@ func NewTSOCCL1(s *sim.Sim, net *interconnect.Network, cfg TSOCCL1Config, row, c
 	if c.errs == nil {
 		c.errs = PanicErrors{}
 	}
+	keys := make([]internKey, 0, len(tsoccL1Table))
+	for k := range tsoccL1Table {
+		keys = append(keys, internKey{int(k.state), int(k.ev), k.state.String(), k.ev.String()})
+	}
+	c.covRec = newCovRecorder(c.cov, "L1Cache", len(tsoL1StateNames), len(tsoL1EventNames), keys)
+	c.tsResetID = c.covRec.resolve("core", tTsReset.String())
 	if err := net.Register(L1Node(cfg.CoreID), c, row, col); err != nil {
 		return nil, err
 	}
@@ -279,7 +290,7 @@ func (c *TSOCCL1) Deliver(vnet interconnect.VNet, payload interface{}) {
 	msg := payload.(*Msg)
 	if msg.Type == MsgTTsReset {
 		// Timestamp resets are core-level, not per-line.
-		c.cov.RecordTransition("L1Cache", "core", tTsReset.String())
+		c.covRec.recordID(c.tsResetID, "core", tTsReset.String())
 		c.handleTsReset(msg)
 		return
 	}
@@ -337,7 +348,7 @@ func (c *TSOCCL1) dispatch(ev tsoL1Event, addr memsys.Addr, line *tsoL1Line, msg
 		})
 		return
 	}
-	c.cov.RecordTransition("L1Cache", line.state.String(), ev.String())
+	c.covRec.record(int(line.state), int(ev), line.state.String(), ev.String())
 	h(c, &tsoL1Ctx{addr: addr, line: line, msg: msg, op: op})
 }
 

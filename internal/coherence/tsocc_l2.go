@@ -75,7 +75,9 @@ type TSOCCL2 struct {
 	net   *interconnect.Network
 	bugs  bugs.Set
 	cov   CoverageSink
-	errs  ErrorSink
+	// covRec is the interned coverage front end (see MESIL1).
+	covRec covRecorder
+	errs   ErrorSink
 
 	AccessLatency sim.Tick
 	RecycleDelay  sim.Tick
@@ -114,6 +116,11 @@ func NewTSOCCL2(s *sim.Sim, net *interconnect.Network, cfg TSOCCL2Config, row, c
 	if c.errs == nil {
 		c.errs = PanicErrors{}
 	}
+	keys := make([]internKey, 0, len(tsoccL2Table))
+	for k := range tsoccL2Table {
+		keys = append(keys, internKey{int(k.state), int(k.ev), k.state.String(), k.ev.String()})
+	}
+	c.covRec = newCovRecorder(c.cov, "L2Cache", len(tsoL2StateNames), len(tsoL2EventNames), keys)
 	if err := net.Register(L2Node(cfg.Tile), c, row, col); err != nil {
 		return nil, err
 	}
@@ -230,7 +237,7 @@ func (c *TSOCCL2) dispatch(ev tsoL2Event, addr memsys.Addr, line *tsoL2Line, msg
 		})
 		return
 	}
-	c.cov.RecordTransition("L2Cache", line.state.String(), ev.String())
+	c.covRec.record(int(line.state), int(ev), line.state.String(), ev.String())
 	h(c, &tsoL2Ctx{addr: addr, line: line, msg: msg})
 }
 

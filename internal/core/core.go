@@ -11,7 +11,6 @@ import (
 	"math/rand"
 
 	"repro/internal/checker"
-	"repro/internal/coherence"
 	"repro/internal/collective"
 	"repro/internal/coverage"
 	"repro/internal/gp"
@@ -158,6 +157,12 @@ type Result struct {
 	TotalCoverage float64
 	// MaxNDT and LastNDT track test suitability over the campaign.
 	MaxNDT, LastNDT float64
+	// SumFitness is the sum of every test-run's adaptive-coverage
+	// fitness over the campaign — a compact fingerprint of the whole
+	// per-run fitness stream. Campaigns are sequential, so the sum is
+	// byte-identical at any fleet worker count; the fleet determinism
+	// tests assert it per sample.
+	SumFitness float64
 	// Dedupe tallies collective checking over the campaign (zero when
 	// Config.Memo is nil). Hits are classified against the campaign's
 	// own signature history, so the tally is deterministic even when
@@ -209,17 +214,11 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 	}
 	mcfg.Seed = cfg.Seed
 
-	protoTable := coherence.MESITransitions()
-	if mcfg.Protocol == machine.TSOCC {
-		protoTable = coherence.TSOCCTransitions()
-	}
-	table := make([]coverage.Transition, 0, len(protoTable))
-	for _, tr := range protoTable {
-		table = append(table, coverage.Transition{
-			Controller: tr.Controller, State: tr.State, Event: tr.Event,
-		})
-	}
-	tracker := coverage.NewTracker(table, cfg.Coverage)
+	// The transition vocabulary is interned once per protocol and
+	// shared across campaigns; the machine's controllers detect the
+	// tracker's ID fast path and pre-resolve their dispatch tables, so
+	// per-event recording is a couple of atomic increments.
+	tracker := coverage.NewTrackerForTable(machine.CoverageTable(mcfg.Protocol), cfg.Coverage)
 
 	arch, err := scn.Arch()
 	if err != nil {
@@ -341,12 +340,13 @@ func (c *Campaign) Advance(ctx context.Context, extra int) (bool, error) {
 		if extra > 0 && steps >= extra {
 			return false, nil
 		}
-		res, _, err := c.Step()
+		res, fitness, err := c.Step()
 		if err != nil {
 			return false, err
 		}
 		steps++
 		c.out.TestRuns++
+		c.out.SumFitness += fitness
 		c.out.Dedupe.Merge(res.Dedupe)
 		c.out.LastNDT = res.NDT
 		if res.NDT > c.out.MaxNDT {

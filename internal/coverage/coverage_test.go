@@ -132,6 +132,108 @@ func TestZeroParamsGetDefaults(t *testing.T) {
 	}
 }
 
+// TestPartialParamsKeepExplicitFields is the NewTracker defaulting
+// regression: defaults must apply per field. The tracker used to
+// replace the whole Params with DefaultParams whenever InitialCutoff
+// was zero (discarding explicitly-set LowFitness/Patience), and
+// conversely a set InitialCutoff left Patience at zero — which made
+// the cut-off double on the very first unproductive run.
+func TestPartialParamsKeepExplicitFields(t *testing.T) {
+	// Explicit InitialCutoff, defaulted Patience: one unproductive
+	// run must NOT double the cut-off (Patience defaults to 25).
+	tr := NewTracker(table(2), Params{InitialCutoff: 7})
+	if tr.Cutoff() != 7 {
+		t.Fatalf("explicit InitialCutoff lost: %d", tr.Cutoff())
+	}
+	tr.StartRun()
+	tr.EndRun() // empty run: unproductive
+	if tr.Cutoff() != 7 {
+		t.Fatalf("cutoff doubled after one unproductive run (Patience not defaulted): %d", tr.Cutoff())
+	}
+
+	// Zero InitialCutoff with explicit LowFitness/Patience: the
+	// explicit fields must survive. Patience 1: an unproductive run
+	// doubles the (defaulted) cut-off immediately.
+	tr = NewTracker(table(2), Params{LowFitness: 0.9, Patience: 1})
+	if tr.Cutoff() != DefaultParams().InitialCutoff {
+		t.Fatalf("zero InitialCutoff not defaulted: %d", tr.Cutoff())
+	}
+	tr.StartRun()
+	tr.RecordTransition("C", "S0", "E") // fitness 0.5 < 0.9: unproductive
+	tr.EndRun()
+	if tr.Doublings() != 1 {
+		t.Fatalf("explicit LowFitness/Patience discarded: doublings = %d, want 1", tr.Doublings())
+	}
+}
+
+// TestExactPerRunCounts is the EndRun regression: a run covering a
+// transition more than once must be classified against its true
+// pre-run count. The old tracker approximated the run's contribution
+// as 1, so a pre-run count of 1 with two in-run hits looked like
+// pre = 2 — at a cut-off of 2 the transition was misclassified as
+// frequent and the run scored 0.
+func TestExactPerRunCounts(t *testing.T) {
+	params := Params{InitialCutoff: 2, LowFitness: 0.01, Patience: 1000}
+	tr := NewTracker(table(1), params)
+
+	// Seed the pre-run count at 1 (< cutoff 2: still rare).
+	tr.StartRun()
+	tr.RecordTransition("C", "S0", "E")
+	tr.EndRun()
+
+	// The run under test hits the same transition twice, straddling
+	// the cut-off (1 before, 3 after).
+	tr.StartRun()
+	tr.RecordTransition("C", "S0", "E")
+	tr.RecordTransition("C", "S0", "E")
+	if f := tr.EndRun(); f != 1.0 {
+		t.Fatalf("fitness = %v, want 1.0 (pre-run count 1 < cutoff 2)", f)
+	}
+
+	// With the count now at 3 >= 2 the transition is frequent: the
+	// rare set is empty and a further hit scores 0.
+	tr.StartRun()
+	tr.RecordTransition("C", "S0", "E")
+	if f := tr.EndRun(); f != 0 {
+		t.Fatalf("fitness = %v, want 0 (transition now frequent)", f)
+	}
+}
+
+// TestIDAndStringPathsEquivalent: the interned fast path and the
+// string compatibility shim must drive identical counts, fitness and
+// cut-off trajectories.
+func TestIDAndStringPathsEquivalent(t *testing.T) {
+	all := table(12)
+	byStr := NewTracker(all, DefaultParams())
+	byID := NewTracker(all, DefaultParams())
+	for run := 0; run < 30; run++ {
+		byStr.StartRun()
+		byID.StartRun()
+		for i := 0; i < 40; i++ {
+			tr := all[(run*7+i*3)%len(all)]
+			byStr.RecordTransition(tr.Controller, tr.State, tr.Event)
+			id, ok := byID.CoverageID(tr.Controller, tr.State, tr.Event)
+			if !ok {
+				t.Fatalf("CoverageID(%v) unknown", tr)
+			}
+			byID.RecordID(id)
+		}
+		fs, fi := byStr.EndRun(), byID.EndRun()
+		if fs != fi {
+			t.Fatalf("run %d: fitness diverges: string %v vs id %v", run, fs, fi)
+		}
+	}
+	if byStr.TotalCoverage() != byID.TotalCoverage() || byStr.Cutoff() != byID.Cutoff() {
+		t.Fatal("coverage/cutoff diverge between string and ID paths")
+	}
+	s1, s2 := byStr.Snapshot(nil), byID.Snapshot(nil)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("count[%d] diverges: %d vs %d", i, s1[i], s2[i])
+		}
+	}
+}
+
 // TestConcurrentCampaignIsolation is the fleet race audit: many
 // trackers driven concurrently (one per simulated campaign, as the
 // fleet does) plus concurrent read-side inspection of each tracker

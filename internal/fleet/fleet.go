@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/core"
+	"repro/internal/coverage"
 	"repro/internal/stats"
 )
 
@@ -118,6 +119,17 @@ type Stats struct {
 	TestRuns int
 	// MaxCoverage is the best Table 6 coverage across shards.
 	MaxCoverage float64
+	// UnionCoverage is the fleet-wide Table 6 coverage: the fraction
+	// of the transition table covered by at least one sample. Samples
+	// record into per-campaign trackers over one shared interned
+	// vocabulary; their count vectors are merged by TransitionID —
+	// pooled samples at completion, islands at every epoch barrier.
+	// Count merging is commutative, so the union is identical at any
+	// worker count — with the same one caveat as Options.Workers:
+	// under StopOnFound in non-island mode, cancelled siblings
+	// contribute timing-dependent partial counts. Zero when the fleet
+	// mixes transition vocabularies (a cross-protocol scenario sweep).
+	UnionCoverage float64
 	// Epochs and Migrations count island-model activity.
 	Epochs, Migrations int
 	// Dedupe snapshots the shared verdict memo after the run (zero
@@ -139,6 +151,54 @@ type emitter struct {
 	mu    sync.Mutex
 	ch    chan<- Event
 	stats Stats
+
+	// Union-coverage merge state: per-transition counts summed across
+	// samples, valid only while every sample shares one interned
+	// vocabulary (table pointer identity — machine.CoverageTable is
+	// memoized per protocol, so same-protocol fleets always share).
+	covTable *coverage.Table
+	covUnion []uint64
+	covMixed bool
+}
+
+// absorb folds one sample's per-transition count delta (indexed by the
+// table's TransitionIDs) into the fleet-wide union. Addition is
+// commutative, so absorption order — and therefore worker count —
+// cannot change the result.
+func (em *emitter) absorb(table *coverage.Table, delta []uint64) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if em.covMixed {
+		return
+	}
+	if em.covTable == nil {
+		em.covTable = table
+		em.covUnion = make([]uint64, table.Len())
+	}
+	if em.covTable != table {
+		em.covMixed = true
+		em.covTable, em.covUnion = nil, nil
+		return
+	}
+	for i, d := range delta {
+		em.covUnion[i] += d
+	}
+}
+
+// unionCoverage finalizes Stats.UnionCoverage from the merged counts.
+func (em *emitter) unionCoverage() float64 {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if em.covTable == nil || em.covTable.Len() == 0 {
+		return 0
+	}
+	covered := 0
+	for _, c := range em.covUnion {
+		if c > 0 {
+			covered++
+		}
+	}
+	return float64(covered) / float64(em.covTable.Len())
 }
 
 func (em *emitter) emit(ev Event) {
@@ -197,6 +257,7 @@ func SampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64, opts
 	if cfg.Memo != nil {
 		em.stats.Dedupe = cfg.Memo.Stats()
 	}
+	em.stats.UnionCoverage = em.unionCoverage()
 	em.stats.Wall = time.Since(start)
 	return results, em.stats, err
 }
@@ -216,6 +277,7 @@ func pooledSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64
 		}
 		t0 := time.Now()
 		res, err := camp.RunContext(ctx)
+		em.absorb(camp.Tracker().Table(), camp.Tracker().Snapshot(nil))
 		if err != nil {
 			// The sample did not complete: report its partial tally to
 			// listeners and Stats either way. Only a genuine cancellation

@@ -107,6 +107,12 @@ func TestFleetDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	for i, w := range want {
+		if w.SumFitness <= 0 {
+			t.Fatalf("sample %d: SumFitness = %v, want > 0 (fitness stream empty?)", i, w.SumFitness)
+		}
+	}
+	wantUnion := -1.0
 	for _, workers := range []int{1, 4, 8} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			restoreProcs(t, workers)
@@ -118,12 +124,30 @@ func TestFleetDeterminism(t *testing.T) {
 				t.Fatalf("got %d results, want %d", len(got), n)
 			}
 			for i := range got {
+				// The per-sample fitness stream (not just the verdict)
+				// must be byte-identical at any worker count: SumFitness
+				// fingerprints every run's adaptive-coverage fitness.
+				if got[i].SumFitness != want[i].SumFitness {
+					t.Errorf("sample %d: fitness stream diverges at workers=%d: got %v, want %v",
+						i, workers, got[i].SumFitness, want[i].SumFitness)
+				}
 				if got[i] != want[i] {
 					t.Errorf("sample %d diverges at workers=%d:\n got %+v\nwant %+v", i, workers, got[i], want[i])
 				}
 			}
 			if st.Workers < 1 || st.Completed != n || st.TestRuns == 0 {
 				t.Errorf("implausible stats: %+v", st)
+			}
+			// Fleet union coverage merges commutatively, so it too is
+			// worker-count independent (and at least the best shard's).
+			if st.UnionCoverage < st.MaxCoverage || st.UnionCoverage <= 0 {
+				t.Errorf("implausible union coverage: %v (max %v)", st.UnionCoverage, st.MaxCoverage)
+			}
+			if wantUnion < 0 {
+				wantUnion = st.UnionCoverage
+			} else if st.UnionCoverage != wantUnion {
+				t.Errorf("union coverage diverges at workers=%d: got %v, want %v",
+					workers, st.UnionCoverage, wantUnion)
 			}
 		})
 	}
@@ -137,6 +161,7 @@ func TestFleetIslandDeterminism(t *testing.T) {
 	opts := Options{Islands: true, MigrationInterval: 8, MigrationSize: 2}
 
 	var want []core.Result
+	wantUnion := -1.0
 	for _, workers := range []int{1, 4, 8} {
 		restoreProcs(t, workers)
 		o := opts
@@ -148,11 +173,27 @@ func TestFleetIslandDeterminism(t *testing.T) {
 		if st.Migrations == 0 || st.Epochs == 0 {
 			t.Fatalf("workers=%d: island model idle: %+v", workers, st)
 		}
+		// The islands' epoch-merged union coverage must be identical
+		// at any worker count, like the per-sample results.
+		if st.UnionCoverage <= 0 || st.UnionCoverage < st.MaxCoverage {
+			t.Fatalf("workers=%d: implausible union coverage %v (max %v)",
+				workers, st.UnionCoverage, st.MaxCoverage)
+		}
+		if wantUnion < 0 {
+			wantUnion = st.UnionCoverage
+		} else if st.UnionCoverage != wantUnion {
+			t.Errorf("workers=%d: union coverage diverges: got %v, want %v",
+				workers, st.UnionCoverage, wantUnion)
+		}
 		if want == nil {
 			want = got
 			continue
 		}
 		for i := range got {
+			if got[i].SumFitness != want[i].SumFitness {
+				t.Errorf("island sample %d: fitness stream diverges at workers=%d: got %v, want %v",
+					i, workers, got[i].SumFitness, want[i].SumFitness)
+			}
 			if got[i] != want[i] {
 				t.Errorf("island sample %d diverges at workers=%d:\n got %+v\nwant %+v", i, workers, got[i], want[i])
 			}

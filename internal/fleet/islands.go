@@ -14,6 +14,38 @@ type island struct {
 	started time.Time
 	done    bool
 	stopped bool
+	// lastCounts snapshots the island's per-transition coverage
+	// counts as of the last epoch merge, so each barrier folds only
+	// the epoch's delta into the fleet-wide union; scratch is the
+	// spare buffer the two ping-pong through so the per-epoch merge
+	// allocates only on the first barrier.
+	lastCounts []uint64
+	scratch    []uint64
+	merged     bool
+}
+
+// mergeCoverage folds the island's coverage delta since the last
+// barrier into the fleet union; done islands merge exactly once more.
+func (is *island) mergeCoverage(em *emitter) {
+	if is.merged {
+		return
+	}
+	tr := is.camp.Tracker()
+	cur := tr.Snapshot(is.scratch)
+	if is.lastCounts == nil {
+		is.lastCounts = make([]uint64, len(cur))
+	}
+	// Turn lastCounts into the delta in place, then keep it as the
+	// next snapshot buffer.
+	delta := is.lastCounts
+	for i := range cur {
+		delta[i] = cur[i] - delta[i]
+	}
+	em.absorb(tr.Table(), delta)
+	is.lastCounts, is.scratch = cur, delta
+	if is.done {
+		is.merged = true
+	}
 }
 
 // islandSampleSet runs n GP campaigns as an island model: every epoch
@@ -77,8 +109,18 @@ func islandSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64
 				if !is.done {
 					finish(i, true)
 				}
+				is.mergeCoverage(em)
 			}
 			return results, err
+		}
+
+		// Epoch merge: every island folds the coverage delta it
+		// accumulated this epoch into the fleet-wide union, in island
+		// order at the barrier (count merging is commutative, so the
+		// order is cosmetic — the union is worker-count independent
+		// either way).
+		for _, is := range isles {
+			is.mergeCoverage(em)
 		}
 
 		// Barrier reached: collect the live ring.

@@ -50,6 +50,7 @@ func ScenarioSweep(ctx context.Context, base core.Config, scens []scenario.Scena
 		}
 		t0 := time.Now()
 		res, err := camp.RunContext(ctx)
+		em.absorb(camp.Tracker().Table(), camp.Tracker().Snapshot(nil))
 		ev := Event{Sample: i, Scenario: cfg.Scenario.Name, Result: res, Elapsed: time.Since(t0), Done: true}
 		if err != nil {
 			ev.Stopped = true
@@ -76,6 +77,9 @@ func ScenarioSweep(ctx context.Context, base core.Config, scens []scenario.Scena
 	if base.Memo != nil {
 		em.stats.Dedupe = base.Memo.Stats()
 	}
+	// Meaningful for same-protocol sweeps (one shared vocabulary);
+	// zero when scenarios span protocols.
+	em.stats.UnionCoverage = em.unionCoverage()
 	em.stats.Wall = time.Since(start)
 	return out, em.stats, err
 }

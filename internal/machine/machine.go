@@ -7,9 +7,11 @@ package machine
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/bugs"
 	"repro/internal/coherence"
+	"repro/internal/coverage"
 	"repro/internal/cpu"
 	"repro/internal/interconnect"
 	"repro/internal/memsys"
@@ -192,6 +194,34 @@ func New(cfg Config, cov coherence.CoverageSink, errs coherence.ErrorSink, obs c
 		}
 	}
 	return m, nil
+}
+
+// covTables memoizes one interned coverage vocabulary per protocol:
+// the transition table is enumerated and interned once at first use
+// and shared by every campaign (and every fleet worker) thereafter.
+var covTables sync.Map // Protocol → *coverage.Table
+
+// CoverageTable returns the protocol's interned transition vocabulary
+// (the coverage denominator as dense TransitionIDs). The returned
+// table is shared and immutable; pointer identity is per protocol, so
+// trackers built from it can be merged by ID.
+func CoverageTable(p Protocol) *coverage.Table {
+	if t, ok := covTables.Load(p); ok {
+		return t.(*coverage.Table)
+	}
+	var raw []coherence.Transition
+	switch p {
+	case TSOCC:
+		raw = coherence.TSOCCTransitions()
+	default:
+		raw = coherence.MESITransitions()
+	}
+	all := make([]coverage.Transition, len(raw))
+	for i, tr := range raw {
+		all[i] = coverage.Transition{Controller: tr.Controller, State: tr.State, Event: tr.Event}
+	}
+	t, _ := covTables.LoadOrStore(p, coverage.NewTable(all))
+	return t.(*coverage.Table)
 }
 
 // Transitions enumerates the machine's protocol transition table (the
