@@ -378,3 +378,15 @@ func BenchmarkCoverageHotpath(b *testing.B) {
 	b.Run("legacy-string", benchwork.BenchCoverage(false))
 	b.Run("interned-id", benchwork.BenchCoverage(true))
 }
+
+// BenchmarkEventKernel is the event-kernel A/B: one op is one burst of
+// benchwork.EventsPerOp schedule+dispatch cycles, through the seed's
+// binary heap driven by the legacy closure API (heap-schedule) versus
+// the timing wheel's pooled, pre-bound ScheduleEvent path
+// (wheel-schedule). cmd/bench snapshots the same workload into
+// BENCH_5.json with the derived event_kernel_speedup and
+// event_kernel_alloc_ratio.
+func BenchmarkEventKernel(b *testing.B) {
+	b.Run("heap-schedule", benchwork.BenchEventKernel(true))
+	b.Run("wheel-schedule", benchwork.BenchEventKernel(false))
+}

@@ -3,23 +3,31 @@
 // performance trajectory is comparable PR-over-PR without parsing `go
 // test -bench` text output:
 //
-//	go run ./cmd/bench                 # writes BENCH_4.json
+//	go run ./cmd/bench                 # writes BENCH_5.json
 //	go run ./cmd/bench -out perf.json  # custom path
 //	go run ./cmd/bench -out -          # stdout only
+//	go run ./cmd/bench -smoke -gate    # CI: gated A/Bs only, fail on regression
 //
 // The checker A/B runs the exact workload of the CI-proven
 // BenchmarkCollectiveChecker (internal/benchwork), and the derived
 // checker_collective_speedup field records the naive/collective ratio
 // (see EXPERIMENTS.md, "Collective vs naive checking"). The scenario
 // sweep benchmark drives a 4-scenario fleet (SC/TSO/PSO/RMO on MESI)
-// end to end, so the scenario layer's overhead is tracked PR-over-PR.
+// end to end, so the scenario layer's overhead is tracked PR-over-PR
+// (the derived e2e_testruns_per_sec is its sample-throughput reading).
 // The coverage-hotpath A/B (coverage/record-legacy vs
 // coverage/record-id) measures one full test-run's worth of transition
 // recording plus the run-boundary fitness pass through the seed-style
-// string-keyed tracker versus the interned, sharded engine;
-// coverage_hotpath_speedup and coverage_hotpath_alloc_ratio derive the
-// per-run time and allocation wins (see EXPERIMENTS.md, "Coverage
-// hot path").
+// string-keyed tracker versus the interned, sharded engine. The
+// event-kernel A/B (eventkernel/heap-schedule vs
+// eventkernel/wheel-schedule) measures one burst of schedule+dispatch
+// cycles through the seed's binary heap driven by the closure API
+// versus the timing wheel's pooled ScheduleEvent path (see
+// EXPERIMENTS.md, "Event kernel").
+//
+// -smoke restricts the run to the two gated A/Bs (coverage hot path and
+// event kernel) so CI gets a fast regression signal; -gate exits
+// non-zero when a derived metric falls below its recorded gate.
 package main
 
 import (
@@ -45,6 +53,18 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/testgen"
 )
+
+// Gates: the recorded floors CI holds the derived metrics to (-gate).
+// Set below the steady-state readings (coverage ≈4×/13×, event kernel
+// ≈10–25×/hundreds) to absorb runner noise while still catching a real
+// regression — e.g. an accidental allocation or a heap fallback on the
+// hot path.
+var gates = map[string]float64{
+	"coverage_hotpath_speedup":     3.0,
+	"coverage_hotpath_alloc_ratio": 10.0,
+	"event_kernel_speedup":         2.0,
+	"event_kernel_alloc_ratio":     10.0,
+}
 
 // Snapshot is the BENCH_<n>.json schema.
 type Snapshot struct {
@@ -125,11 +145,10 @@ func sweepConfig() core.Config {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "snapshot path (- for stdout only)")
+	out := flag.String("out", "BENCH_5.json", "snapshot path (- for stdout only)")
+	smoke := flag.Bool("smoke", false, "run only the gated A/B benchmarks (CI regression signal)")
+	gate := flag.Bool("gate", false, "exit non-zero if a derived metric falls below its recorded gate")
 	flag.Parse()
-
-	progs, orders := benchwork.CheckerWorkload()
-	dag := layeredDAG(100, 8)
 
 	snap := Snapshot{
 		Schema:     1,
@@ -137,55 +156,80 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Derived:    map[string]float64{},
 	}
+	if !*smoke {
+		progs, orders := benchwork.CheckerWorkload()
+		dag := layeredDAG(100, 8)
+		snap.Benchmarks = append(snap.Benchmarks,
+			run("checker/naive", benchwork.BenchChecker(false, progs, orders)),
+			run("checker/collective", benchwork.BenchChecker(true, progs, orders)),
+			run("relation/acyclic-dfs", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, ok := dag.AcyclicCheck(); !ok {
+						panic("layered DAG reported cyclic")
+					}
+				}
+			}),
+			run("relation/acyclic-incremental", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					topo := relation.NewTopo(800)
+					if _, ok := topo.AddRelation(dag); !ok {
+						panic("layered DAG reported cyclic")
+					}
+				}
+			}),
+			run("collective/signature", func(b *testing.B) {
+				rec := checker.NewRecorder(memmodel.TSO{})
+				benchwork.ReplaySerial(rec, progs, orders[0])
+				// Capture the execution, then let EndIteration resolve its
+				// rf and co in place: the hash covers the complete
+				// execution, i.e. the true per-hit signature cost.
+				x := rec.Execution()
+				if v := rec.EndIteration(); v != nil {
+					panic(v)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					collective.Signature(x)
+				}
+			}),
+		)
+	}
 	snap.Benchmarks = append(snap.Benchmarks,
-		run("checker/naive", benchwork.BenchChecker(false, progs, orders)),
-		run("checker/collective", benchwork.BenchChecker(true, progs, orders)),
-		run("relation/acyclic-dfs", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, ok := dag.AcyclicCheck(); !ok {
-					panic("layered DAG reported cyclic")
-				}
-			}
-		}),
-		run("relation/acyclic-incremental", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				topo := relation.NewTopo(800)
-				if _, ok := topo.AddRelation(dag); !ok {
-					panic("layered DAG reported cyclic")
-				}
-			}
-		}),
-		run("collective/signature", func(b *testing.B) {
-			rec := checker.NewRecorder(memmodel.TSO{})
-			benchwork.ReplaySerial(rec, progs, orders[0])
-			// Capture the execution, then let EndIteration resolve its
-			// rf and co in place: the hash covers the complete
-			// execution, i.e. the true per-hit signature cost.
-			x := rec.Execution()
-			if v := rec.EndIteration(); v != nil {
-				panic(v)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				collective.Signature(x)
-			}
-		}),
 		run("coverage/record-legacy", benchwork.BenchCoverage(false)),
 		run("coverage/record-id", benchwork.BenchCoverage(true)),
-		run("scenario/sweep4", func(b *testing.B) {
-			scens := sweepScenarios()
-			cfg := sweepConfig()
-			for i := 0; i < b.N; i++ {
-				if _, _, err := fleet.ScenarioSweep(context.Background(), cfg, scens, 1, 7,
-					fleet.Options{Collective: true}); err != nil {
-					panic(err)
-				}
-			}
-		}),
+		run("eventkernel/heap-schedule", benchwork.BenchEventKernel(true)),
+		run("eventkernel/wheel-schedule", benchwork.BenchEventKernel(false)),
 	)
+	// sweepTestRuns is the simulated test-run volume of one
+	// scenario/sweep4 op, the basis of e2e_testruns_per_sec.
+	sweepTestRuns := 0
+	if !*smoke {
+		scens := sweepScenarios()
+		cfg := sweepConfig()
+		sweepTestRuns = len(scens) * cfg.MaxTestRuns
+		snap.Benchmarks = append(snap.Benchmarks,
+			run("scenario/sweep4", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := fleet.ScenarioSweep(context.Background(), cfg, scens, 1, 7,
+						fleet.Options{Collective: true}); err != nil {
+						panic(err)
+					}
+				}
+			}),
+		)
+	}
 	byName := map[string]Bench{}
 	for _, bm := range snap.Benchmarks {
 		byName[bm.Name] = bm
+	}
+	// allocRatio guards the denominator: the fast side of each A/B is
+	// allocation-free, so a zero rounds up to "at least N×".
+	allocRatio := func(slow, fast Bench) float64 {
+		denom := fast.AllocsPerOp
+		if denom == 0 {
+			denom = 1
+		}
+		return float64(slow.AllocsPerOp) / float64(denom)
 	}
 	if c, n := byName["checker/collective"], byName["checker/naive"]; c.NsPerOp > 0 {
 		snap.Derived["checker_collective_speedup"] = n.NsPerOp / c.NsPerOp
@@ -195,13 +239,17 @@ func main() {
 	}
 	if id, legacy := byName["coverage/record-id"], byName["coverage/record-legacy"]; id.NsPerOp > 0 {
 		snap.Derived["coverage_hotpath_speedup"] = legacy.NsPerOp / id.NsPerOp
-		// The interned path is allocation-free on the hot path; guard
-		// the ratio's denominator so a zero rounds up to "at least N×".
-		denom := id.AllocsPerOp
-		if denom == 0 {
-			denom = 1
-		}
-		snap.Derived["coverage_hotpath_alloc_ratio"] = float64(legacy.AllocsPerOp) / float64(denom)
+		snap.Derived["coverage_hotpath_alloc_ratio"] = allocRatio(legacy, id)
+	}
+	if wheel, heap := byName["eventkernel/wheel-schedule"], byName["eventkernel/heap-schedule"]; wheel.NsPerOp > 0 {
+		snap.Derived["event_kernel_speedup"] = heap.NsPerOp / wheel.NsPerOp
+		snap.Derived["event_kernel_alloc_ratio"] = allocRatio(heap, wheel)
+	}
+	if sweep := byName["scenario/sweep4"]; sweep.NsPerOp > 0 {
+		// End-to-end sample throughput: simulated test-runs per
+		// wall-clock second through the full generate–execute–verify
+		// loop (machine, checker, coverage and fleet layers included).
+		snap.Derived["e2e_testruns_per_sec"] = float64(sweepTestRuns) / (sweep.NsPerOp * 1e-9)
 	}
 
 	enc, err := json.MarshalIndent(snap, "", "  ")
@@ -218,4 +266,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
 	os.Stdout.Write(enc)
+
+	if *gate {
+		failed := false
+		for name, floor := range gates {
+			got, ok := snap.Derived[name]
+			if !ok {
+				// Every gated metric is produced in both full and smoke
+				// modes; an absent one means a benchmark was renamed or
+				// dropped, which must not silently disable the gate.
+				fmt.Fprintf(os.Stderr, "bench: GATE FAILED: %s was not measured\n", name)
+				failed = true
+				continue
+			}
+			if got < floor {
+				fmt.Fprintf(os.Stderr, "bench: GATE FAILED: %s = %.2f, floor %.2f\n", name, got, floor)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "bench: gate ok: %s = %.2f (floor %.2f)\n", name, got, floor)
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
 }

@@ -25,6 +25,10 @@ type MemCtrl struct {
 	AccessMin    sim.Tick
 	AccessJitter sim.Tick
 
+	// serveReadH is the pre-bound access-latency callback (zero-alloc
+	// schedule path); the request message itself is the event argument.
+	serveReadH sim.Handler
+
 	reads, writes uint64
 }
 
@@ -44,6 +48,7 @@ func NewMemCtrl(s *sim.Sim, net *interconnect.Network, mem *memsys.Memory) (*Mem
 		AccessMin:    100,
 		AccessJitter: 80,
 	}
+	m.serveReadH = func(arg any, _ uint64) { m.serveRead(arg.(*Msg)) }
 	if err := net.Register(MemNode, m, 0, 0); err != nil {
 		return nil, err
 	}
@@ -72,23 +77,7 @@ func (m *MemCtrl) Deliver(vnet interconnect.VNet, payload interface{}) {
 		if m.AccessJitter > 0 {
 			lat += sim.Tick(m.sim.Rand().Int63n(int64(m.AccessJitter) + 1))
 		}
-		addr, src := msg.Addr, msg.Src
-		m.sim.Schedule(lat, func() {
-			data := m.mem.ReadLine(addr)
-			meta, ok := m.meta[addr.LineAddr()]
-			if !ok {
-				meta = memMeta{writer: -1}
-			}
-			m.net.Send(MemNode, src, interconnect.VNetResponse, &Msg{
-				Type:   MsgMemData,
-				Addr:   addr,
-				Src:    MemNode,
-				Data:   &data,
-				Writer: meta.writer,
-				Ts:     meta.ts,
-				Epoch:  meta.epoch,
-			})
-		})
+		m.sim.ScheduleEvent(lat, m.serveReadH, msg, 0)
 	case MsgMemWrite:
 		m.writes++
 		m.mem.WriteLine(msg.Addr, *msg.Data)
@@ -96,4 +85,23 @@ func (m *MemCtrl) Deliver(vnet interconnect.VNet, payload interface{}) {
 	default:
 		panic("memctrl: unexpected message " + msg.Type.String())
 	}
+}
+
+// serveRead completes a MsgMemRead after the access latency: read the
+// line, attach retained writer/timestamp metadata, respond.
+func (m *MemCtrl) serveRead(msg *Msg) {
+	data := m.mem.ReadLine(msg.Addr)
+	meta, ok := m.meta[msg.Addr.LineAddr()]
+	if !ok {
+		meta = memMeta{writer: -1}
+	}
+	m.net.Send(MemNode, msg.Src, interconnect.VNetResponse, &Msg{
+		Type:   MsgMemData,
+		Addr:   msg.Addr,
+		Src:    MemNode,
+		Data:   &data,
+		Writer: meta.writer,
+		Ts:     meta.ts,
+		Epoch:  meta.epoch,
+	})
 }

@@ -130,6 +130,13 @@ type MESIL1 struct {
 	// no evictable way.
 	RetryDelay sim.Tick
 
+	// cpuOpH/cpuOpNowH are the controller's pre-bound hot callbacks:
+	// every mandatory-queue access, retry and MSHR replay dispatches
+	// through them on the kernel's zero-alloc path, with the pending
+	// op as the event argument.
+	cpuOpH    sim.Handler
+	cpuOpNowH sim.Handler
+
 	invalNotify func(line memsys.Addr)
 
 	hits, misses uint64
@@ -163,6 +170,8 @@ func NewMESIL1(s *sim.Sim, net *interconnect.Network, cfg MESIL1Config, row, col
 		RetryDelay:  8,
 		invalNotify: func(memsys.Addr) {},
 	}
+	c.cpuOpH = func(arg any, _ uint64) { c.cpuOp(arg.(*l1Op)) }
+	c.cpuOpNowH = func(arg any, _ uint64) { c.cpuOpNow(arg.(*l1Op)) }
 	if c.cov == nil {
 		c.cov = NopCoverage{}
 	}
@@ -220,7 +229,7 @@ func (c *MESIL1) Flush(addr memsys.Addr, cb func()) {
 // capture and completion atomic: there is no window in which a captured
 // value can be invalidated before the LQ learns the load performed.
 func (c *MESIL1) cpuOp(op *l1Op) {
-	c.sim.Schedule(c.HitLatency, func() { c.cpuOpNow(op) })
+	c.sim.ScheduleEvent(c.HitLatency, c.cpuOpNowH, op, 0)
 }
 
 func (c *MESIL1) cpuOpNow(op *l1Op) {
@@ -243,7 +252,7 @@ func (c *MESIL1) cpuOpNow(op *l1Op) {
 		line, retry = c.allocate(lineAddr, op)
 		if line == nil {
 			if retry {
-				c.sim.Schedule(c.RetryDelay, func() { c.cpuOp(op) })
+				c.sim.ScheduleEvent(c.RetryDelay, c.cpuOpH, op, 0)
 			}
 			return
 		}
@@ -271,8 +280,7 @@ func opEvent(k l1OpKind) l1Event {
 func (c *MESIL1) allocate(lineAddr memsys.Addr, op *l1Op) (*mesiL1Line, bool) {
 	if op.kind == opFlush {
 		// clflush of an uncached line is a no-op.
-		done := op.doneCB
-		c.sim.Schedule(c.HitLatency, func() { done(0) })
+		c.sim.ScheduleEvent(c.HitLatency, sim.InvokeUint64, op.doneCB, 0)
 		return nil, false
 	}
 	if !c.array.HasFree(lineAddr) {
@@ -398,15 +406,13 @@ func (c *MESIL1) completeLoad(line *mesiL1Line, op *l1Op, invalidated bool) {
 // performStore writes the store at the coherence point (line must be M).
 func (c *MESIL1) performStore(line *mesiL1Line, op *l1Op) {
 	line.data.SetWord(op.addr, op.storeVal)
-	done := op.doneCB
-	c.sim.Schedule(0, func() { done(0) })
+	c.sim.ScheduleEvent(0, sim.InvokeUint64, op.doneCB, 0)
 }
 
 func (c *MESIL1) performAtomic(line *mesiL1Line, op *l1Op) {
 	old := line.data.Word(op.addr)
 	line.data.SetWord(op.addr, op.apply(old))
-	done := op.doneCB
-	c.sim.Schedule(0, func() { done(old) })
+	c.sim.ScheduleEvent(0, sim.InvokeUint64, op.doneCB, old)
 }
 
 // settle replays MSHR-deferred operations after the line reaches a stable
@@ -416,8 +422,7 @@ func (c *MESIL1) settle(line *mesiL1Line) {
 	line.deferred = nil
 	line.primary = nil
 	for _, op := range ops {
-		op := op
-		c.sim.Schedule(0, func() { c.cpuOp(op) })
+		c.sim.ScheduleEvent(0, c.cpuOpH, op, 0)
 	}
 }
 
@@ -428,8 +433,7 @@ func (c *MESIL1) removeLine(addr memsys.Addr, line *mesiL1Line) {
 	line.deferred = nil
 	c.array.Remove(addr)
 	for _, op := range deferred {
-		op := op
-		c.sim.Schedule(0, func() { c.cpuOp(op) })
+		c.sim.ScheduleEvent(0, c.cpuOpH, op, 0)
 	}
 }
 

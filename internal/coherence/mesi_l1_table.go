@@ -1,6 +1,9 @@
 package coherence
 
-import "repro/internal/interconnect"
+import (
+	"repro/internal/interconnect"
+	"repro/internal/sim"
+)
 
 // mesiL1Table is the complete L1 transition table. Every entry is one
 // coverage unit; a (state, event) pair without an entry is an invalid
@@ -54,8 +57,7 @@ func init() {
 			// will not be forwarded here, so the LQ must be told
 			// (own flushes are never bug-gated).
 			c.notify(x.addr, false)
-			done := x.op.doneCB
-			c.sim.Schedule(c.HitLatency, func() { done(0) })
+			c.sim.ScheduleEvent(c.HitLatency, sim.InvokeUint64, x.op.doneCB, 0)
 			c.removeLine(x.addr, x.line)
 		},
 		{l1S, l1Replace}: func(c *MESIL1, x *l1Ctx) {
@@ -92,8 +94,7 @@ func init() {
 			c.send(c.homeTile(x.addr), interconnect.VNetRequest,
 				&Msg{Type: MsgPUTE, Addr: x.addr, Requestor: c.id})
 			c.notify(x.addr, false)
-			done := x.op.doneCB
-			c.sim.Schedule(c.HitLatency, func() { done(0) })
+			c.sim.ScheduleEvent(c.HitLatency, sim.InvokeUint64, x.op.doneCB, 0)
 		},
 		{l1E, l1Replace}: func(c *MESIL1, x *l1Ctx) {
 			x.line.state = l1EI
@@ -147,8 +148,7 @@ func init() {
 			c.send(c.homeTile(x.addr), interconnect.VNetRequest,
 				&Msg{Type: MsgPUTX, Addr: x.addr, Data: &data, Dirty: true, Requestor: c.id})
 			c.notify(x.addr, false)
-			done := x.op.doneCB
-			c.sim.Schedule(c.HitLatency, func() { done(0) })
+			c.sim.ScheduleEvent(c.HitLatency, sim.InvokeUint64, x.op.doneCB, 0)
 		},
 		{l1M, l1Replace}: func(c *MESIL1, x *l1Ctx) {
 			x.line.state = l1MI

@@ -108,6 +108,11 @@ type MESIL2 struct {
 	// RecycleDelay spaces retries of requests that hit blocked lines.
 	RecycleDelay sim.Tick
 
+	// processH is the pre-bound access-latency callback: requests pay
+	// the tile latency through the kernel's zero-alloc path with the
+	// message as the event argument.
+	processH sim.Handler
+
 	recycles uint64
 }
 
@@ -137,6 +142,7 @@ func NewMESIL2(s *sim.Sim, net *interconnect.Network, cfg MESIL2Config, row, col
 		AccessLatency: 18,
 		RecycleDelay:  10,
 	}
+	c.processH = func(arg any, _ uint64) { c.process(arg.(*Msg)) }
 	if c.cov == nil {
 		c.cov = NopCoverage{}
 	}
@@ -168,7 +174,7 @@ func (c *MESIL2) Deliver(vnet interconnect.VNet, payload interface{}) {
 	msg := payload.(*Msg)
 	switch msg.Type {
 	case MsgGETS, MsgGETX:
-		c.sim.Schedule(c.AccessLatency, func() { c.process(msg) })
+		c.sim.ScheduleEvent(c.AccessLatency, c.processH, msg, 0)
 	default:
 		c.process(msg)
 	}

@@ -130,6 +130,12 @@ type TSOCCL1 struct {
 	HitLatency sim.Tick
 	RetryDelay sim.Tick
 
+	// cpuOpH/cpuOpNowH are the pre-bound hot callbacks (see MESIL1):
+	// mandatory-queue accesses, retries and MSHR replays dispatch
+	// through them on the kernel's zero-alloc path.
+	cpuOpH    sim.Handler
+	cpuOpNowH sim.Handler
+
 	invalNotify func(line memsys.Addr)
 
 	hits, misses, selfInvs, resets uint64
@@ -167,6 +173,8 @@ func NewTSOCCL1(s *sim.Sim, net *interconnect.Network, cfg TSOCCL1Config, row, c
 		RetryDelay:  8,
 		invalNotify: func(memsys.Addr) {},
 	}
+	c.cpuOpH = func(arg any, _ uint64) { c.cpuOp(arg.(*l1Op)) }
+	c.cpuOpNowH = func(arg any, _ uint64) { c.cpuOpNow(arg.(*l1Op)) }
 	if c.cov == nil {
 		c.cov = NopCoverage{}
 	}
@@ -226,7 +234,7 @@ func (c *TSOCCL1) Flush(addr memsys.Addr, cb func()) {
 // cpuOp pays the access latency, then processes atomically (see the
 // MESI counterpart for the capture/perform atomicity argument).
 func (c *TSOCCL1) cpuOp(op *l1Op) {
-	c.sim.Schedule(c.HitLatency, func() { c.cpuOpNow(op) })
+	c.sim.ScheduleEvent(c.HitLatency, c.cpuOpNowH, op, 0)
 }
 
 func (c *TSOCCL1) cpuOpNow(op *l1Op) {
@@ -238,15 +246,14 @@ func (c *TSOCCL1) cpuOpNow(op *l1Op) {
 	}
 	if !ok {
 		if op.kind == opFlush {
-			done := op.doneCB
-			c.sim.Schedule(c.HitLatency, func() { done(0) })
+			c.sim.ScheduleEvent(c.HitLatency, sim.InvokeUint64, op.doneCB, 0)
 			return
 		}
 		var retry bool
 		line, retry = c.allocate(lineAddr)
 		if line == nil {
 			if retry {
-				c.sim.Schedule(c.RetryDelay, func() { c.cpuOp(op) })
+				c.sim.ScheduleEvent(c.RetryDelay, c.cpuOpH, op, 0)
 			}
 			return
 		}
@@ -497,8 +504,7 @@ func (c *TSOCCL1) performStore(line *tsoL1Line, op *l1Op) {
 	line.dirty = true
 	line.wts, line.wepoch = c.ts, c.epoch
 	c.tsOnWrite()
-	done := op.doneCB
-	c.sim.Schedule(0, func() { done(0) })
+	c.sim.ScheduleEvent(0, sim.InvokeUint64, op.doneCB, 0)
 }
 
 func (c *TSOCCL1) performAtomic(line *tsoL1Line, op *l1Op) {
@@ -510,8 +516,7 @@ func (c *TSOCCL1) performAtomic(line *tsoL1Line, op *l1Op) {
 	// RMWs are fences: the acquire side self-invalidates all Shared
 	// lines (the release side is the CPU's store-buffer drain).
 	c.selfInvalidate()
-	done := op.doneCB
-	c.sim.Schedule(0, func() { done(old) })
+	c.sim.ScheduleEvent(0, sim.InvokeUint64, op.doneCB, old)
 }
 
 func (c *TSOCCL1) settle(line *tsoL1Line) {
@@ -519,8 +524,7 @@ func (c *TSOCCL1) settle(line *tsoL1Line) {
 	line.deferred = nil
 	line.primary = nil
 	for _, op := range ops {
-		op := op
-		c.sim.Schedule(0, func() { c.cpuOp(op) })
+		c.sim.ScheduleEvent(0, c.cpuOpH, op, 0)
 	}
 }
 
@@ -529,8 +533,7 @@ func (c *TSOCCL1) removeLine(addr memsys.Addr, line *tsoL1Line) {
 	line.deferred = nil
 	c.array.Remove(addr)
 	for _, op := range deferred {
-		op := op
-		c.sim.Schedule(0, func() { c.cpuOp(op) })
+		c.sim.ScheduleEvent(0, c.cpuOpH, op, 0)
 	}
 }
 

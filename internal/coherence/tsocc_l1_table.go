@@ -3,6 +3,7 @@ package coherence
 import (
 	"repro/internal/interconnect"
 	"repro/internal/memsys"
+	"repro/internal/sim"
 )
 
 // tsoccL1Table is the complete TSO-CC L1 transition table.
@@ -56,8 +57,7 @@ func init() {
 			// Shared lines are untracked: drop silently. The LQ
 			// must still learn of the eviction.
 			c.notify(x.addr)
-			done := x.op.doneCB
-			c.sim.Schedule(c.HitLatency, func() { done(0) })
+			c.sim.ScheduleEvent(c.HitLatency, sim.InvokeUint64, x.op.doneCB, 0)
 			c.removeLine(x.addr, x.line)
 		},
 		{tsoSH, tReplace}: func(c *TSOCCL1, x *tsoL1Ctx) {
@@ -89,8 +89,7 @@ func init() {
 		{tsoEX, tFlush}: func(c *TSOCCL1, x *tsoL1Ctx) {
 			c.startWriteback(x)
 			c.notify(x.addr)
-			done := x.op.doneCB
-			c.sim.Schedule(c.HitLatency, func() { done(0) })
+			c.sim.ScheduleEvent(c.HitLatency, sim.InvokeUint64, x.op.doneCB, 0)
 		},
 		{tsoEX, tReplace}: func(c *TSOCCL1, x *tsoL1Ctx) {
 			c.startWriteback(x)

@@ -82,6 +82,9 @@ type TSOCCL2 struct {
 	AccessLatency sim.Tick
 	RecycleDelay  sim.Tick
 
+	// processH is the pre-bound access-latency callback (see MESIL2).
+	processH sim.Handler
+
 	recycles uint64
 }
 
@@ -110,6 +113,7 @@ func NewTSOCCL2(s *sim.Sim, net *interconnect.Network, cfg TSOCCL2Config, row, c
 		AccessLatency: 18,
 		RecycleDelay:  10,
 	}
+	c.processH = func(arg any, _ uint64) { c.process(arg.(*Msg)) }
 	if c.cov == nil {
 		c.cov = NopCoverage{}
 	}
@@ -140,7 +144,7 @@ func (c *TSOCCL2) Deliver(vnet interconnect.VNet, payload interface{}) {
 	msg := payload.(*Msg)
 	switch msg.Type {
 	case MsgTGetS, MsgTGetX:
-		c.sim.Schedule(c.AccessLatency, func() { c.process(msg) })
+		c.sim.ScheduleEvent(c.AccessLatency, c.processH, msg, 0)
 	default:
 		c.process(msg)
 	}

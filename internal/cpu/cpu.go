@@ -173,6 +173,12 @@ type Core struct {
 	done    bool
 	onDone  func()
 
+	// advanceH is the core's pre-bound hot callback: every delay-0
+	// re-schedule and barrier release dispatches through it on the
+	// kernel's zero-alloc path (the pre-wheel code built a fresh
+	// method-value closure per schedule).
+	advanceH sim.Handler
+
 	committed uint64
 	squashes  uint64
 }
@@ -184,6 +190,7 @@ func New(id int, s *sim.Sim, l1 coherence.CacheL1, cfg Config, obs Observer) *Co
 		obs = nopObserver{}
 	}
 	c := &Core{id: id, sim: s, l1: l1, cfg: cfg, obs: obs, done: true}
+	c.advanceH = func(any, uint64) { c.advance() }
 	l1.SetInvalListener(c.onInvalidation)
 	return c
 }
@@ -222,18 +229,18 @@ func (c *Core) Start(offset sim.Tick, onDone func()) {
 	if len(c.prog) == 0 {
 		c.done = true
 		if onDone != nil {
-			c.sim.Schedule(offset, onDone)
+			c.sim.ScheduleEvent(offset, sim.InvokeFunc, onDone, 0)
 		}
 		return
 	}
 	c.onDone = onDone
 	c.done = false
 	c.running = true
-	c.sim.Schedule(offset, c.advance)
+	c.sim.ScheduleEvent(offset, c.advanceH, nil, 0)
 }
 
 func (c *Core) schedule() {
-	c.sim.Schedule(0, c.advance)
+	c.sim.ScheduleEvent(0, c.advanceH, nil, 0)
 }
 
 // squashDisabled reports whether LQ invalidation squashes are off:

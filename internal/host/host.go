@@ -225,7 +225,7 @@ func (h *Host) RunTest(t *testgen.Test) (RunResult, error) {
 		if h.opts.Barrier == GuestBarrier {
 			// A software barrier burns simulated time before the
 			// test even starts.
-			h.m.Sim.Schedule(guestBarrierGap, func() {})
+			h.m.Sim.ScheduleEvent(guestBarrierGap, sim.Nop, nil, 0)
 			h.m.Quiesce()
 		}
 		if err := h.m.LoadPrograms(progs); err != nil {

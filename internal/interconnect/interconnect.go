@@ -91,6 +91,11 @@ func DefaultConfig() Config {
 type node struct {
 	handler  Handler
 	row, col int
+	// sink is the node's pre-bound delivery callback for the kernel's
+	// zero-alloc path: the payload travels as the event's arg (a
+	// pointer, so no boxing) and the virtual network as its aux word,
+	// replacing the per-message closure of the pre-wheel kernel.
+	sink sim.Handler
 }
 
 type chanKey struct {
@@ -129,7 +134,10 @@ func (n *Network) Register(id NodeID, h Handler, row, col int) error {
 	if _, dup := n.nodes[id]; dup {
 		return fmt.Errorf("interconnect: node %d already registered", id)
 	}
-	n.nodes[id] = &node{handler: h, row: row, col: col}
+	n.nodes[id] = &node{
+		handler: h, row: row, col: col,
+		sink: func(payload any, aux uint64) { h.Deliver(VNet(aux), payload) },
+	}
 	return nil
 }
 
@@ -173,9 +181,7 @@ func (n *Network) Send(src, dst NodeID, vnet VNet, payload interface{}) {
 	}
 	n.lastArrival[key] = arrive
 	n.sent[vnet]++
-	n.sim.Schedule(arrive-n.sim.Now(), func() {
-		to.handler.Deliver(vnet, payload)
-	})
+	n.sim.ScheduleEvent(arrive-n.sim.Now(), to.sink, payload, uint64(vnet))
 }
 
 // LocalDeliver schedules a message to a node from itself with the given
@@ -186,7 +192,5 @@ func (n *Network) LocalDeliver(dst NodeID, vnet VNet, delay sim.Tick, payload in
 	if !ok {
 		panic(fmt.Sprintf("interconnect: local delivery to unregistered node %d", dst))
 	}
-	n.sim.Schedule(delay, func() {
-		to.handler.Deliver(vnet, payload)
-	})
+	n.sim.ScheduleEvent(delay, to.sink, payload, uint64(vnet))
 }
