@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Service smoke: start a workerless mcversid, attach one remote
+# mcversi-worker, run a 2-scenario campaign through the service, and
+# byte-diff the merged result against the same campaign run locally.
+# This is the distributed-equivalence guarantee exercised through the
+# real binaries and a real TCP socket (the in-process variant lives in
+# internal/service/equiv_test.go).
+set -euo pipefail
+
+WORKDIR=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+ADDR=127.0.0.1:8473
+URL="http://$ADDR"
+CAMPAIGN=(-scenario mesi-tso,mesi-pso -gen rand -budget 30 -samples 2 -seed 11 -mem 1024)
+
+go build -o "$WORKDIR" ./cmd/mcversi ./cmd/mcversid ./cmd/mcversi-worker
+
+"$WORKDIR/mcversid" -listen "$ADDR" -workers 0 -shard-size 2 &
+
+for i in $(seq 1 100); do
+  if curl -sf "$URL/v1/healthz" >/dev/null 2>&1; then break; fi
+  [ "$i" = 100 ] && { echo "mcversid never became healthy" >&2; exit 1; }
+  sleep 0.1
+done
+
+"$WORKDIR/mcversi-worker" -server "$URL" -name ci-smoke -poll 100ms &
+
+"$WORKDIR/mcversi" "${CAMPAIGN[@]}" -remote "$URL" -progress -merged-out "$WORKDIR/remote.json"
+"$WORKDIR/mcversi" "${CAMPAIGN[@]}" -merged-out "$WORKDIR/local.json"
+
+if ! cmp "$WORKDIR/local.json" "$WORKDIR/remote.json"; then
+  echo "FAIL: distributed merged result differs from local bytes" >&2
+  exit 1
+fi
+echo "OK: distributed and local merged results are byte-identical ($(wc -c <"$WORKDIR/local.json") bytes)"

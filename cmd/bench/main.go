@@ -25,9 +25,21 @@
 // versus the timing wheel's pooled ScheduleEvent path (see
 // EXPERIMENTS.md, "Event kernel").
 //
-// -smoke restricts the run to the two gated A/Bs (coverage hot path and
-// event kernel) so CI gets a fast regression signal; -gate exits
-// non-zero when a derived metric falls below its recorded gate.
+// The service A/B (service/local vs service/loopback-wN) runs the same
+// campaign spec through the in-process shard merger and through a full
+// mcversid loopback — HTTP submit, seed-range leases claimed by N
+// remote-protocol workers, shard results over the wire, canonical
+// merge — and the derived service_merge_overhead records the w1
+// distributed tax over local (gated to ≤10%: the service must stay an
+// orchestration layer, not a compute tax). Both sides use the same
+// intra-shard parallelism so the delta is protocol+merge overhead, not
+// scheduling width. service_campaigns_per_sec_wN /
+// service_merged_runs_per_sec_wN track fleet scaling at 1/2/4 workers.
+//
+// -smoke restricts the run to the gated A/Bs (coverage hot path, event
+// kernel, service overhead) so CI gets a fast regression signal; -gate
+// exits non-zero when a derived metric falls below its recorded floor
+// or above its recorded ceiling.
 package main
 
 import (
@@ -35,9 +47,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/benchwork"
 	"repro/internal/checker"
@@ -51,6 +66,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/relation"
 	"repro/internal/scenario"
+	"repro/internal/service"
 	"repro/internal/testgen"
 )
 
@@ -64,6 +80,13 @@ var gates = map[string]float64{
 	"coverage_hotpath_alloc_ratio": 10.0,
 	"event_kernel_speedup":         2.0,
 	"event_kernel_alloc_ratio":     10.0,
+}
+
+// gatesMax are ceilings: derived metrics that must stay BELOW the
+// recorded bound. The distributed service may cost at most 10% over the
+// identical local merge.
+var gatesMax = map[string]float64{
+	"service_merge_overhead": 0.10,
 }
 
 // Snapshot is the BENCH_<n>.json schema.
@@ -144,8 +167,77 @@ func sweepConfig() core.Config {
 	return cfg
 }
 
+// serviceShardSize is the lease granularity of the service A/B. Both
+// sides run items sequentially (fleet workers = 1): with intra-shard
+// parallelism the loopback path pays a straggler barrier at each shard
+// boundary that the continuously-pipelined local path does not, which
+// would fold machine-dependent scheduling noise into what is meant to
+// be a pure protocol+merge overhead reading.
+const serviceShardSize = 4
+
+// serviceSpec is the campaign both sides of the service A/B run:
+// 2 scenarios × 4 samples (two shards), sized so per-shard compute
+// dwarfs the per-request HTTP cost.
+func serviceSpec() core.Spec {
+	var scens []scenario.Scenario
+	for _, name := range []string{"mesi-tso", "mesi-pso"} {
+		s, err := scenario.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		scens = append(scens, s)
+	}
+	return core.NewSpec(sweepConfig(), scens, 4, 7)
+}
+
+// benchService measures end-to-end campaigns through a loopback
+// mcversid: one HTTP server, n workers speaking the remote lease
+// protocol, one campaign per op (submit → drain → fetch merged bytes).
+func benchService(spec core.Spec, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		svc, err := service.New(service.Config{ShardSize: serviceShardSize, FleetWorkers: 1})
+		if err != nil {
+			panic(err)
+		}
+		srv := httptest.NewServer(svc.Handler())
+		defer srv.Close()
+		client := service.NewClient(srv.URL)
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_ = service.RunWorker(ctx, client, service.WorkerOptions{
+					Name:         fmt.Sprintf("bench-%d", i),
+					Poll:         time.Millisecond,
+					FleetWorkers: 1,
+				})
+			}(i)
+		}
+		defer func() {
+			b.StopTimer()
+			cancel()
+			wg.Wait()
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id, err := client.Submit(ctx, "bench", spec)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := client.WaitDone(ctx, id, time.Millisecond); err != nil {
+				panic(err)
+			}
+			if _, err := client.ResultBytes(ctx, id); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
 func main() {
-	out := flag.String("out", "BENCH_5.json", "snapshot path (- for stdout only)")
+	out := flag.String("out", "BENCH_6.json", "snapshot path (- for stdout only)")
 	smoke := flag.Bool("smoke", false, "run only the gated A/B benchmarks (CI regression signal)")
 	gate := flag.Bool("gate", false, "exit non-zero if a derived metric falls below its recorded gate")
 	flag.Parse()
@@ -200,6 +292,31 @@ func main() {
 		run("eventkernel/heap-schedule", benchwork.BenchEventKernel(true)),
 		run("eventkernel/wheel-schedule", benchwork.BenchEventKernel(false)),
 	)
+	// Service A/B: the gated local-vs-loopback pair always runs; the
+	// 2- and 4-worker scaling points only in full mode.
+	svcSpec := serviceSpec()
+	svcRuns := svcSpec.Items() * svcSpec.MaxTestRuns
+	snap.Benchmarks = append(snap.Benchmarks,
+		run("service/local", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := fleet.LocalMerged(context.Background(), svcSpec,
+					fleet.Options{Workers: 1, Collective: true})
+				if err != nil {
+					panic(err)
+				}
+				if _, err := m.CanonicalBytes(); err != nil {
+					panic(err)
+				}
+			}
+		}),
+		run("service/loopback-w1", benchService(svcSpec, 1)),
+	)
+	if !*smoke {
+		snap.Benchmarks = append(snap.Benchmarks,
+			run("service/loopback-w2", benchService(svcSpec, 2)),
+			run("service/loopback-w4", benchService(svcSpec, 4)),
+		)
+	}
 	// sweepTestRuns is the simulated test-run volume of one
 	// scenario/sweep4 op, the basis of e2e_testruns_per_sec.
 	sweepTestRuns := 0
@@ -251,6 +368,17 @@ func main() {
 		// loop (machine, checker, coverage and fleet layers included).
 		snap.Derived["e2e_testruns_per_sec"] = float64(sweepTestRuns) / (sweep.NsPerOp * 1e-9)
 	}
+	if w1, local := byName["service/loopback-w1"], byName["service/local"]; w1.NsPerOp > 0 && local.NsPerOp > 0 {
+		// The distributed tax: how much slower one remote worker over
+		// loopback HTTP is than the identical in-process merge.
+		snap.Derived["service_merge_overhead"] = w1.NsPerOp/local.NsPerOp - 1
+	}
+	for _, n := range []int{1, 2, 4} {
+		if bm := byName[fmt.Sprintf("service/loopback-w%d", n)]; bm.NsPerOp > 0 {
+			snap.Derived[fmt.Sprintf("service_campaigns_per_sec_w%d", n)] = 1e9 / bm.NsPerOp
+			snap.Derived[fmt.Sprintf("service_merged_runs_per_sec_w%d", n)] = float64(svcRuns) * 1e9 / bm.NsPerOp
+		}
+	}
 
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -269,7 +397,7 @@ func main() {
 
 	if *gate {
 		failed := false
-		for name, floor := range gates {
+		check := func(name string, bound float64, kind string) {
 			got, ok := snap.Derived[name]
 			if !ok {
 				// Every gated metric is produced in both full and smoke
@@ -277,14 +405,21 @@ func main() {
 				// dropped, which must not silently disable the gate.
 				fmt.Fprintf(os.Stderr, "bench: GATE FAILED: %s was not measured\n", name)
 				failed = true
-				continue
+				return
 			}
-			if got < floor {
-				fmt.Fprintf(os.Stderr, "bench: GATE FAILED: %s = %.2f, floor %.2f\n", name, got, floor)
+			broken := (kind == "floor" && got < bound) || (kind == "ceiling" && got > bound)
+			if broken {
+				fmt.Fprintf(os.Stderr, "bench: GATE FAILED: %s = %.2f, %s %.2f\n", name, got, kind, bound)
 				failed = true
 			} else {
-				fmt.Fprintf(os.Stderr, "bench: gate ok: %s = %.2f (floor %.2f)\n", name, got, floor)
+				fmt.Fprintf(os.Stderr, "bench: gate ok: %s = %.2f (%s %.2f)\n", name, got, kind, bound)
 			}
+		}
+		for name, floor := range gates {
+			check(name, floor, "floor")
+		}
+		for name, ceiling := range gatesMax {
+			check(name, ceiling, "ceiling")
 		}
 		if failed {
 			os.Exit(1)

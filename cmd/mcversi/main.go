@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,9 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/service"
 )
 
 func main() {
@@ -46,6 +50,11 @@ func main() {
 	scenarioFlag := flag.String("scenario", "",
 		"verification scenario(s): a registered name, a comma-separated list, or 'all' (-list-scenarios for names); overrides -protocol/-bug")
 	listScenarios := flag.Bool("list-scenarios", false, "list the registered scenarios and exit")
+	remote := flag.String("remote", "",
+		"submit the campaign to a mcversid service at this base URL instead of running locally")
+	tenant := flag.String("tenant", "", "tenant id for -remote admission control")
+	mergedOut := flag.String("merged-out", "",
+		"write the canonical merged result JSON to this file (local runs use the same merge path as the service, so outputs are byte-comparable)")
 	flag.Parse()
 
 	if *list {
@@ -108,6 +117,27 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+
+	if *remote != "" || *mergedOut != "" {
+		// Spec mode: the campaign travels as a serializable core.Spec,
+		// either to a remote mcversid or through the local shard-merge
+		// path — the two produce byte-identical merged output.
+		if *islands || *stopOnFound {
+			fmt.Fprintln(os.Stderr, "mcversi: -islands/-stop-on-found are not available with -remote/-merged-out (shards must be independent and deterministic)")
+			os.Exit(2)
+		}
+		specScens := scens
+		if len(specScens) == 0 {
+			specScens = []mcversi.Scenario{base}
+		}
+		spec := core.NewSpec(cfg, specScens, *samples, *seed)
+		runSpecMode(ctx, spec, specModeOptions{
+			Remote: *remote, Tenant: *tenant, MergedOut: *mergedOut,
+			Parallel: *parallel, Collective: *collective, Progress: *progress,
+		})
+		return
+	}
+
 	opts := mcversi.FleetOptions{
 		Workers:           *parallel,
 		StopOnFound:       *stopOnFound,
@@ -199,5 +229,133 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcversi:", err)
 		os.Exit(1)
+	}
+}
+
+type specModeOptions struct {
+	Remote, Tenant, MergedOut string
+	Parallel                  int
+	Collective, Progress      bool
+}
+
+// renderSample writes one per-sample progress line to stderr in the
+// same shape the local fleet's -progress stream uses, so remote SSE
+// progress reads identically.
+func renderSample(sample int, scen string, r mcversi.CampaignResult, elapsed time.Duration) {
+	dedupe := ""
+	if r.Dedupe.Checks > 0 {
+		dedupe = fmt.Sprintf(", %.0f%% dedupe (%d unique sigs)",
+			100*r.Dedupe.HitRate(), r.Dedupe.Unique)
+	}
+	el := ""
+	if elapsed > 0 {
+		el = ", " + elapsed.Round(time.Millisecond).String()
+	}
+	if scen != "" {
+		scen = " " + scen
+	}
+	fmt.Fprintf(os.Stderr, "[fleet] sample %d%s done: %d runs, %.1f%% coverage%s%s\n",
+		sample, scen, r.TestRuns, 100*r.TotalCoverage, dedupe, el)
+}
+
+// runSpecMode executes a spec campaign remotely (against mcversid) or
+// locally (through the identical shard-merge path) and reports the
+// merged result.
+func runSpecMode(ctx context.Context, spec core.Spec, o specModeOptions) {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mcversi:", err)
+		os.Exit(1)
+	}
+
+	var (
+		merged fleet.Merged
+		data   []byte
+	)
+	if o.Remote != "" {
+		client := service.NewClient(o.Remote)
+		id, err := client.Submit(ctx, o.Tenant, spec)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mcversi: submitted campaign %s to %s (%d items)\n", id, o.Remote, spec.Items())
+		if o.Progress {
+			err := client.Events(ctx, id, func(ev service.Event) bool {
+				switch ev.Type {
+				case service.EventSample:
+					if ev.Result != nil {
+						renderSample(ev.Sample, ev.Scenario, *ev.Result, 0)
+					}
+				case service.EventLeased:
+					fmt.Fprintf(os.Stderr, "[fleet] shard %s leased to %s\n", ev.Shard, ev.Worker)
+				case service.EventExpired:
+					fmt.Fprintf(os.Stderr, "[fleet] shard %s lease expired on %s, re-issuing\n", ev.Shard, ev.Worker)
+				}
+				return true
+			})
+			if err != nil {
+				fail(err)
+			}
+		}
+		if _, err := client.WaitDone(ctx, id, 100*time.Millisecond); err != nil {
+			fail(err)
+		}
+		if data, err = client.ResultBytes(ctx, id); err != nil {
+			fail(err)
+		}
+		if err := json.Unmarshal(data, &merged); err != nil {
+			fail(err)
+		}
+	} else {
+		fopts := fleet.Options{Workers: o.Parallel, Collective: o.Collective}
+		var drained chan struct{}
+		if o.Progress {
+			events := make(chan fleet.Event, 64)
+			drained = make(chan struct{})
+			fopts.Events = events
+			go func() {
+				defer close(drained)
+				for ev := range events {
+					if ev.Done {
+						renderSample(ev.Sample, ev.Scenario, ev.Result, ev.Elapsed)
+					}
+				}
+			}()
+			defer func() {
+				close(events)
+				<-drained
+			}()
+		}
+		var err error
+		if merged, err = fleet.LocalMerged(ctx, spec, fopts); err != nil {
+			fail(err)
+		}
+		if data, err = merged.CanonicalBytes(); err != nil {
+			fail(err)
+		}
+	}
+
+	for si, scen := range spec.Scenarios {
+		fmt.Printf("scenario %s (%s):\n", scen.Name, scen.ID())
+		for j := 0; j < spec.Samples; j++ {
+			r := merged.Results[si*spec.Samples+j]
+			fmt.Printf("  sample %d: %s\n", j, r)
+			if r.Found {
+				fmt.Printf("    %s\n", strings.TrimSpace(r.Detail))
+			}
+		}
+	}
+	fmt.Printf("\n%d/%d samples found a bug (%d test-runs total)\n",
+		merged.Stats.Found, merged.Stats.Items, merged.Stats.TestRuns)
+	if merged.Stats.Dedupe.Checks > 0 {
+		fmt.Printf("collective checking: %s\n", merged.Stats.Dedupe)
+	}
+	if merged.Stats.UnionCoverage > 0 {
+		fmt.Printf("fleet union coverage: %.1f%% of the transition table\n", 100*merged.Stats.UnionCoverage)
+	}
+	if o.MergedOut != "" {
+		if err := os.WriteFile(o.MergedOut, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mcversi: wrote canonical merged result to %s (%d bytes)\n", o.MergedOut, len(data))
 	}
 }

@@ -1,0 +1,95 @@
+// Command mcversid is the McVerSi campaign service daemon: an
+// HTTP/JSON job queue for verification campaigns with admission
+// control, seed-range leases for a distributed worker fleet, and a
+// byte-deterministic shard merger.
+//
+//	mcversid -listen :8433 -workers 2 -checkpoint /var/lib/mcversid
+//
+// Campaigns are submitted as serialized core.Spec documents (see
+// cmd/mcversi -remote for the turnkey client). Work is executed by the
+// embedded worker pool (-workers) and/or remote cmd/mcversi-worker
+// processes; merged results are byte-identical regardless of the mix.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", ":8433", "HTTP listen address")
+	workers := flag.Int("workers", 1, "embedded worker count (0 = remote workers only)")
+	parallel := flag.Int("parallel", 0, "intra-shard fleet workers per embedded worker (0 = all cores)")
+	shardSize := flag.Int("shard-size", 0, "lease granularity in items (0 = default)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "lease TTL before a silent worker's range is re-issued (0 = default 30s)")
+	maxActive := flag.Int("max-active", 0, "concurrently running campaigns (0 = default)")
+	maxQueued := flag.Int("max-queued", 0, "queued campaign cap (0 = default)")
+	tenantPending := flag.Int("tenant-pending", 0, "per-tenant queued+running cap (0 = default)")
+	maxItems := flag.Int("max-items", 0, "per-campaign item cap (0 = default)")
+	maxAttempts := flag.Int("max-attempts", 0, "lease re-issues per shard before the campaign fails (0 = default)")
+	checkpoint := flag.String("checkpoint", "", "durable campaign directory (empty = in-memory only)")
+	flag.Parse()
+
+	cfg := service.Config{
+		MaxActive:        *maxActive,
+		MaxQueued:        *maxQueued,
+		TenantMaxPending: *tenantPending,
+		MaxItems:         *maxItems,
+		ShardSize:        *shardSize,
+		LeaseTTL:         *leaseTTL,
+		MaxAttempts:      *maxAttempts,
+		FleetWorkers:     *parallel,
+		CheckpointDir:    *checkpoint,
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcversid:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	wg := svc.StartWorkers(ctx, *workers)
+
+	// Reap leases held by dead workers even when no live worker is
+	// polling to trigger the lazy path.
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if n := svc.ExpireLeases(); n > 0 {
+					fmt.Fprintf(os.Stderr, "mcversid: re-issued %d expired lease(s)\n", n)
+				}
+			}
+		}
+	}()
+
+	srv := &http.Server{Addr: *listen, Handler: svc.Handler()}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "mcversid: listening on %s (%d embedded workers)\n", *listen, *workers)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "mcversid:", err)
+		os.Exit(1)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/gp"
+)
+
+// Checkpoint is the serializable resume state of one campaign: the
+// budget cursor and tally (test-runs done, fitness sum, NDT high-water
+// marks, dedupe counters, bug verdict) plus — for GP generators — the
+// evolved population. Together with the campaign's Config (or the Spec
+// item that materializes it) this is everything a restarted process
+// needs to carry the campaign forward.
+//
+// What a checkpoint does NOT capture: simulated machine state, the
+// generator/GP RNG streams, and the coverage tracker's occurrence
+// counts. A resumed campaign therefore continues the search from the
+// saved population and budget cursor, but is not byte-identical to the
+// uninterrupted campaign — SimTicks/Committed/TotalCoverage restart
+// from zero and the proposal stream re-derives from the campaign seed.
+// When byte-identical recovery matters (the campaign service's
+// distributed tier), re-run the whole deterministic seed range instead;
+// checkpoints are for salvaging long single-process campaigns.
+type Checkpoint struct {
+	Schema int `json:"schema"`
+	// Scenario is the canonical scenario ID the campaign ran against,
+	// cross-checked on resume so a checkpoint cannot silently resume
+	// under a different machine contract.
+	Scenario string `json:"scenario"`
+	// Seed is the campaign seed, cross-checked on resume.
+	Seed int64 `json:"seed"`
+	// Result is the tally at checkpoint time (Campaign.Result).
+	Result Result `json:"result"`
+	// Finished marks a campaign that had already completed.
+	Finished bool `json:"finished"`
+	// GP is the population snapshot (nil for the rand generator).
+	GP *gp.Snapshot `json:"gp,omitempty"`
+}
+
+// checkpointSchema versions the checkpoint wire format.
+const checkpointSchema = 1
+
+// Checkpoint snapshots the campaign's resume state.
+func (c *Campaign) Checkpoint() Checkpoint {
+	ck := Checkpoint{
+		Schema:   checkpointSchema,
+		Scenario: c.scn.ID(),
+		Seed:     c.cfg.Seed,
+		Result:   c.Result(),
+		Finished: c.finished,
+	}
+	if c.engine != nil {
+		snap := c.engine.Snapshot()
+		ck.GP = &snap
+	}
+	return ck
+}
+
+// ResumeCampaign rebuilds a campaign from cfg and restores the
+// checkpoint's tally, budget cursor and GP population. cfg must
+// describe the same campaign the checkpoint was taken from (same
+// scenario contract and seed).
+func ResumeCampaign(cfg Config, ck Checkpoint) (*Campaign, error) {
+	if ck.Schema != checkpointSchema {
+		return nil, fmt.Errorf("core: unknown checkpoint schema %d", ck.Schema)
+	}
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if id := c.scn.ID(); id != ck.Scenario {
+		return nil, fmt.Errorf("core: checkpoint is for scenario %q, config resolves to %q", ck.Scenario, id)
+	}
+	if cfg.Seed != ck.Seed {
+		return nil, fmt.Errorf("core: checkpoint is for seed %d, config has %d", ck.Seed, cfg.Seed)
+	}
+	// Restore the cumulative tally; machine-derived totals (SimTicks,
+	// Committed, TotalCoverage) are recomputed by Result() from the
+	// fresh machine and so restart from zero.
+	c.out = Result{
+		Found:      ck.Result.Found,
+		Source:     ck.Result.Source,
+		Detail:     ck.Result.Detail,
+		TestRuns:   ck.Result.TestRuns,
+		MaxNDT:     ck.Result.MaxNDT,
+		LastNDT:    ck.Result.LastNDT,
+		SumFitness: ck.Result.SumFitness,
+		Dedupe:     ck.Result.Dedupe,
+	}
+	c.finished = ck.Finished
+	if ck.GP != nil {
+		if c.engine == nil {
+			return nil, fmt.Errorf("core: checkpoint carries a GP population but config uses generator %q", cfg.Generator)
+		}
+		if err := c.engine.Restore(*ck.GP); err != nil {
+			return nil, err
+		}
+	} else if c.engine != nil && ck.Result.TestRuns > 0 {
+		return nil, fmt.Errorf("core: generator %q needs a GP population snapshot to resume", cfg.Generator)
+	}
+	return c, nil
+}
+
+// MarshalCheckpoint serializes a checkpoint to JSON.
+func MarshalCheckpoint(ck Checkpoint) ([]byte, error) {
+	return json.Marshal(ck)
+}
+
+// ParseCheckpoint deserializes a checkpoint.
+func ParseCheckpoint(data []byte) (Checkpoint, error) {
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return Checkpoint{}, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if ck.Schema != checkpointSchema {
+		return Checkpoint{}, fmt.Errorf("core: unknown checkpoint schema %d", ck.Schema)
+	}
+	return ck, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestCheckpointRoundTrip: checkpoint → JSON → ResumeCampaign must
+// restore the tally, the budget cursor and (for GP generators) the
+// population, and the resumed campaign must run its remaining budget.
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, gen := range []GeneratorKind{GenRandom, GenGPAll} {
+		t.Run(string(gen), func(t *testing.T) {
+			cfg := scaledConfig(gen, machine.MESI, "", 1024, 10)
+			cfg.GP.PopulationSize = 6
+			cfg.Seed = 33
+			camp, err := NewCampaign(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := camp.Advance(context.Background(), 7); err != nil {
+				t.Fatal(err)
+			}
+			ck := camp.Checkpoint()
+			if ck.Result.TestRuns != 7 {
+				t.Fatalf("checkpoint cursor = %d, want 7", ck.Result.TestRuns)
+			}
+			if gen == GenGPAll && (ck.GP == nil || len(ck.GP.Population) == 0) {
+				t.Fatal("GP checkpoint carries no population")
+			}
+
+			data, err := MarshalCheckpoint(ck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := ParseCheckpoint(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Scenario != ck.Scenario || back.Seed != ck.Seed ||
+				!reflect.DeepEqual(back.Result, ck.Result) {
+				t.Fatalf("checkpoint JSON round trip diverged:\n  sent %+v\n  got  %+v", ck, back)
+			}
+			if ck.GP != nil && !reflect.DeepEqual(back.GP.Population, ck.GP.Population) {
+				t.Fatal("GP population diverged through JSON")
+			}
+
+			resumed, err := ResumeCampaign(cfg, back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Result().TestRuns != 7 {
+				t.Fatalf("resumed cursor = %d, want 7", resumed.Result().TestRuns)
+			}
+			if resumed.Done() {
+				t.Fatal("resumed campaign already finished")
+			}
+			res, err := resumed.RunContext(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Found && res.TestRuns != cfg.MaxTestRuns {
+				t.Fatalf("resumed campaign ran to %d test-runs, want budget %d", res.TestRuns, cfg.MaxTestRuns)
+			}
+		})
+	}
+}
+
+// TestCheckpointGuards: a checkpoint must not resume under a different
+// scenario contract, seed, or generator shape.
+func TestCheckpointGuards(t *testing.T) {
+	cfg := scaledConfig(GenGPAll, machine.MESI, "", 1024, 10)
+	cfg.GP.PopulationSize = 6
+	cfg.Seed = 5
+	camp, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := camp.Advance(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	ck := camp.Checkpoint()
+
+	other := cfg
+	other.Seed = 6
+	if _, err := ResumeCampaign(other, ck); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+	other = cfg
+	other.Scenario.Model = "PSO"
+	other.Scenario.Relax.NonFIFOSB = true
+	if _, err := ResumeCampaign(other, ck); err == nil {
+		t.Error("scenario mismatch accepted")
+	}
+	other = cfg
+	other.Generator = GenRandom
+	if _, err := ResumeCampaign(other, ck); err == nil {
+		t.Error("GP population resumed into rand generator")
+	}
+	noPop := ck
+	noPop.GP = nil
+	if _, err := ResumeCampaign(cfg, noPop); err == nil {
+		t.Error("in-flight GP campaign resumed without a population")
+	}
+	bad := ck
+	bad.Schema = 99
+	if _, err := ResumeCampaign(cfg, bad); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}

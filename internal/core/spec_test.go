@@ -1,0 +1,121 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/scenario"
+)
+
+// testSpec is a CI-scale two-scenario spec.
+func testSpec(gen GeneratorKind) Spec {
+	mesiTSO, err := scenario.ByName("mesi-tso")
+	if err != nil {
+		panic(err)
+	}
+	mesiPSO, err := scenario.ByName("mesi-pso")
+	if err != nil {
+		panic(err)
+	}
+	cfg := scaledConfig(gen, machine.MESI, "", 1024, 8)
+	return NewSpec(cfg, []scenario.Scenario{mesiTSO, mesiPSO}, 2, 11)
+}
+
+func TestSpecValidateAndItems(t *testing.T) {
+	s := testSpec(GenRandom)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if got := s.Items(); got != 4 {
+		t.Fatalf("Items() = %d, want 4", got)
+	}
+	if s.ItemScenario(0).Name != "mesi-tso" || s.ItemScenario(2).Name != "mesi-pso" {
+		t.Errorf("item→scenario mapping wrong: %q, %q", s.ItemScenario(0).Name, s.ItemScenario(2).Name)
+	}
+	if s.ItemSeed(3) != SampleSeed(11, 3) {
+		t.Errorf("item seed derivation diverged from SampleSeed")
+	}
+
+	bad := s
+	bad.Samples = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("samples=0 accepted")
+	}
+	bad = s
+	bad.Scenarios = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty scenario list accepted")
+	}
+	bad = s
+	bad.MaxTestRuns = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("budget-free spec accepted")
+	}
+}
+
+// TestSpecRoundTrip: marshal → ParseSpec must reproduce the spec
+// exactly, and every item config must materialize identically on both
+// sides — the property remote workers lean on.
+func TestSpecRoundTrip(t *testing.T) {
+	s := testSpec(GenGPAll)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("spec round trip diverged:\n  sent %+v\n  got  %+v", s, back)
+	}
+	for i := 0; i < s.Items(); i++ {
+		a, err := s.ItemConfig(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.ItemConfig(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("item %d config diverged after round trip", i)
+		}
+	}
+	if _, err := s.ItemConfig(s.Items()); err == nil {
+		t.Error("out-of-range item accepted")
+	}
+}
+
+// TestSpecItemMatchesDirectConfig: a spec item's campaign must produce
+// the same Result as the hand-assembled config it was derived from.
+func TestSpecItemMatchesDirectConfig(t *testing.T) {
+	cfg := scaledConfig(GenRandom, machine.MESI, "", 1024, 6)
+	scen, err := scenario.ByName("mesi-tso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := NewSpec(cfg, []scenario.Scenario{scen}, 1, 21)
+
+	direct := cfg
+	direct.Scenario = scen
+	direct.Seed = SampleSeed(21, 0)
+	want, err := RunCampaign(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	icfg, err := spec.ItemConfig(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunCampaign(icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("spec item diverged from direct config:\n  want %+v\n  got  %+v", want, got)
+	}
+}

@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// coverageAcc merges per-transition count vectors that share one
+// interned vocabulary, identified by key (the protocol name) instead of
+// table pointer identity so shards from other processes merge too.
+// Mixing keys poisons the accumulator — the same degradation the
+// in-process emitter applies to cross-protocol sweeps.
+type coverageAcc struct {
+	key    string
+	counts []uint64
+	mixed  bool
+}
+
+// absorb folds one count vector in; addition is commutative and exact
+// (uint64), so absorption order cannot change the merged vector.
+func (a *coverageAcc) absorb(key string, counts []uint64) {
+	if a.mixed || len(counts) == 0 {
+		return
+	}
+	if a.counts == nil {
+		a.key = key
+		a.counts = make([]uint64, len(counts))
+	}
+	if a.key != key || len(a.counts) != len(counts) {
+		a.mixed = true
+		a.key, a.counts = "", nil
+		return
+	}
+	for i, c := range counts {
+		a.counts[i] += c
+	}
+}
+
+// merged returns the accumulated (key, counts), or ("", nil) when mixed
+// or empty.
+func (a *coverageAcc) merged() (string, []uint64) {
+	if a.mixed {
+		return "", nil
+	}
+	return a.key, a.counts
+}
+
+// MergedStats is the deterministic aggregate of a merged campaign set.
+// Every field is a pure function of the per-item Results and count
+// vectors, folded in flat item order — never of worker topology, shard
+// partition or arrival order. Dedupe in particular is the sum of the
+// per-campaign (campaign-locally classified) counters, not a shared
+// memo's fleet-wide tally, because only the former is identical whether
+// items shared a memo within one process or ran in separate ones.
+type MergedStats struct {
+	// Items is the campaign count; Found of them reported a bug.
+	Items int `json:"items"`
+	Found int `json:"found"`
+	// TestRuns totals completed test-runs.
+	TestRuns int `json:"test_runs"`
+	// SumFitness totals every campaign's fitness sum, folded in flat
+	// item order (float addition commutes but does not associate, so
+	// the fold order is part of the contract).
+	SumFitness float64 `json:"sum_fitness"`
+	// MaxCoverage is the best per-campaign Table 6 coverage.
+	MaxCoverage float64 `json:"max_coverage"`
+	// UnionCoverage is the fraction of the shared transition vocabulary
+	// covered by at least one campaign (0 when protocols mix).
+	UnionCoverage float64 `json:"union_coverage"`
+	// CoverageKey/CoverageCounts expose the merged count vector the
+	// union derives from, so equivalence checks compare exact integers
+	// rather than a rounded fraction.
+	CoverageKey    string   `json:"coverage_key,omitempty"`
+	CoverageCounts []uint64 `json:"coverage_counts,omitempty"`
+	// Dedupe sums the per-campaign collective-checking tallies.
+	Dedupe stats.Dedupe `json:"dedupe"`
+}
+
+// Merged is a campaign set's complete deterministic output: per-item
+// results in flat item order plus the aggregate. Its canonical JSON
+// encoding is the service's equivalence currency — a distributed run at
+// any worker topology must produce the same bytes as a local run.
+type Merged struct {
+	Results []core.Result `json:"results"`
+	Stats   MergedStats   `json:"stats"`
+}
+
+// CanonicalBytes returns the deterministic JSON encoding (fixed field
+// order, no maps; float64 values marshal to their exact shortest form).
+func (m Merged) CanonicalBytes() ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// MergeShards assembles the deterministic merged output of a campaign
+// set from its shard results. The shards must cover [0, items) exactly
+// once; order is irrelevant (they are sorted by range). The aggregate
+// is folded in flat item order, so any partition of the same item set
+// merges to identical bytes — the property the merge-algebra tests
+// fuzz.
+func MergeShards(items int, shards []ShardResult) (Merged, error) {
+	sorted := append([]ShardResult(nil), shards...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Range.Start < sorted[b].Range.Start })
+
+	m := Merged{Results: make([]core.Result, 0, items)}
+	var acc coverageAcc
+	next := 0
+	for _, sr := range sorted {
+		if sr.Range.Start != next {
+			return Merged{}, fmt.Errorf("fleet: shard coverage gap or overlap at item %d (next shard %s)", next, sr.Range)
+		}
+		if len(sr.Results) != sr.Range.Len() {
+			return Merged{}, fmt.Errorf("fleet: shard %s carries %d results", sr.Range, len(sr.Results))
+		}
+		m.Results = append(m.Results, sr.Results...)
+		acc.absorb(sr.CoverageKey, sr.CoverageCounts)
+		next = sr.Range.End
+	}
+	if next != items {
+		return Merged{}, fmt.Errorf("fleet: shards cover [0,%d), want [0,%d)", next, items)
+	}
+
+	m.Stats.Items = items
+	for _, r := range m.Results {
+		if r.Found {
+			m.Stats.Found++
+		}
+		m.Stats.TestRuns += r.TestRuns
+		m.Stats.SumFitness += r.SumFitness
+		if r.TotalCoverage > m.Stats.MaxCoverage {
+			m.Stats.MaxCoverage = r.TotalCoverage
+		}
+		m.Stats.Dedupe.Merge(r.Dedupe)
+	}
+	m.Stats.CoverageKey, m.Stats.CoverageCounts = acc.merged()
+	if n := len(m.Stats.CoverageCounts); n > 0 {
+		covered := 0
+		for _, c := range m.Stats.CoverageCounts {
+			if c > 0 {
+				covered++
+			}
+		}
+		m.Stats.UnionCoverage = float64(covered) / float64(n)
+	}
+	return m, nil
+}
+
+// LocalMerged is the single-process reference: it runs the whole spec
+// as one shard on the calling process's pool and merges it. The
+// distributed tier's acceptance test is byte equality between this and
+// a remote-worker run of the same spec.
+func LocalMerged(ctx context.Context, spec core.Spec, opts Options) (Merged, error) {
+	if err := spec.Validate(); err != nil {
+		return Merged{}, err
+	}
+	sr, err := RunShard(ctx, spec, Range{Start: 0, End: spec.Items()}, opts)
+	if err != nil {
+		return Merged{}, err
+	}
+	return MergeShards(spec.Items(), []ShardResult{sr})
+}

@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// randomPartition cuts [0, items) into 1..items contiguous ranges.
+func randomPartition(rng *rand.Rand, items int) []Range {
+	var cuts []int
+	for i := 1; i < items; i++ {
+		if rng.Intn(2) == 0 {
+			cuts = append(cuts, i)
+		}
+	}
+	var out []Range
+	start := 0
+	for _, c := range cuts {
+		out = append(out, Range{Start: start, End: c})
+		start = c
+	}
+	return append(out, Range{Start: start, End: items})
+}
+
+// TestMergeAlgebraPartitions is the merge-algebra property test the
+// distributed tier leans on: for random contiguous shard partitions of
+// the same sample set, merged in random order, the canonical output
+// bytes must equal the single-shard reference — i.e. the coverage
+// count-vector union and the SumFitness fold are commutative and
+// associative across partitions. Shards re-run their campaigns from
+// scratch (fresh memos), so the test also exercises the claim that a
+// re-run lease yields identical bytes.
+func TestMergeAlgebraPartitions(t *testing.T) {
+	specs := map[string]core.Spec{
+		"rand-2scen": shardSpec(core.GenRandom, 3, 5, 23, "mesi-tso", "mesi-pso"),
+		"gp-1scen":   shardSpec(core.GenGPAll, 4, 5, 41, "mesi-tso"),
+	}
+	trials := 4
+	if testing.Short() {
+		trials = 2
+		delete(specs, "gp-1scen")
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			items := spec.Items()
+			ref, err := LocalMerged(context.Background(), spec, Options{Collective: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refBytes, err := ref.CanonicalBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Stats.UnionCoverage == 0 {
+				t.Fatalf("reference union coverage is zero; the property would be vacuous")
+			}
+
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < trials; trial++ {
+				part := randomPartition(rng, items)
+				shards := make([]ShardResult, len(part))
+				for i, r := range part {
+					sr, err := RunShard(context.Background(), spec, r, Options{Collective: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					shards[i] = sr
+				}
+				rng.Shuffle(len(shards), func(a, b int) { shards[a], shards[b] = shards[b], shards[a] })
+				merged, err := MergeShards(items, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := merged.CanonicalBytes()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, refBytes) {
+					t.Fatalf("trial %d: partition %v merged to different bytes\n  ref %s\n  got %s",
+						trial, part, refBytes, got)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeCountsAlgebraSynthetic fuzzes the raw count-vector algebra
+// with synthetic shards: absorption in any grouping and order yields
+// the same vector, and mixed keys poison the union without corrupting
+// results.
+func TestMergeCountsAlgebraSynthetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		width := 1 + rng.Intn(12)
+		vecs := make([][]uint64, n)
+		for i := range vecs {
+			vecs[i] = make([]uint64, width)
+			for j := range vecs[i] {
+				vecs[i][j] = uint64(rng.Intn(5))
+			}
+		}
+		fold := func(order []int) []uint64 {
+			var acc coverageAcc
+			for _, i := range order {
+				acc.absorb("K", vecs[i])
+			}
+			_, c := acc.merged()
+			return c
+		}
+		fwd := make([]int, n)
+		rev := make([]int, n)
+		for i := 0; i < n; i++ {
+			fwd[i], rev[i] = i, n-1-i
+		}
+		shuf := append([]int(nil), fwd...)
+		rng.Shuffle(n, func(a, b int) { shuf[a], shuf[b] = shuf[b], shuf[a] })
+		a, b, c := fold(fwd), fold(rev), fold(shuf)
+		for j := 0; j < width; j++ {
+			if a[j] != b[j] || a[j] != c[j] {
+				t.Fatalf("trial %d: count merge depends on order at %d: %d/%d/%d", trial, j, a[j], b[j], c[j])
+			}
+		}
+
+		// A foreign key must poison the union deterministically.
+		var acc coverageAcc
+		acc.absorb("K", vecs[0])
+		acc.absorb("OTHER", vecs[0])
+		if key, counts := acc.merged(); key != "" || counts != nil {
+			t.Fatal("mixed keys survived the merge")
+		}
+	}
+}
+
+// TestMergeShardsValidation: gaps, overlaps, truncated results and
+// short covers are rejected.
+func TestMergeShardsValidation(t *testing.T) {
+	mk := func(r Range) ShardResult {
+		return ShardResult{Range: r, Results: make([]core.Result, r.Len())}
+	}
+	if _, err := MergeShards(4, []ShardResult{mk(Range{0, 2}), mk(Range{3, 4})}); err == nil {
+		t.Error("gap accepted")
+	}
+	if _, err := MergeShards(4, []ShardResult{mk(Range{0, 3}), mk(Range{2, 4})}); err == nil {
+		t.Error("overlap accepted")
+	}
+	if _, err := MergeShards(4, []ShardResult{mk(Range{0, 2})}); err == nil {
+		t.Error("short cover accepted")
+	}
+	bad := mk(Range{0, 4})
+	bad.Results = bad.Results[:2]
+	if _, err := MergeShards(4, []ShardResult{bad}); err == nil {
+		t.Error("truncated shard accepted")
+	}
+	if m, err := MergeShards(4, []ShardResult{mk(Range{2, 4}), mk(Range{0, 2})}); err != nil || m.Stats.Items != 4 {
+		t.Errorf("out-of-order shards rejected: %v", err)
+	}
+}

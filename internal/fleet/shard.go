@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+)
+
+// Range is a half-open interval [Start, End) of campaign-item indices
+// within a core.Spec — the unit of work a distributed worker leases.
+// Item i's seed and scenario are pure functions of (spec, i), so a
+// range re-run anywhere, any number of times, yields identical bytes.
+type Range struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Len is the item count.
+func (r Range) Len() int { return r.End - r.Start }
+
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Start, r.End) }
+
+// PlanShards partitions [0, items) into contiguous ranges of at most
+// shardSize items (shardSize <= 0 means one shard). The plan is a pure
+// function of its inputs: every process planning the same spec derives
+// the same ranges, which is what lets a restarted service re-issue
+// leases without coordinating with anyone.
+func PlanShards(items, shardSize int) []Range {
+	if items <= 0 {
+		return nil
+	}
+	if shardSize <= 0 || shardSize > items {
+		shardSize = items
+	}
+	plan := make([]Range, 0, (items+shardSize-1)/shardSize)
+	for start := 0; start < items; start += shardSize {
+		end := start + shardSize
+		if end > items {
+			end = items
+		}
+		plan = append(plan, Range{Start: start, End: end})
+	}
+	return plan
+}
+
+// ShardResult is one leased range's outcome: per-item campaign results
+// (indexed Range.Start+i) plus the shard's merged per-transition
+// coverage count vector, indexed by TransitionID over the protocol's
+// interned vocabulary. TransitionIDs are sorted-order-stable per
+// protocol, so the vector is meaningful across process boundaries;
+// CoverageKey names the vocabulary (the protocol) and is empty when the
+// range mixes protocols (no common vocabulary — the merged union
+// coverage degrades to 0 exactly like a local cross-protocol sweep).
+type ShardResult struct {
+	Range          Range         `json:"range"`
+	Results        []core.Result `json:"results"`
+	CoverageKey    string        `json:"coverage_key,omitempty"`
+	CoverageCounts []uint64      `json:"coverage_counts,omitempty"`
+}
+
+// RunShard executes one range of spec's items in-process: each item is
+// an independent campaign with its spec-derived scenario and seed, run
+// through the same pooled path as SampleSet. Under opts.Collective all
+// items in the shard share one verdict memo (memos never cross process
+// boundaries; Results are identical either way). Options.Events, when
+// set, receives one Done event per completed item with Sample carrying
+// the item's global index.
+//
+// Islands and StopOnFound are rejected: island migration couples
+// samples across the whole campaign set (it cannot be sharded), and
+// early stop makes partial tallies timing-dependent — both would break
+// the byte-identical merge the distributed tier is built on.
+func RunShard(ctx context.Context, spec core.Spec, r Range, opts Options) (ShardResult, error) {
+	if opts.Islands || opts.StopOnFound {
+		return ShardResult{}, fmt.Errorf("fleet: shard runs support neither Islands nor StopOnFound")
+	}
+	if err := spec.Validate(); err != nil {
+		return ShardResult{}, err
+	}
+	if r.Start < 0 || r.End > spec.Items() || r.Len() <= 0 {
+		return ShardResult{}, fmt.Errorf("fleet: shard range %s outside spec items [0,%d)", r, spec.Items())
+	}
+
+	var memo *collective.Memo
+	if opts.Collective {
+		memo = collective.NewMemo()
+	}
+
+	var (
+		mu  sync.Mutex
+		acc coverageAcc
+	)
+	results, err := Map(ctx, opts.Workers, r.Len(), func(ctx context.Context, k int) (core.Result, error) {
+		item := r.Start + k
+		cfg, err := spec.ItemConfig(item)
+		if err != nil {
+			return core.Result{}, err
+		}
+		cfg.Memo = memo
+		camp, err := core.NewCampaign(cfg)
+		if err != nil {
+			return core.Result{}, err
+		}
+		t0 := time.Now()
+		res, err := camp.RunContext(ctx)
+		mu.Lock()
+		acc.absorb(string(spec.ItemScenario(item).Protocol), camp.Tracker().Snapshot(nil))
+		mu.Unlock()
+		if err != nil {
+			return res, err
+		}
+		if opts.Events != nil {
+			opts.Events <- Event{
+				Sample:   item,
+				Scenario: spec.ItemScenario(item).Name,
+				Done:     true,
+				Result:   res,
+				Elapsed:  time.Since(t0),
+			}
+		}
+		return res, nil
+	})
+	if err != nil {
+		return ShardResult{}, err
+	}
+	out := ShardResult{Range: r, Results: results}
+	out.CoverageKey, out.CoverageCounts = acc.merged()
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// shardSpec is a CI-scale spec over the named scenarios.
+func shardSpec(gen core.GeneratorKind, samples, budget int, baseSeed int64, names ...string) core.Spec {
+	scens := make([]scenario.Scenario, 0, len(names))
+	for _, n := range names {
+		s, err := scenario.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		scens = append(scens, s)
+	}
+	cfg := scaledConfig(gen, "", budget)
+	return core.NewSpec(cfg, scens, samples, baseSeed)
+}
+
+func TestPlanShards(t *testing.T) {
+	cases := []struct {
+		items, size int
+		want        []Range
+	}{
+		{0, 4, nil},
+		{5, 0, []Range{{0, 5}}},
+		{5, 8, []Range{{0, 5}}},
+		{6, 2, []Range{{0, 2}, {2, 4}, {4, 6}}},
+		{7, 3, []Range{{0, 3}, {3, 6}, {6, 7}}},
+		{1, 1, []Range{{0, 1}}},
+	}
+	for _, c := range cases {
+		got := PlanShards(c.items, c.size)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("PlanShards(%d, %d) = %v, want %v", c.items, c.size, got, c.want)
+		}
+	}
+}
+
+// TestRunShardMatchesSampleSet: the shard runner must reproduce the
+// established fleet.SampleSet path exactly — same per-sample Results,
+// same union coverage — since SampleSet is the reference the
+// distributed tier's byte-identity guarantee is stated against.
+func TestRunShardMatchesSampleSet(t *testing.T) {
+	spec := shardSpec(core.GenRandom, 4, 6, 17, "mesi-tso")
+	cfg, err := spec.ItemConfig(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Memo = nil
+	want, wantStats, err := SampleSet(context.Background(), cfg, 4, 17, Options{Collective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := LocalMerged(context.Background(), spec, Options{Collective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Results, want) {
+		t.Fatalf("RunShard diverged from SampleSet:\n  fleet %+v\n  shard %+v", want, merged.Results)
+	}
+	if merged.Stats.UnionCoverage != wantStats.UnionCoverage {
+		t.Fatalf("union coverage diverged: fleet %v, shard %v",
+			wantStats.UnionCoverage, merged.Stats.UnionCoverage)
+	}
+	if merged.Stats.TestRuns != wantStats.TestRuns {
+		t.Fatalf("test-run totals diverged: fleet %d, shard %d",
+			wantStats.TestRuns, merged.Stats.TestRuns)
+	}
+}
+
+// TestRunShardEventsAndGuards: per-item Done events carry global item
+// indices; invalid ranges and unshardable options are rejected.
+func TestRunShardEventsAndGuards(t *testing.T) {
+	spec := shardSpec(core.GenRandom, 2, 4, 3, "mesi-tso", "mesi-pso")
+	events := make(chan Event, 16)
+	done := make(chan map[int]bool)
+	go func() {
+		seen := map[int]bool{}
+		for ev := range events {
+			if ev.Done {
+				seen[ev.Sample] = true
+			}
+		}
+		done <- seen
+	}()
+	sr, err := RunShard(context.Background(), spec, Range{Start: 1, End: 3},
+		Options{Collective: true, Events: events})
+	close(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := <-done; !got[1] || !got[2] || len(got) != 2 {
+		t.Errorf("events carried samples %v, want global indices {1,2}", got)
+	}
+	if len(sr.Results) != 2 || sr.Results[0].Scenario == "" {
+		t.Errorf("shard results malformed: %+v", sr.Results)
+	}
+
+	if _, err := RunShard(context.Background(), spec, Range{Start: 2, End: 7}, Options{}); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if _, err := RunShard(context.Background(), spec, Range{Start: 2, End: 2}, Options{}); err == nil {
+		t.Error("empty shard accepted")
+	}
+	if _, err := RunShard(context.Background(), spec, Range{Start: 0, End: 1}, Options{Islands: true}); err == nil {
+		t.Error("Islands accepted in shard run")
+	}
+	if _, err := RunShard(context.Background(), spec, Range{Start: 0, End: 1}, Options{StopOnFound: true}); err == nil {
+		t.Error("StopOnFound accepted in shard run")
+	}
+}
+
+// TestShardCrossProtocolCoverage: a range spanning protocols has no
+// common vocabulary; its coverage key must go empty, mirroring the
+// local cross-protocol sweep behaviour.
+func TestShardCrossProtocolCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-protocol shard is covered by the merge property tests")
+	}
+	spec := shardSpec(core.GenRandom, 1, 4, 9, "mesi-tso", "tsocc-tso")
+	sr, err := RunShard(context.Background(), spec, Range{Start: 0, End: 2}, Options{Collective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.CoverageKey != "" || sr.CoverageCounts != nil {
+		t.Errorf("mixed-protocol shard kept coverage key %q", sr.CoverageKey)
+	}
+}

@@ -1,0 +1,54 @@
+package gp
+
+import "fmt"
+
+// Snapshot is the serializable population state of an Engine: the
+// individuals (tests, fitness, NDT, fitaddrs) and the delete-oldest
+// replacement cursor. It is what a durable campaign checkpoint carries;
+// the engine's RNG stream and any pending (proposed-but-unevaluated)
+// test are deliberately not captured — a restored engine continues the
+// search from the saved population, it does not replay the exact
+// proposal sequence of the interrupted one.
+type Snapshot struct {
+	Population []*Individual `json:"population"`
+	Oldest     int           `json:"oldest"`
+}
+
+// Snapshot deep-copies the engine's population state.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{Oldest: e.oldest}
+	s.Population = make([]*Individual, 0, len(e.pop))
+	for _, ind := range e.pop {
+		s.Population = append(s.Population, ind.Clone())
+	}
+	return s
+}
+
+// Restore replaces the engine's population state with a deep copy of
+// the snapshot's. The snapshot must fit the engine's configured
+// population size; a partially seeded snapshot resumes seeding.
+func (e *Engine) Restore(s Snapshot) error {
+	if len(s.Population) > e.params.PopulationSize {
+		return fmt.Errorf("gp: snapshot population %d exceeds configured size %d",
+			len(s.Population), e.params.PopulationSize)
+	}
+	cursorMod := len(s.Population)
+	if cursorMod == 0 {
+		cursorMod = 1
+	}
+	if s.Oldest < 0 || (len(s.Population) > 0 && s.Oldest >= cursorMod) {
+		return fmt.Errorf("gp: snapshot cursor %d out of range for population %d",
+			s.Oldest, len(s.Population))
+	}
+	pop := make([]*Individual, 0, len(s.Population))
+	for i, ind := range s.Population {
+		if ind == nil || ind.Test == nil {
+			return fmt.Errorf("gp: snapshot individual %d is incomplete", i)
+		}
+		pop = append(pop, ind.Clone())
+	}
+	e.pop = pop
+	e.oldest = s.Oldest
+	e.pending = nil
+	return nil
+}

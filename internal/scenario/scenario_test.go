@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -151,6 +152,38 @@ func TestJSONRoundTrip(t *testing.T) {
 	// Parse validates.
 	if _, err := Parse([]byte(`{"protocol":"MESI","model":"TSO","relax":{"NonFIFOSB":true}}`)); err == nil {
 		t.Error("Parse accepted an incoherent scenario")
+	}
+}
+
+// TestWireStability sweeps every registered scenario through the JSON
+// wire format the campaign service ships specs in: marshaling is
+// byte-deterministic, and a round trip preserves the scenario exactly —
+// ID, name and all semantics-bearing fields. A scenario that changed
+// identity in flight would silently verify the wrong contract on a
+// remote worker.
+func TestWireStability(t *testing.T) {
+	for _, s := range All() {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		again, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if string(data) != string(again) {
+			t.Errorf("%s: wire encoding is not deterministic:\n  %s\n  %s", s.Name, data, again)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", s.Name, err)
+		}
+		if !reflect.DeepEqual(back, s) {
+			t.Errorf("%s: round trip changed the scenario:\n  sent %+v\n  got  %+v", s.Name, s, back)
+		}
+		if back.ID() != s.ID() {
+			t.Errorf("%s: ID changed in flight: %q vs %q", s.Name, back.ID(), s.ID())
+		}
 	}
 }
 

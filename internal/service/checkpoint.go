@@ -1,0 +1,223 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+// serviceCheckpointSchema versions the on-disk campaign format.
+const serviceCheckpointSchema = 1
+
+// shardCheckpoint persists one shard: its range always, its result only
+// once done. Pending and leased shards round-trip to pending — a lease
+// is process-local state, and re-running the range is free correctness.
+type shardCheckpoint struct {
+	Range  fleet.Range        `json:"range"`
+	Result *fleet.ShardResult `json:"result,omitempty"`
+}
+
+// checkpointFile is one campaign's durable state.
+type checkpointFile struct {
+	Schema    int               `json:"schema"`
+	ID        string            `json:"id"`
+	Tenant    string            `json:"tenant"`
+	State     CampaignState     `json:"state"`
+	Err       string            `json:"error,omitempty"`
+	Spec      core.Spec         `json:"spec"`
+	Submitted time.Time         `json:"submitted"`
+	Finished  time.Time         `json:"finished"`
+	Shards    []shardCheckpoint `json:"shards"`
+}
+
+// checkpointLocked persists a campaign's durable state, atomically
+// (write-to-temp + rename). A no-op without a CheckpointDir. Write
+// failures are surfaced on the campaign's status rather than failing
+// the triggering request: the in-memory campaign is still correct, only
+// crash durability is degraded.
+func (s *Service) checkpointLocked(c *campaign) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	ck := checkpointFile{
+		Schema: serviceCheckpointSchema,
+		ID:     c.id, Tenant: c.tenant,
+		State: c.state, Err: c.errMsg, Spec: c.spec,
+		Submitted: c.submitted, Finished: c.finished,
+	}
+	for _, sh := range c.shards {
+		sc := shardCheckpoint{Range: sh.rng}
+		if sh.phase == shardDone {
+			sc.Result = sh.result
+		}
+		ck.Shards = append(ck.Shards, sc)
+	}
+	data, err := json.Marshal(ck)
+	if err != nil {
+		c.errMsg = fmt.Sprintf("checkpoint: %v", err)
+		return
+	}
+	path := filepath.Join(s.cfg.CheckpointDir, c.id+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		c.errMsg = fmt.Sprintf("checkpoint: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		c.errMsg = fmt.Sprintf("checkpoint: %v", err)
+	}
+}
+
+// loadCheckpoints recovers campaigns written by a previous incarnation.
+// Terminal campaigns come back as-is (done results re-merged from their
+// persisted shard results, so ResultBytes keeps serving identical
+// bytes); queued and running campaigns re-enter the queue with their
+// completed shards retained — only the in-flight leased ranges are
+// re-run, and determinism makes the re-run invisible in the output.
+func (s *Service) loadCheckpoints() error {
+	dir := s.cfg.CheckpointDir
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: checkpoint dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("service: checkpoint dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	// IDs are zero-padded ("c%08d"), so lexical order is admission order.
+	sort.Strings(names)
+
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("service: checkpoint %s: %w", name, err)
+		}
+		c, err := s.restoreLocked(data)
+		if err != nil {
+			return fmt.Errorf("service: checkpoint %s: %w", name, err)
+		}
+		var seq int64
+		if _, err := fmt.Sscanf(c.id, "c%d", &seq); err == nil && seq > s.seq {
+			s.seq = seq
+		}
+	}
+	s.promoteLocked()
+	// A campaign that had every shard done but died before the merge (or
+	// was mid-Complete) finishes now.
+	for _, id := range s.order {
+		c := s.campaigns[id]
+		if c.state == StateRunning && c.itemsDone == c.spec.Items() {
+			s.finishLocked(c)
+			s.checkpointLocked(c)
+		}
+	}
+	return nil
+}
+
+// restoreLocked rebuilds one campaign from its checkpoint bytes.
+func (s *Service) restoreLocked(data []byte) (*campaign, error) {
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, err
+	}
+	if ck.Schema != serviceCheckpointSchema {
+		return nil, fmt.Errorf("unsupported schema %d", ck.Schema)
+	}
+	if ck.ID == "" {
+		return nil, fmt.Errorf("missing campaign id")
+	}
+	if err := ck.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := s.campaigns[ck.ID]; dup {
+		return nil, fmt.Errorf("duplicate campaign id %s", ck.ID)
+	}
+	c := &campaign{
+		id: ck.ID, tenant: ck.Tenant, spec: ck.Spec,
+		errMsg: ck.Err, subs: map[int]chan Event{},
+		submitted: ck.Submitted, finished: ck.Finished,
+	}
+	items := ck.Spec.Items()
+	covered := 0
+	for _, sc := range ck.Shards {
+		if sc.Range.Len() <= 0 || sc.Range.Start < 0 || sc.Range.End > items {
+			return nil, fmt.Errorf("shard range %s outside campaign items %d", sc.Range, items)
+		}
+		covered += sc.Range.Len()
+		sh := &shard{rng: sc.Range}
+		if sc.Result != nil {
+			if sc.Result.Range != sc.Range || len(sc.Result.Results) != sc.Range.Len() {
+				return nil, fmt.Errorf("shard result does not match range %s", sc.Range)
+			}
+			res := *sc.Result
+			sh.phase = shardDone
+			sh.result = &res
+			c.itemsDone += sc.Range.Len()
+			for _, r := range res.Results {
+				c.testRuns += r.TestRuns
+				if r.Found {
+					c.found++
+				}
+			}
+		}
+		c.shards = append(c.shards, sh)
+	}
+	if covered != items {
+		return nil, fmt.Errorf("shards cover %d of %d items", covered, items)
+	}
+
+	switch ck.State {
+	case StateFailed:
+		c.state = StateFailed
+		s.emitLocked(c, Event{Type: EventFailed, Err: c.errMsg})
+	case StateDone:
+		shards := make([]fleet.ShardResult, 0, len(c.shards))
+		for _, sh := range c.shards {
+			if sh.result == nil {
+				return nil, fmt.Errorf("done campaign with unfinished shard %s", sh.rng)
+			}
+			shards = append(shards, *sh.result)
+		}
+		merged, err := fleet.MergeShards(items, shards)
+		if err != nil {
+			return nil, fmt.Errorf("re-merge: %w", err)
+		}
+		bytes, err := merged.CanonicalBytes()
+		if err != nil {
+			return nil, err
+		}
+		c.merged = &merged
+		c.mergedBytes = bytes
+		c.state = StateDone
+		s.emitLocked(c, Event{
+			Type: EventDone, Items: merged.Stats.Items,
+			ItemsDone: merged.Stats.Items, TestRuns: merged.Stats.TestRuns,
+		})
+	case StateQueued, StateRunning:
+		// Back into the queue; promoteLocked (run by the caller once all
+		// files load) re-starts them in admission order.
+		c.state = StateQueued
+		s.tenants[c.tenant]++
+		s.emitLocked(c, Event{Type: EventQueued, Items: items})
+	default:
+		return nil, fmt.Errorf("unknown state %q", ck.State)
+	}
+	s.campaigns[c.id] = c
+	s.order = append(s.order, c.id)
+	return c, nil
+}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+// Event types streamed per campaign (SSE `event:` names).
+const (
+	EventQueued  = "queued"
+	EventStarted = "started"
+	EventLeased  = "leased"
+	EventExpired = "expired"
+	EventSample  = "sample"
+	EventShard   = "shard"
+	EventDone    = "done"
+	EventFailed  = "failed"
+)
+
+// Event is one campaign progress report. Sample events carry one
+// item's final core.Result — the same payload a local fleet's Done
+// events carry, which is what lets cmd/mcversi reuse its -progress
+// rendering on a remote stream.
+type Event struct {
+	Type     string `json:"type"`
+	Campaign string `json:"campaign"`
+	// Sample/Scenario/Result describe one completed item (sample
+	// events only). Sample is the item's global flat index.
+	Sample   int          `json:"sample,omitempty"`
+	Scenario string       `json:"scenario,omitempty"`
+	Result   *core.Result `json:"result,omitempty"`
+	// Shard/Worker describe lease activity.
+	Shard  *fleet.Range `json:"shard,omitempty"`
+	Worker string       `json:"worker,omitempty"`
+	// Progress counters (shard/done events).
+	Items     int `json:"items,omitempty"`
+	ItemsDone int `json:"items_done,omitempty"`
+	TestRuns  int `json:"test_runs,omitempty"`
+	// Err carries the failure reason (failed events).
+	Err string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the event ends its campaign's stream.
+func (e Event) Terminal() bool { return e.Type == EventDone || e.Type == EventFailed }
+
+// emitLocked appends an event to the campaign's log and fans it out to
+// live subscribers. Sends never block the service lock: each
+// subscriber's channel is sized for a full campaign at subscribe time,
+// and a consumer that still falls behind loses progress events — the
+// stream is best-effort narration; authoritative output is /result.
+func (s *Service) emitLocked(c *campaign, ev Event) {
+	ev.Campaign = c.id
+	c.events = append(c.events, ev)
+	for _, ch := range c.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// closeSubsLocked ends all live streams after a terminal event.
+func (s *Service) closeSubsLocked(c *campaign) {
+	for id, ch := range c.subs {
+		close(ch)
+		delete(c.subs, id)
+	}
+}
+
+// Subscribe returns the campaign's full event history so far plus a
+// live channel for what follows; cancel must be called unless the
+// channel was closed by a terminal event. For campaigns already in a
+// terminal state the channel arrives closed.
+func (s *Service) Subscribe(id string) (replay []Event, live <-chan Event, cancel func(), err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	if !ok {
+		return nil, nil, nil, ErrNotFound
+	}
+	replay = append([]Event(nil), c.events...)
+	ch := make(chan Event, 4*c.spec.Items()+len(c.shards)*4+16)
+	if c.state == StateDone || c.state == StateFailed {
+		close(ch)
+		return replay, ch, func() {}, nil
+	}
+	c.nextSub++
+	subID := c.nextSub
+	c.subs[subID] = ch
+	cancel = func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, live := c.subs[subID]; live {
+			close(ch)
+			delete(c.subs, subID)
+		}
+	}
+	return replay, ch, cancel, nil
+}
+
+// Lease is one claimed seed-range: everything a worker needs to run
+// the shard and nothing process-local — the spec travels with it, so
+// workers hold no per-campaign state between leases.
+type Lease struct {
+	ID        string      `json:"id"`
+	Campaign  string      `json:"campaign"`
+	Spec      core.Spec   `json:"spec"`
+	Range     fleet.Range `json:"range"`
+	TTLMillis int64       `json:"ttl_ms"`
+}

@@ -1,0 +1,429 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/fleet"
+	"repro/internal/gp"
+	"repro/internal/host"
+	"repro/internal/memsys"
+	"repro/internal/scenario"
+	"repro/internal/testgen"
+)
+
+// testSpec is a CI-scale spec over the named scenarios.
+func testSpec(gen core.GeneratorKind, samples, budget int, seed int64, names ...string) core.Spec {
+	scens := make([]scenario.Scenario, 0, len(names))
+	for _, n := range names {
+		s, err := scenario.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		scens = append(scens, s)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Generator = gen
+	cfg.Test = testgen.Config{
+		Size:    96,
+		Threads: 8,
+		Layout:  memsys.MustLayout(1024, 16),
+	}
+	cfg.GP = gp.PaperParams()
+	cfg.GP.PopulationSize = 12
+	cfg.Coverage = coverage.DefaultParams()
+	cfg.Host = host.Options{Iterations: 3, Barrier: host.HostBarrier, MaxTicksPerIteration: 30_000_000}
+	cfg.MaxTestRuns = budget
+	return core.NewSpec(cfg, scens, samples, seed)
+}
+
+// referenceBytes is the single-process canonical output the service
+// must reproduce at every topology.
+func referenceBytes(t *testing.T, spec core.Spec) []byte {
+	t.Helper()
+	ref, err := fleet.LocalMerged(context.Background(), spec, fleet.Options{Collective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ref.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// fakeClock is an injectable Config.Now.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+// waitDone polls the in-process service until the campaign terminates.
+func waitDone(t *testing.T, s *Service, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck in state %s (%d/%d items)", id, st.State, st.ItemsDone, st.Items)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServiceAdmission: size cap, queue depth, per-tenant budget and
+// FIFO promotion, plus budget release on completion.
+func TestServiceAdmission(t *testing.T) {
+	s, err := New(Config{
+		MaxActive:        1,
+		MaxQueued:        2,
+		TenantMaxPending: 2,
+		MaxItems:         2,
+		ShardSize:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := testSpec(core.GenRandom, 2, 2, 5, "mesi-tso", "mesi-pso") // 4 items
+	if _, err := s.Submit("a", big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized campaign: got %v, want ErrTooLarge", err)
+	}
+
+	small := testSpec(core.GenRandom, 1, 2, 5, "mesi-tso")
+	a1, err := s.Submit("a", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.Submit("a", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("a", small); !errors.Is(err, ErrTenantBudget) {
+		t.Fatalf("tenant over budget: got %v, want ErrTenantBudget", err)
+	}
+	b1, err := s.Submit("b", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a1 running, a2+b1 queued: the queue is at MaxQueued.
+	if _, err := s.Submit("c", small); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queue full: got %v, want ErrQueueFull", err)
+	}
+
+	if st, _ := s.Get(a1); st.State != StateRunning {
+		t.Fatalf("a1 state = %s, want running (MaxActive=1)", st.State)
+	}
+	if st, _ := s.Get(a2); st.State != StateQueued {
+		t.Fatalf("a2 state = %s, want queued", st.State)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	wg := s.StartWorkers(ctx, 1)
+	defer wg.Wait()
+	defer cancel()
+
+	// FIFO: campaigns finish in admission order.
+	sa1 := waitDone(t, s, a1)
+	sa2 := waitDone(t, s, a2)
+	sb1 := waitDone(t, s, b1)
+	for id, st := range map[string]Status{a1: sa1, a2: sa2, b1: sb1} {
+		if st.State != StateDone {
+			t.Fatalf("campaign %s failed: %s", id, st.Err)
+		}
+	}
+	if !sa1.Finished.Before(sa2.Finished) && !sa1.Finished.Equal(sa2.Finished) {
+		t.Errorf("a1 finished after a2: FIFO promotion violated")
+	}
+
+	// Terminal campaigns release tenant budget.
+	if _, err := s.Submit("a", small); err != nil {
+		t.Fatalf("budget not released after completion: %v", err)
+	}
+}
+
+// TestServiceKillAndResume is the worker-death drill: a worker claims a
+// lease and dies without completing it; the lease expires, the range is
+// re-issued, and the final merged bytes are identical to the
+// single-process reference — the re-run is invisible in the output.
+func TestServiceKillAndResume(t *testing.T) {
+	clk := newFakeClock()
+	s, err := New(Config{
+		ShardSize: 2,
+		LeaseTTL:  time.Minute,
+		Now:       clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(core.GenRandom, 2, 4, 23, "mesi-tso", "mesi-pso") // 4 items, 2 shards
+	want := referenceBytes(t, spec)
+
+	id, err := s.Submit("", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker claims the first shard and is never heard from
+	// again.
+	doomed, err := s.Claim("doomed")
+	if err != nil || doomed == nil {
+		t.Fatalf("claim failed: lease %v, err %v", doomed, err)
+	}
+
+	// Nothing expires before the TTL.
+	if n := s.ExpireLeases(); n != 0 {
+		t.Fatalf("premature expiry of %d leases", n)
+	}
+	clk.Advance(time.Minute + time.Second)
+	if n := s.ExpireLeases(); n != 1 {
+		t.Fatalf("expired %d leases, want 1", n)
+	}
+
+	// The dead worker's range must be claimable again, by someone else.
+	release, err := s.Claim("healthy")
+	if err != nil || release == nil {
+		t.Fatal("expired range was not re-issued")
+	}
+	if release.Range != doomed.Range {
+		t.Fatalf("re-issued range %s, want the dead worker's %s", release.Range, doomed.Range)
+	}
+
+	// A zombie completion against the lost lease is rejected and
+	// discarded.
+	sr, err := fleet.RunShard(context.Background(), spec, doomed.Range, fleet.Options{Collective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete(doomed.ID, sr); !errors.Is(err, ErrNoLease) {
+		t.Fatalf("zombie completion: got %v, want ErrNoLease", err)
+	}
+
+	// The healthy worker finishes the re-issued shard and the rest.
+	if err := s.Complete(release.ID, sr); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		l, err := s.Claim("healthy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l == nil {
+			break
+		}
+		out, err := fleet.RunShard(context.Background(), l.Spec, l.Range, fleet.Options{Collective: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Complete(l.ID, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := waitDone(t, s, id)
+	if st.State != StateDone {
+		t.Fatalf("campaign failed: %s", st.Err)
+	}
+	got, err := s.ResultBytes(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("kill-and-resume changed the merged output:\n  want %s\n  got  %s", want, got)
+	}
+
+	// The expiry shows up in the event log.
+	replay, _, cancel, err := s.Subscribe(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	sawExpired := false
+	for _, ev := range replay {
+		if ev.Type == EventExpired && ev.Worker == "doomed" {
+			sawExpired = true
+		}
+	}
+	if !sawExpired {
+		t.Error("no expired event for the dead worker")
+	}
+}
+
+// TestServiceCompleteValidation: a result that does not match its lease
+// range is rejected and the shard goes back to pending.
+func TestServiceCompleteValidation(t *testing.T) {
+	s, err := New(Config{ShardSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(core.GenRandom, 2, 2, 7, "mesi-tso")
+	if _, err := s.Submit("", spec); err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.Claim("w")
+	if err != nil || l == nil {
+		t.Fatal("no lease")
+	}
+	bad := fleet.ShardResult{Range: fleet.Range{Start: 0, End: 1}, Results: make([]core.Result, 1)}
+	if err := s.Complete(l.ID, bad); err == nil {
+		t.Fatal("mismatched shard result accepted")
+	}
+	// The range must be claimable again.
+	l2, err := s.Claim("w")
+	if err != nil || l2 == nil || l2.Range != l.Range {
+		t.Fatalf("range not re-issued after bad completion: %v, %v", l2, err)
+	}
+}
+
+// TestServiceFailMaxAttempts: a shard that keeps failing takes its
+// campaign down once MaxAttempts is exhausted.
+func TestServiceFailMaxAttempts(t *testing.T) {
+	s, err := New(Config{ShardSize: 4, MaxAttempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(core.GenRandom, 1, 2, 7, "mesi-tso")
+	id, err := s.Submit("", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		l, err := s.Claim("w")
+		if err != nil || l == nil {
+			t.Fatalf("attempt %d: no lease", i)
+		}
+		if err := s.Fail(l.ID, "synthetic crash"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed {
+		t.Fatalf("campaign state %s after MaxAttempts failures, want failed", st.State)
+	}
+	if _, err := s.ResultBytes(id); err == nil {
+		t.Error("failed campaign served a result")
+	}
+}
+
+// TestServiceCheckpointRestart: a service restart loses nothing — done
+// campaigns keep serving identical bytes without recomputation, and an
+// in-flight campaign resumes with its completed shards retained,
+// finishing to the same output.
+func TestServiceCheckpointRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{ShardSize: 2, CheckpointDir: dir}
+
+	specA := testSpec(core.GenRandom, 2, 3, 31, "mesi-tso")             // 2 items, 1 shard
+	specB := testSpec(core.GenRandom, 2, 3, 37, "mesi-tso", "mesi-pso") // 4 items, 2 shards
+	wantB := referenceBytes(t, specB)
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, err := s1.Submit("t1", specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := s1.Submit("t2", specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Finish A completely and B's first shard only; B's second shard is
+	// claimed but never completed (the process "dies" holding it).
+	for _, want := range []string{idA, idB} {
+		l, err := s1.Claim("w")
+		if err != nil || l == nil || l.Campaign != want {
+			t.Fatalf("claim order: got %+v, want campaign %s", l, want)
+		}
+		sr, err := fleet.RunShard(context.Background(), l.Spec, l.Range, fleet.Options{Collective: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s1.Complete(l.ID, sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l, err := s1.Claim("w"); err != nil || l == nil || l.Campaign != idB {
+		t.Fatal("expected B's second shard to be claimable")
+	}
+	wantA, err := s1.ResultBytes(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := s2.ResultBytes(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotA, wantA) {
+		t.Fatalf("done campaign changed bytes across restart:\n  want %s\n  got  %s", wantA, gotA)
+	}
+	stB, err := s2.Get(idB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB.State != StateRunning || stB.ItemsDone != 2 {
+		t.Fatalf("restored B: state %s itemsDone %d, want running with 2 done", stB.State, stB.ItemsDone)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	wg := s2.StartWorkers(ctx, 1)
+	defer wg.Wait()
+	defer cancel()
+	if st := waitDone(t, s2, idB); st.State != StateDone {
+		t.Fatalf("restored campaign failed: %s", st.Err)
+	}
+	gotB, err := s2.ResultBytes(idB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotB, wantB) {
+		t.Fatalf("resumed campaign diverged from reference:\n  want %s\n  got  %s", wantB, gotB)
+	}
+
+	// IDs keep advancing from the restored sequence.
+	idC, err := s2.Submit("t3", specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idC != "c00000003" {
+		t.Errorf("post-restart id %s, want c00000003", idC)
+	}
+}
