@@ -37,6 +37,7 @@ func main() {
 	maxItems := flag.Int("max-items", 0, "per-campaign item cap (0 = default)")
 	maxAttempts := flag.Int("max-attempts", 0, "lease re-issues per shard before the campaign fails (0 = default)")
 	checkpoint := flag.String("checkpoint", "", "durable campaign directory (empty = in-memory only)")
+	retain := flag.Int("retain", 0, "finished campaigns kept before the oldest are evicted (0 = default 64)")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -49,6 +50,7 @@ func main() {
 		MaxAttempts:      *maxAttempts,
 		FleetWorkers:     *parallel,
 		CheckpointDir:    *checkpoint,
+		RetainTerminal:   *retain,
 	}
 	svc, err := service.New(cfg)
 	if err != nil {

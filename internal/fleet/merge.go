@@ -32,13 +32,22 @@ func (a *coverageAcc) absorb(key string, counts []uint64) {
 		a.counts = make([]uint64, len(counts))
 	}
 	if a.key != key || len(a.counts) != len(counts) {
-		a.mixed = true
-		a.key, a.counts = "", nil
+		a.poison()
 		return
 	}
 	for i, c := range counts {
 		a.counts[i] += c
 	}
+}
+
+// poison marks the accumulator cross-protocol: the union degrades to
+// ("", nil) no matter what else is (or was) absorbed. Used when a shard
+// reports itself mixed — its own counts are already gone, and treating
+// it as merely "no data" would let the surviving pure shards fabricate
+// a union the single-shard reference run never produces.
+func (a *coverageAcc) poison() {
+	a.mixed = true
+	a.key, a.counts = "", nil
 }
 
 // merged returns the accumulated (key, counts), or ("", nil) when mixed
@@ -117,7 +126,11 @@ func MergeShards(items int, shards []ShardResult) (Merged, error) {
 			return Merged{}, fmt.Errorf("fleet: shard %s carries %d results", sr.Range, len(sr.Results))
 		}
 		m.Results = append(m.Results, sr.Results...)
-		acc.absorb(sr.CoverageKey, sr.CoverageCounts)
+		if sr.CoverageMixed {
+			acc.poison()
+		} else {
+			acc.absorb(sr.CoverageKey, sr.CoverageCounts)
+		}
 		next = sr.Range.End
 	}
 	if next != items {

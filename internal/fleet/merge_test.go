@@ -35,16 +35,25 @@ func randomPartition(rng *rand.Rand, items int) []Range {
 // scratch (fresh memos), so the test also exercises the claim that a
 // re-run lease yields identical bytes.
 func TestMergeAlgebraPartitions(t *testing.T) {
-	specs := map[string]core.Spec{
-		"rand-2scen": shardSpec(core.GenRandom, 3, 5, 23, "mesi-tso", "mesi-pso"),
-		"gp-1scen":   shardSpec(core.GenGPAll, 4, 5, 41, "mesi-tso"),
+	specs := map[string]struct {
+		spec core.Spec
+		// crossProtocol specs have no shared vocabulary: the reference
+		// union is 0 by design, and the property under test is that every
+		// partition degrades identically (mixed shards must poison the
+		// merge, not vanish into "no coverage data").
+		crossProtocol bool
+	}{
+		"rand-2scen":  {spec: shardSpec(core.GenRandom, 3, 5, 23, "mesi-tso", "mesi-pso")},
+		"gp-1scen":    {spec: shardSpec(core.GenGPAll, 4, 5, 41, "mesi-tso")},
+		"rand-xproto": {spec: shardSpec(core.GenRandom, 3, 5, 23, "mesi-tso", "tsocc-tso"), crossProtocol: true},
 	}
 	trials := 4
 	if testing.Short() {
 		trials = 2
 		delete(specs, "gp-1scen")
 	}
-	for name, spec := range specs {
+	for name, tc := range specs {
+		spec := tc.spec
 		t.Run(name, func(t *testing.T) {
 			items := spec.Items()
 			ref, err := LocalMerged(context.Background(), spec, Options{Collective: true})
@@ -55,7 +64,12 @@ func TestMergeAlgebraPartitions(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if ref.Stats.UnionCoverage == 0 {
+			if tc.crossProtocol {
+				if ref.Stats.UnionCoverage != 0 || ref.Stats.CoverageKey != "" {
+					t.Fatalf("cross-protocol reference kept coverage %q/%v; want degraded",
+						ref.Stats.CoverageKey, ref.Stats.UnionCoverage)
+				}
+			} else if ref.Stats.UnionCoverage == 0 {
 				t.Fatalf("reference union coverage is zero; the property would be vacuous")
 			}
 
@@ -133,6 +147,33 @@ func TestMergeCountsAlgebraSynthetic(t *testing.T) {
 		if key, counts := acc.merged(); key != "" || counts != nil {
 			t.Fatal("mixed keys survived the merge")
 		}
+	}
+}
+
+// TestMergeShardsMixedPoison: a shard flagged CoverageMixed poisons the
+// merged union even when its siblings are pure — without the flag the
+// pure shards' counts would fabricate a coverage union the single-shard
+// reference run never reports. A shard with no coverage data at all
+// (empty key, nil counts, not mixed) must NOT poison.
+func TestMergeShardsMixedPoison(t *testing.T) {
+	pure := ShardResult{Range: Range{0, 2}, Results: make([]core.Result, 2),
+		CoverageKey: "TSO-CC", CoverageCounts: []uint64{1, 0, 2}}
+	mixed := ShardResult{Range: Range{2, 4}, Results: make([]core.Result, 2), CoverageMixed: true}
+	m, err := MergeShards(4, []ShardResult{pure, mixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.CoverageKey != "" || m.Stats.CoverageCounts != nil || m.Stats.UnionCoverage != 0 {
+		t.Fatalf("mixed shard did not poison the merge: %+v", m.Stats)
+	}
+
+	nodata := ShardResult{Range: Range{2, 4}, Results: make([]core.Result, 2)}
+	m, err = MergeShards(4, []ShardResult{pure, nodata})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.CoverageKey != "TSO-CC" || m.Stats.UnionCoverage == 0 {
+		t.Fatalf("no-data shard poisoned the merge: %+v", m.Stats)
 	}
 }
 

@@ -52,14 +52,18 @@ func PlanShards(items, shardSize int) []Range {
 // coverage count vector, indexed by TransitionID over the protocol's
 // interned vocabulary. TransitionIDs are sorted-order-stable per
 // protocol, so the vector is meaningful across process boundaries;
-// CoverageKey names the vocabulary (the protocol) and is empty when the
-// range mixes protocols (no common vocabulary — the merged union
-// coverage degrades to 0 exactly like a local cross-protocol sweep).
+// CoverageKey names the vocabulary (the protocol). CoverageMixed is set
+// when the range itself spans protocols (no common vocabulary); it is
+// distinct from an empty key with no counts (no coverage data), because
+// a mixed shard must poison the whole merged union — the same
+// degradation a local cross-protocol sweep applies — while a no-data
+// shard must not.
 type ShardResult struct {
 	Range          Range         `json:"range"`
 	Results        []core.Result `json:"results"`
 	CoverageKey    string        `json:"coverage_key,omitempty"`
 	CoverageCounts []uint64      `json:"coverage_counts,omitempty"`
+	CoverageMixed  bool          `json:"coverage_mixed,omitempty"`
 }
 
 // RunShard executes one range of spec's items in-process: each item is
@@ -127,7 +131,7 @@ func RunShard(ctx context.Context, spec core.Spec, r Range, opts Options) (Shard
 	if err != nil {
 		return ShardResult{}, err
 	}
-	out := ShardResult{Range: r, Results: results}
+	out := ShardResult{Range: r, Results: results, CoverageMixed: acc.mixed}
 	out.CoverageKey, out.CoverageCounts = acc.merged()
 	return out, nil
 }

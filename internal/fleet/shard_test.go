@@ -133,4 +133,7 @@ func TestShardCrossProtocolCoverage(t *testing.T) {
 	if sr.CoverageKey != "" || sr.CoverageCounts != nil {
 		t.Errorf("mixed-protocol shard kept coverage key %q", sr.CoverageKey)
 	}
+	if !sr.CoverageMixed {
+		t.Error("mixed-protocol shard did not flag CoverageMixed; merges would treat it as 'no coverage data'")
+	}
 }

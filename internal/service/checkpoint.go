@@ -39,11 +39,18 @@ type checkpointFile struct {
 
 // checkpointLocked persists a campaign's durable state, atomically
 // (write-to-temp + rename). A no-op without a CheckpointDir. Write
-// failures are surfaced on the campaign's status rather than failing
-// the triggering request: the in-memory campaign is still correct, only
-// crash durability is degraded.
+// failures are recorded in c.ckErr — surfaced on Status as a durability
+// degradation, never as the campaign failure reason (errMsg stays the
+// semantic failure cause, and what's persisted as Err) — and a later
+// successful checkpoint clears the stale error.
 func (s *Service) checkpointLocked(c *campaign) {
 	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	// A campaign evicted by the retention cap (possible between a
+	// terminal transition and the caller's trailing checkpoint) must not
+	// have its deleted file resurrected.
+	if s.campaigns[c.id] != c {
 		return
 	}
 	ck := checkpointFile{
@@ -61,18 +68,28 @@ func (s *Service) checkpointLocked(c *campaign) {
 	}
 	data, err := json.Marshal(ck)
 	if err != nil {
-		c.errMsg = fmt.Sprintf("checkpoint: %v", err)
+		c.ckErr = fmt.Sprintf("checkpoint: %v", err)
 		return
 	}
 	path := filepath.Join(s.cfg.CheckpointDir, c.id+".json")
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		c.errMsg = fmt.Sprintf("checkpoint: %v", err)
+		c.ckErr = fmt.Sprintf("checkpoint: %v", err)
 		return
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		c.errMsg = fmt.Sprintf("checkpoint: %v", err)
+		c.ckErr = fmt.Sprintf("checkpoint: %v", err)
+		return
 	}
+	c.ckErr = ""
+}
+
+// removeCheckpointLocked deletes an evicted campaign's checkpoint file.
+func (s *Service) removeCheckpointLocked(c *campaign) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	_ = os.Remove(filepath.Join(s.cfg.CheckpointDir, c.id+".json"))
 }
 
 // loadCheckpoints recovers campaigns written by a previous incarnation.
@@ -118,14 +135,20 @@ func (s *Service) loadCheckpoints() error {
 	}
 	s.promoteLocked()
 	// A campaign that had every shard done but died before the merge (or
-	// was mid-Complete) finishes now.
-	for _, id := range s.order {
-		c := s.campaigns[id]
+	// was mid-Complete) finishes now. finishLocked can prune terminal
+	// campaigns out of s.order, so iterate over a snapshot.
+	for _, id := range append([]string(nil), s.order...) {
+		c, ok := s.campaigns[id]
+		if !ok {
+			continue
+		}
 		if c.state == StateRunning && c.itemsDone == c.spec.Items() {
 			s.finishLocked(c)
 			s.checkpointLocked(c)
 		}
 	}
+	// Recovered terminal campaigns respect the retention cap too.
+	s.pruneTerminalLocked()
 	return nil
 }
 

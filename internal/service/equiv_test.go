@@ -15,9 +15,9 @@ import (
 // runTopology submits spec to a fresh service behind a real HTTP server
 // and drains it with the given worker mix, returning the merged bytes
 // fetched over the wire.
-func runTopology(t *testing.T, spec core.Spec, embedded, remote int) []byte {
+func runTopology(t *testing.T, spec core.Spec, shardSize, embedded, remote int) []byte {
 	t.Helper()
-	s, err := New(Config{ShardSize: 2, LeaseTTL: 30 * time.Second})
+	s, err := New(Config{ShardSize: shardSize, LeaseTTL: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,12 +91,33 @@ func TestServiceDistributedEquivalence(t *testing.T) {
 	}
 	for _, tc := range topologies {
 		t.Run(tc.name, func(t *testing.T) {
-			got := runTopology(t, spec, tc.embedded, tc.remote)
+			got := runTopology(t, spec, 2, tc.embedded, tc.remote)
 			if !bytes.Equal(got, want) {
 				t.Fatalf("topology %s diverged from local reference:\n  want %s\n  got  %s",
 					tc.name, want, got)
 			}
 		})
+	}
+}
+
+// TestServiceCrossProtocolEquivalence repeats the byte-identity check
+// with a spec that mixes protocols (the `mcversi -scenario all -remote`
+// shape). With samples=3 and ShardSize=4 the first shard straddles the
+// protocol boundary (CoverageMixed) and the only other shard is pure
+// TSO-CC — the adversarial partition: if merges treat a mixed shard as
+// merely "no coverage data", the surviving pure shard fabricates a
+// TSO-CC coverage union the local single-shard reference never reports.
+// A second run at ShardSize=2 covers the pure-shards-on-both-sides
+// split, which must degrade identically via the key-mismatch path.
+func TestServiceCrossProtocolEquivalence(t *testing.T) {
+	spec := testSpec(core.GenRandom, 3, 4, 23, "mesi-tso", "tsocc-tso") // 6 items
+	want := referenceBytes(t, spec)
+	for _, shardSize := range []int{4, 2} {
+		got := runTopology(t, spec, shardSize, 0, 2)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cross-protocol campaign (shard size %d) diverged over the wire:\n  want %s\n  got  %s",
+				shardSize, want, got)
+		}
 	}
 }
 
@@ -109,7 +130,7 @@ func TestServiceGPEquivalence(t *testing.T) {
 	}
 	spec := testSpec(core.GenGPAll, 2, 4, 41, "mesi-tso") // 2 items, 1 shard
 	want := referenceBytes(t, spec)
-	got := runTopology(t, spec, 0, 2)
+	got := runTopology(t, spec, 2, 0, 2)
 	if !bytes.Equal(got, want) {
 		t.Fatalf("GP campaign diverged over the wire:\n  want %s\n  got  %s", want, got)
 	}

@@ -79,7 +79,12 @@ func (s *Service) Subscribe(id string) (replay []Event, live <-chan Event, cance
 		return nil, nil, nil, ErrNotFound
 	}
 	replay = append([]Event(nil), c.events...)
-	ch := make(chan Event, 4*c.spec.Items()+len(c.shards)*4+16)
+	// Sized for the worst-case remainder of the campaign so a live
+	// consumer is never dropped on: one sample event per item, and per
+	// shard up to MaxAttempts leased + MaxAttempts expired events (a
+	// retry-heavy shard re-issues its lease on every expiry) plus one
+	// shard event, plus the terminal event and slack.
+	ch := make(chan Event, c.spec.Items()+len(c.shards)*(2*s.cfg.MaxAttempts+1)+4)
 	if c.state == StateDone || c.state == StateFailed {
 		close(ch)
 		return replay, ch, func() {}, nil

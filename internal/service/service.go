@@ -53,6 +53,12 @@ type Config struct {
 	// FleetWorkers is the intra-shard worker count used by the
 	// embedded pool (0 = all cores). Results never depend on it.
 	FleetWorkers int
+	// RetainTerminal caps how many finished (done or failed) campaigns
+	// the service keeps; beyond it the oldest are evicted — event log,
+	// merged bytes and checkpoint file included — and their IDs return
+	// ErrNotFound. Without a cap a long-running daemon's memory and
+	// per-request scan cost grow without bound.
+	RetainTerminal int
 	// CheckpointDir, when non-empty, makes campaigns durable: specs,
 	// completed shard results and terminal states are persisted as
 	// JSON and recovered by New after a restart.
@@ -71,6 +77,7 @@ func DefaultConfig() Config {
 		ShardSize:        4,
 		LeaseTTL:         30 * time.Second,
 		MaxAttempts:      5,
+		RetainTerminal:   64,
 	}
 }
 
@@ -96,6 +103,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = d.MaxAttempts
+	}
+	if c.RetainTerminal <= 0 {
+		c.RetainTerminal = d.RetainTerminal
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -155,6 +165,11 @@ type campaign struct {
 	merged                     *fleet.Merged
 	mergedBytes                []byte
 	errMsg                     string
+	// ckErr is the latest checkpoint write failure, kept apart from
+	// errMsg (the campaign failure reason): a durability degradation
+	// must not masquerade as a failed campaign, and a later successful
+	// checkpoint clears it.
+	ckErr string
 
 	events  []Event
 	subs    map[int]chan Event
@@ -425,6 +440,7 @@ func (s *Service) finishLocked(c *campaign) {
 	})
 	s.closeSubsLocked(c)
 	s.promoteLocked()
+	s.pruneTerminalLocked()
 }
 
 func (s *Service) failLocked(c *campaign, msg string) {
@@ -448,6 +464,40 @@ func (s *Service) failLocked(c *campaign, msg string) {
 	s.emitLocked(c, Event{Type: EventFailed, Err: msg})
 	s.closeSubsLocked(c)
 	s.promoteLocked()
+	s.pruneTerminalLocked()
+}
+
+// pruneTerminalLocked enforces the terminal-campaign retention cap:
+// when more than RetainTerminal campaigns are done/failed, the oldest
+// (by admission order) are evicted — dropped from memory along with
+// their event logs and merged bytes, and their checkpoint files
+// deleted. Queued and running campaigns are never touched, so the
+// admission scans over s.order stay bounded by
+// active + queued + RetainTerminal.
+func (s *Service) pruneTerminalLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		switch s.campaigns[id].state {
+		case StateDone, StateFailed:
+			terminal++
+		}
+	}
+	if terminal <= s.cfg.RetainTerminal {
+		return
+	}
+	evict := terminal - s.cfg.RetainTerminal
+	kept := s.order[:0]
+	for _, id := range s.order {
+		c := s.campaigns[id]
+		if evict > 0 && (c.state == StateDone || c.state == StateFailed) {
+			evict--
+			delete(s.campaigns, id)
+			s.removeCheckpointLocked(c)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
 }
 
 // ExpireLeases reclaims leases past their TTL (also done lazily on
@@ -487,8 +537,11 @@ type Status struct {
 	TestRuns  int           `json:"test_runs"`
 	Found     int           `json:"found"`
 	Err       string        `json:"error,omitempty"`
-	Submitted time.Time     `json:"submitted"`
-	Finished  time.Time     `json:"finished"`
+	// CheckpointErr reports a degraded-durability condition (the latest
+	// checkpoint write failed); the campaign itself is unaffected.
+	CheckpointErr string    `json:"checkpoint_error,omitempty"`
+	Submitted     time.Time `json:"submitted"`
+	Finished      time.Time `json:"finished"`
 }
 
 // Get returns a campaign's status.
@@ -507,7 +560,8 @@ func (s *Service) statusLocked(c *campaign) Status {
 		ID: c.id, Tenant: c.tenant, State: c.state,
 		Items: c.spec.Items(), ItemsDone: c.itemsDone,
 		Shards: len(c.shards), TestRuns: c.testRuns, Found: c.found,
-		Err: c.errMsg, Submitted: c.submitted, Finished: c.finished,
+		Err: c.errMsg, CheckpointErr: c.ckErr,
+		Submitted: c.submitted, Finished: c.finished,
 	}
 	for _, sh := range c.shards {
 		if sh.phase == shardLeased {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -332,6 +334,81 @@ func TestServiceFailMaxAttempts(t *testing.T) {
 	}
 	if _, err := s.ResultBytes(id); err == nil {
 		t.Error("failed campaign served a result")
+	}
+}
+
+// drainClaims runs every claimable shard in-process until the service
+// has no pending work.
+func drainClaims(t *testing.T, s *Service) {
+	t.Helper()
+	for {
+		l, err := s.Claim("w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l == nil {
+			return
+		}
+		sr, err := fleet.RunShard(context.Background(), l.Spec, l.Range, fleet.Options{Collective: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Complete(l.ID, sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestServiceTerminalRetention: the daemon keeps at most RetainTerminal
+// finished campaigns; older ones are evicted — memory, event log and
+// checkpoint file — while recent terminal campaigns keep serving their
+// results, in memory and across a restart.
+func TestServiceTerminalRetention(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{ShardSize: 2, RetainTerminal: 2, CheckpointDir: dir}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(core.GenRandom, 1, 2, 5, "mesi-tso") // 1 item, 1 shard
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id, err := s.Submit("", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		drainClaims(t, s)
+	}
+
+	for _, id := range ids[:2] {
+		if _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+			t.Errorf("evicted campaign %s still visible: %v", id, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, id+".json")); !os.IsNotExist(err) {
+			t.Errorf("evicted campaign %s kept its checkpoint file", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		st, err := s.Get(id)
+		if err != nil || st.State != StateDone {
+			t.Fatalf("retained campaign %s: %+v, %v", id, st, err)
+		}
+		if _, err := s.ResultBytes(id); err != nil {
+			t.Errorf("retained campaign %s lost its result: %v", id, err)
+		}
+	}
+
+	// A restart recovers exactly the retained set.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Errorf("evicted campaign resurrected by restart: %v", err)
+	}
+	if _, err := s2.ResultBytes(ids[3]); err != nil {
+		t.Errorf("retained campaign unreadable after restart: %v", err)
 	}
 }
 
