@@ -34,3 +34,47 @@ if ! cmp "$WORKDIR/local.json" "$WORKDIR/remote.json"; then
   exit 1
 fi
 echo "OK: distributed and local merged results are byte-identical ($(wc -c <"$WORKDIR/local.json") bytes)"
+
+# Observability smoke: after a real campaign, the daemon's /metrics and
+# /statusz must be served, parseable, and live. The scrapes are written
+# into $PWD so CI can upload them as artifacts.
+curl -sf "$URL/metrics" >service-metrics.txt
+curl -sf "$URL/statusz" >service-statusz.json
+
+for family in \
+  mcversid_campaigns_submitted_total \
+  mcversid_campaigns_finished_total \
+  mcversid_leases_issued_total \
+  mcversid_queue_depth \
+  mcversid_campaign_seconds_count \
+  mcversid_phase_nanoseconds_total; do
+  if ! grep -q "^$family" service-metrics.txt; then
+    echo "FAIL: /metrics missing family $family" >&2
+    exit 1
+  fi
+done
+
+# Every non-comment line must be `name[{labels}] value` with a finite
+# value — the contract a Prometheus scraper needs.
+awk '
+  /^#/ { next }
+  NF == 0 { next }
+  NF != 2 { print "FAIL: malformed sample line: " $0; bad = 1; next }
+  $2 ~ /NaN|Inf/ { print "FAIL: non-finite sample: " $0; bad = 1; next }
+  $2 !~ /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/ { print "FAIL: unparseable value: " $0; bad = 1 }
+  END { exit bad }
+' service-metrics.txt
+
+# The remote worker ran instrumented shards, so simulation time must
+# have been attributed.
+sim_ns=$(awk -F' ' '/^mcversid_phase_nanoseconds_total\{phase="sim"\}/ { print $2 }' service-metrics.txt)
+if [ -z "$sim_ns" ] || ! awk -v v="$sim_ns" 'BEGIN { exit !(v > 0) }'; then
+  echo "FAIL: sim phase nanoseconds not positive: '$sim_ns'" >&2
+  exit 1
+fi
+
+# /statusz must be JSON carrying the finished campaign with its phase
+# breakdown (jq-free check: Go ships with CI, a scraper does not).
+go run ./ci/statuszcheck service-statusz.json
+
+echo "OK: /metrics parseable ($(grep -vc '^#' service-metrics.txt) samples, sim=${sim_ns}ns) and /statusz carries the phase breakdown"

@@ -1,0 +1,58 @@
+// Command statuszcheck validates a saved mcversid /statusz scrape for
+// the CI service smoke: the page must decode as the service's Statusz
+// shape and carry at least one finished campaign whose phase breakdown
+// is live (simulation spans recorded, exactly one merge span, a
+// non-empty human summary). It exists so ci/service_smoke.sh can
+// assert JSON structure without a jq dependency.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: statuszcheck <statusz.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatalf("read: %v", err)
+	}
+	var sz service.Statusz
+	if err := json.Unmarshal(data, &sz); err != nil {
+		fatalf("statusz is not valid JSON: %v", err)
+	}
+	if sz.Stats.Done < 1 {
+		fatalf("statusz reports %d finished campaigns, want >= 1", sz.Stats.Done)
+	}
+	var done *service.CampaignStatusz
+	for i := range sz.Campaigns {
+		if sz.Campaigns[i].State == service.StateDone {
+			done = &sz.Campaigns[i]
+			break
+		}
+	}
+	if done == nil {
+		fatalf("no campaign in state done among %d campaigns", len(sz.Campaigns))
+	}
+	if done.Obs.Sim.Count == 0 || done.Obs.Sim.Ns <= 0 {
+		fatalf("campaign %s: no simulation spans in phase breakdown: %+v", done.ID, done.Obs)
+	}
+	if done.Obs.Merging.Count != 1 {
+		fatalf("campaign %s: merge spans = %d, want exactly 1", done.ID, done.Obs.Merging.Count)
+	}
+	if done.PhaseSummary == "" || done.PhaseSummary == "no spans" {
+		fatalf("campaign %s: empty phase summary %q", done.ID, done.PhaseSummary)
+	}
+	fmt.Printf("statusz OK: campaign %s done, phases: %s\n", done.ID, done.PhaseSummary)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "statuszcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package main
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the process's consumed CPU time (user+sys).
+// The obs A/B gates on CPU-time ratios because instrumentation cost is
+// CPU work: wall clock on a shared runner is inflated by preemption
+// and steal time that CPU accounting never sees.
+func processCPUTime() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	u := time.Duration(ru.Utime.Sec)*time.Second + time.Duration(ru.Utime.Usec)*time.Microsecond
+	s := time.Duration(ru.Stime.Sec)*time.Second + time.Duration(ru.Stime.Usec)*time.Microsecond
+	return u + s, true
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package main
+
+import "time"
+
+// processCPUTime is unavailable off unix; the obs A/B falls back to
+// wall-clock pairing.
+func processCPUTime() (time.Duration, bool) {
+	return 0, false
+}

@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -46,9 +47,14 @@ func main() {
 	defer stop()
 
 	fmt.Fprintf(os.Stderr, "mcversi-worker: %s polling %s every %s\n", *name, *server, *poll)
+	agg := &obs.Agg{}
 	_ = service.RunWorker(ctx, service.NewClient(*server), service.WorkerOptions{
 		Name:         *name,
 		Poll:         *poll,
 		FleetWorkers: *parallel,
+		Obs:          agg,
 	})
+	// The same per-phase breakdown the service aggregates fleet-wide,
+	// scoped to this worker's completed shards.
+	fmt.Fprintf(os.Stderr, "mcversi-worker: %s phase breakdown: %s\n", *name, agg.Snapshot())
 }

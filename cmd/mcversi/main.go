@@ -144,6 +144,7 @@ func main() {
 		Islands:           *islands,
 		MigrationInterval: *migrate,
 		Collective:        *collective,
+		Obs:               *progress,
 	}
 	var drained chan struct{}
 	var events chan mcversi.FleetEvent
@@ -226,6 +227,9 @@ func main() {
 	if st.UnionCoverage > 0 {
 		fmt.Printf("fleet union coverage: %.1f%% of the transition table\n", 100*st.UnionCoverage)
 	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "[obs] phase breakdown: %s\n", st.Obs)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcversi:", err)
 		os.Exit(1)
@@ -306,7 +310,10 @@ func runSpecMode(ctx context.Context, spec core.Spec, o specModeOptions) {
 			fail(err)
 		}
 	} else {
-		fopts := fleet.Options{Workers: o.Parallel, Collective: o.Collective}
+		// -progress also turns on phase spans: the same breakdown the
+		// daemon's /statusz reports, printed locally. Merged bytes are
+		// identical either way (spans ride outside CanonicalBytes).
+		fopts := fleet.Options{Workers: o.Parallel, Collective: o.Collective, Obs: o.Progress}
 		var drained chan struct{}
 		if o.Progress {
 			events := make(chan fleet.Event, 64)
@@ -331,6 +338,9 @@ func runSpecMode(ctx context.Context, spec core.Spec, o specModeOptions) {
 		}
 		if data, err = merged.CanonicalBytes(); err != nil {
 			fail(err)
+		}
+		if o.Progress {
+			fmt.Fprintf(os.Stderr, "[obs] phase breakdown: %s\n", merged.Obs)
 		}
 	}
 

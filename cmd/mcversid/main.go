@@ -9,6 +9,12 @@
 // cmd/mcversi -remote for the turnkey client). Work is executed by the
 // embedded worker pool (-workers) and/or remote cmd/mcversi-worker
 // processes; merged results are byte-identical regardless of the mix.
+//
+// Observability rides on the same listener: GET /metrics serves the
+// Prometheus text exposition and GET /statusz a JSON status page with
+// per-campaign phase breakdowns. -debug-addr starts a second listener
+// with net/http/pprof (opt-in so profiling endpoints never share the
+// public port).
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +45,7 @@ func main() {
 	maxAttempts := flag.Int("max-attempts", 0, "lease re-issues per shard before the campaign fails (0 = default)")
 	checkpoint := flag.String("checkpoint", "", "durable campaign directory (empty = in-memory only)")
 	retain := flag.Int("retain", 0, "finished campaigns kept before the oldest are evicted (0 = default 64)")
+	debugAddr := flag.String("debug-addr", "", "net/http/pprof listen address (empty = disabled)")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -80,9 +88,26 @@ func main() {
 		}
 	}()
 
+	// Profiling stays off the public port: pprof registers itself on
+	// http.DefaultServeMux, which only this opt-in listener serves.
+	if *debugAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "mcversid: pprof on %s\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mcversid: pprof:", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{Addr: *listen, Handler: svc.Handler()}
 	go func() {
 		<-ctx.Done()
+		// Graceful drain: flip mcversid_draining, log what is in flight
+		// (leases are simply abandoned — their ranges re-run to identical
+		// bytes; queued/running campaigns recover from checkpoints).
+		d := svc.Drain()
+		fmt.Fprintf(os.Stderr, "mcversid: draining: %d lease(s) in flight, %d queued + %d running campaign(s)\n",
+			d.Leases, d.Queued, d.Running)
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutCtx)

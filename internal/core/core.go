@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/checker"
 	"repro/internal/collective"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/gp"
 	"repro/internal/host"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -192,6 +194,13 @@ type Campaign struct {
 	engine  *gp.Engine
 	norm    gp.NormalizeNDT
 
+	// ps, when non-nil, accumulates per-phase wall-clock spans
+	// (generation and GP feedback here, execution and verification in
+	// the host). Spans never feed back into seeds, scheduling or
+	// verdicts, so Results are byte-identical with instrumentation on
+	// or off.
+	ps *obs.PhaseStats
+
 	out      Result
 	finished bool
 }
@@ -271,6 +280,14 @@ func (c *Campaign) Tracker() *coverage.Tracker { return c.tracker }
 // concurrently evolving campaigns.
 func (c *Campaign) Engine() *gp.Engine { return c.engine }
 
+// InstrumentObs attaches a phase-span tracer (nil detaches). One
+// tracer may be shared by many campaigns — PhaseStats is atomic — so a
+// shard's campaigns typically record into a single accumulator.
+func (c *Campaign) InstrumentObs(ps *obs.PhaseStats) {
+	c.ps = ps
+	c.h.SetObs(ps)
+}
+
 // nextTest proposes the next test.
 func (c *Campaign) nextTest() *testgen.Test {
 	if c.engine != nil {
@@ -300,14 +317,27 @@ func (c *Campaign) feedback(tst *testgen.Test, res host.RunResult, covFitness fl
 
 // Step runs one test-run and returns its host result and fitness.
 func (c *Campaign) Step() (host.RunResult, float64, error) {
+	var t0 time.Time
+	if c.ps != nil {
+		t0 = time.Now()
+	}
 	tst := c.nextTest()
+	if c.ps != nil {
+		c.ps.Observe(obs.PhaseTestgen, time.Since(t0))
+	}
 	c.tracker.StartRun()
 	res, err := c.h.RunTest(tst)
 	if err != nil {
 		return host.RunResult{}, 0, err
 	}
 	fitness := c.tracker.EndRun()
-	c.feedback(tst, res, fitness)
+	if c.ps != nil && c.engine != nil {
+		t0 = time.Now()
+		c.feedback(tst, res, fitness)
+		c.ps.Observe(obs.PhaseTestgen, time.Since(t0))
+	} else {
+		c.feedback(tst, res, fitness)
+	}
 	return res, fitness, nil
 }
 

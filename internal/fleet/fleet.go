@@ -30,6 +30,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/coverage"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -68,6 +69,13 @@ type Options struct {
 	// drain the channel until SampleSet returns. The channel is never
 	// closed by the fleet.
 	Events chan<- Event
+	// Obs enables phase-span instrumentation: every campaign times its
+	// testgen/sim/check/memo sections into a shared obs.PhaseStats,
+	// surfaced as Stats.Obs (SampleSet) or ShardResult.Obs (RunShard).
+	// Spans are a wall-clock side channel outside the deterministic
+	// result surface — Results, and the merged CanonicalBytes built
+	// from them, are byte-identical with Obs on or off.
+	Obs bool
 }
 
 // DefaultOptions runs on all cores with collective checking on, runs
@@ -137,6 +145,9 @@ type Stats struct {
 	// checks, unique signatures and hits. Checks - Unique == Hits;
 	// all three are deterministic at any worker count.
 	Dedupe stats.Dedupe
+	// Obs is the fleet-wide phase timing breakdown (zero unless
+	// Options.Obs).
+	Obs obs.Snapshot
 	// Wall is the fleet's wall-clock time.
 	Wall time.Duration
 }
@@ -151,6 +162,10 @@ type emitter struct {
 	mu    sync.Mutex
 	ch    chan<- Event
 	stats Stats
+
+	// ps is the shared phase-span tracer every campaign records into
+	// (nil when Options.Obs is off).
+	ps *obs.PhaseStats
 
 	// Union-coverage merge state: per-transition counts summed across
 	// samples, valid only while every sample shares one interned
@@ -235,6 +250,9 @@ func SampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64, opts
 	opts = opts.withDefaults()
 	start := time.Now()
 	em := &emitter{ch: opts.Events}
+	if opts.Obs {
+		em.ps = &obs.PhaseStats{}
+	}
 	em.stats.Samples = n
 	em.stats.Workers = Workers(opts.Workers, n)
 
@@ -258,6 +276,7 @@ func SampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64, opts
 		em.stats.Dedupe = cfg.Memo.Stats()
 	}
 	em.stats.UnionCoverage = em.unionCoverage()
+	em.stats.Obs = em.ps.Snapshot()
 	em.stats.Wall = time.Since(start)
 	return results, em.stats, err
 }
@@ -274,6 +293,9 @@ func pooledSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64
 		camp, err := core.NewCampaign(c)
 		if err != nil {
 			return core.Result{}, err
+		}
+		if em.ps != nil {
+			camp.InstrumentObs(em.ps)
 		}
 		t0 := time.Now()
 		res, err := camp.RunContext(ctx)

@@ -66,6 +66,9 @@ func islandSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64
 		if err != nil {
 			return make([]core.Result, n), err
 		}
+		if em.ps != nil {
+			camp.InstrumentObs(em.ps)
+		}
 		isles[i] = &island{camp: camp, started: now}
 	}
 

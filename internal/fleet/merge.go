@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -97,6 +99,12 @@ type MergedStats struct {
 type Merged struct {
 	Results []core.Result `json:"results"`
 	Stats   MergedStats   `json:"stats"`
+	// Obs is the summed phase timing of every shard that carried one
+	// (plus the merge span at call sites that time themselves). It is
+	// deliberately excluded from the JSON encoding: CanonicalBytes is
+	// the byte-identity currency, and wall-clock spans are the one
+	// shard output that legitimately differs run to run.
+	Obs obs.Snapshot `json:"-"`
 }
 
 // CanonicalBytes returns the deterministic JSON encoding (fixed field
@@ -126,6 +134,9 @@ func MergeShards(items int, shards []ShardResult) (Merged, error) {
 			return Merged{}, fmt.Errorf("fleet: shard %s carries %d results", sr.Range, len(sr.Results))
 		}
 		m.Results = append(m.Results, sr.Results...)
+		if sr.Obs != nil {
+			m.Obs = m.Obs.Merge(*sr.Obs)
+		}
 		if sr.CoverageMixed {
 			acc.poison()
 		} else {
@@ -174,5 +185,15 @@ func LocalMerged(ctx context.Context, spec core.Spec, opts Options) (Merged, err
 	if err != nil {
 		return Merged{}, err
 	}
-	return MergeShards(spec.Items(), []ShardResult{sr})
+	// MergeShards itself stays clock-free (pure function of its inputs);
+	// the caller times it so the merge phase shows up in the breakdown.
+	var t0 time.Time
+	if opts.Obs {
+		t0 = time.Now()
+	}
+	merged, err := MergeShards(spec.Items(), []ShardResult{sr})
+	if err == nil && opts.Obs {
+		merged.Obs = merged.Obs.Merge(obs.Span(obs.PhaseMerge, time.Since(t0)))
+	}
+	return merged, err
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Range is a half-open interval [Start, End) of campaign-item indices
@@ -64,6 +65,11 @@ type ShardResult struct {
 	CoverageKey    string        `json:"coverage_key,omitempty"`
 	CoverageCounts []uint64      `json:"coverage_counts,omitempty"`
 	CoverageMixed  bool          `json:"coverage_mixed,omitempty"`
+	// Obs is the shard's phase timing breakdown (set when the shard ran
+	// with Options.Obs). It crosses the wire with the shard but never
+	// enters the merged CanonicalBytes: wall time is the one shard
+	// output that is NOT a pure function of (spec, range).
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // RunShard executes one range of spec's items in-process: each item is
@@ -93,6 +99,10 @@ func RunShard(ctx context.Context, spec core.Spec, r Range, opts Options) (Shard
 	if opts.Collective {
 		memo = collective.NewMemo()
 	}
+	var ps *obs.PhaseStats
+	if opts.Obs {
+		ps = &obs.PhaseStats{}
+	}
 
 	var (
 		mu  sync.Mutex
@@ -108,6 +118,9 @@ func RunShard(ctx context.Context, spec core.Spec, r Range, opts Options) (Shard
 		camp, err := core.NewCampaign(cfg)
 		if err != nil {
 			return core.Result{}, err
+		}
+		if ps != nil {
+			camp.InstrumentObs(ps)
 		}
 		t0 := time.Now()
 		res, err := camp.RunContext(ctx)
@@ -133,5 +146,9 @@ func RunShard(ctx context.Context, spec core.Spec, r Range, opts Options) (Shard
 	}
 	out := ShardResult{Range: r, Results: results, CoverageMixed: acc.mixed}
 	out.CoverageKey, out.CoverageCounts = acc.merged()
+	if ps != nil {
+		snap := ps.Snapshot()
+		out.Obs = &snap
+	}
 	return out, nil
 }

@@ -16,10 +16,12 @@ package host
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/checker"
 	"repro/internal/machine"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/testgen"
@@ -147,6 +149,14 @@ type Host struct {
 	opts Options
 	trap *errorTrap
 
+	// obs, when non-nil, receives per-phase wall-clock spans for every
+	// test-run: compile under testgen, execution under sim, and
+	// verification under check or memo depending on whether the
+	// iteration's signature resolved from the collective memo. Spans
+	// are a pure side channel — they never influence simulation or
+	// verdicts, so results are identical with obs on or off.
+	obs *obs.PhaseStats
+
 	runs uint64
 }
 
@@ -174,6 +184,9 @@ func (t ErrorTrap) ProtoErr() error { return t.trap.take() }
 
 // NewErrorTrap returns a fresh trap to pass as a machine's error sink.
 func NewErrorTrap() ErrorTrap { return ErrorTrap{trap: &errorTrap{}} }
+
+// SetObs attaches (or, with nil, detaches) the phase-span tracer.
+func (h *Host) SetObs(ps *obs.PhaseStats) { h.obs = ps }
 
 // Machine returns the underlying machine.
 func (h *Host) Machine() *machine.Machine { return h.m }
@@ -211,10 +224,42 @@ func (h *Host) ResetTestMem(layout memsys.Layout) {
 // final iteration uses verify_reset_all semantics: run-level NDT state
 // is computed and returned, then cleared.
 func (h *Host) RunTest(t *testgen.Test) (RunResult, error) {
+	// Phase spans: lap() attributes the section since the last mark to
+	// one pipeline phase. The loop is the hottest in the system and the
+	// obs_overhead bench gates it at 2%, so each lap is a single
+	// monotonic clock read (time.Since on a monotonic base, not
+	// time.Now, which also reads the wall clock) and spans accumulate in
+	// locals, flushed to the shared tracer once per test-run. With obs
+	// detached the cost is one nil check per section.
+	var (
+		base    time.Time
+		mark    time.Duration
+		phaseNs [obs.NumPhases]int64
+		phaseN  [obs.NumPhases]uint64
+	)
+	if h.obs != nil {
+		base = time.Now()
+		defer func() {
+			for p := obs.Phase(0); p < obs.NumPhases; p++ {
+				h.obs.ObserveN(p, phaseNs[p], phaseN[p])
+			}
+		}()
+	}
+	lap := func(p obs.Phase) {
+		if h.obs == nil {
+			return
+		}
+		now := time.Since(base)
+		phaseNs[p] += int64(now - mark)
+		phaseN[p]++
+		mark = now
+	}
+
 	progs, err := testgen.Compile(t)
 	if err != nil {
 		return RunResult{}, err
 	}
+	lap(obs.PhaseTestgen)
 	start := h.m.Sim.Now()
 	var res RunResult
 
@@ -236,6 +281,7 @@ func (h *Host) RunTest(t *testgen.Test) (RunResult, error) {
 			h.m.Quiesce()
 		}
 		res.Iterations = iter + 1
+		lap(obs.PhaseSim)
 
 		if perr := h.trap.take(); perr != nil {
 			res.Violation = &Violation{Source: SourceProtocol, Err: perr}
@@ -250,10 +296,29 @@ func (h *Host) RunTest(t *testgen.Test) (RunResult, error) {
 			}
 			return RunResult{}, runErr
 		}
-		if v := h.rec.EndIteration(); v != nil {
+		// Verification time splits on the collective memo: an iteration
+		// whose signature was already decided is a memo hit (lookup
+		// only), everything else paid a full model check. The hit/miss
+		// classification comes from the recorder's own dedupe delta, so
+		// no checker-layer hook is needed.
+		var hits0 uint64
+		if h.obs != nil {
+			hits0 = h.rec.Dedupe().Hits
+		}
+		v := h.rec.EndIteration()
+		checkPhase := obs.PhaseCheck
+		if h.obs != nil && h.rec.Dedupe().Hits > hits0 {
+			checkPhase = obs.PhaseMemo
+		}
+		lap(checkPhase)
+		if v != nil {
 			res.Violation = &Violation{Source: SourceChecker, Err: v}
 			break
 		}
+		// ResetTestMem is deliberately not lapped: the reset is sim-phase
+		// work and the next iteration's sim lap absorbs it, saving one
+		// clock read per iteration (the final iteration's reset goes
+		// unattributed — it is a memset, not a measurement target).
 		h.ResetTestMem(t.Layout)
 	}
 

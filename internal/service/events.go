@@ -55,6 +55,7 @@ func (s *Service) emitLocked(c *campaign, ev Event) {
 		select {
 		case ch <- ev:
 		default:
+			s.met.sseDropped.Inc()
 		}
 	}
 }

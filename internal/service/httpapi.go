@@ -23,6 +23,8 @@ import (
 //	POST /v1/leases/{id}/renew           heartbeat
 //	POST /v1/leases/{id}/complete        report a fleet.ShardResult
 //	POST /v1/leases/{id}/fail            report a shard error
+//	GET  /metrics                        Prometheus text exposition
+//	GET  /statusz                        JSON status page with per-campaign phase breakdowns
 //
 // Admission errors map onto statuses: 429 queue/tenant pressure, 413
 // oversized campaign, 410 lost lease, 409 result not ready, 404
@@ -43,6 +45,13 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/leases/{id}/renew", s.handleRenew)
 	mux.HandleFunc("POST /v1/leases/{id}/complete", s.handleComplete)
 	mux.HandleFunc("POST /v1/leases/{id}/fail", s.handleFail)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.Metrics().WriteText(w)
+	})
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Statusz())
+	})
 	return mux
 }
 

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"repro/internal/obs"
+)
+
+// metrics is the service's pre-registered handle set on its obs
+// registry: admission, lease-lifecycle and throughput counters touched
+// under the service mutex (one atomic add each), campaign latency
+// histograms, per-phase span totals folded in from worker shard
+// results, and scrape-time gauges reading the queue under the
+// service's own lock.
+type metrics struct {
+	reg *obs.Registry
+
+	submitted      *obs.Counter
+	rejectTooLarge *obs.Counter
+	rejectQueue    *obs.Counter
+	rejectTenant   *obs.Counter
+	rejectInvalid  *obs.Counter
+	finishedDone   *obs.Counter
+	finishedFailed *obs.Counter
+
+	leasesIssued  *obs.Counter
+	leaseRenewals *obs.Counter
+	leasesExpired *obs.Counter
+	zombieDone    *obs.Counter
+	shardFailures *obs.Counter
+
+	sseDropped *obs.Counter
+	draining   *obs.Gauge
+
+	testRuns  *obs.Counter
+	itemsDone *obs.Counter
+	bugsFound *obs.Counter
+
+	campaignSeconds *obs.Histogram
+
+	phaseNs    [obs.NumPhases]*obs.Counter
+	phaseSpans [obs.NumPhases]*obs.Counter
+}
+
+// campaignSecondsBounds spans sub-second smoke campaigns to multi-hour
+// soaks.
+var campaignSecondsBounds = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300, 1800, 7200}
+
+// newMetrics registers the service's metric families and captures the
+// handles. GaugeFuncs read s under its own mutex at scrape time; the
+// service never renders the registry while holding that mutex, so the
+// lock ordering is always registry-then-service.
+func newMetrics(s *Service) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+
+	m.submitted = reg.Counter("mcversid_campaigns_submitted_total",
+		"Campaigns admitted into the queue.")
+	m.rejectTooLarge = reg.Counter("mcversid_admission_rejects_total",
+		"Submissions rejected by admission control, by reason.", "reason", "too_large")
+	m.rejectQueue = reg.Counter("mcversid_admission_rejects_total",
+		"Submissions rejected by admission control, by reason.", "reason", "queue_full")
+	m.rejectTenant = reg.Counter("mcversid_admission_rejects_total",
+		"Submissions rejected by admission control, by reason.", "reason", "tenant_budget")
+	m.rejectInvalid = reg.Counter("mcversid_admission_rejects_total",
+		"Submissions rejected by admission control, by reason.", "reason", "invalid_spec")
+	m.finishedDone = reg.Counter("mcversid_campaigns_finished_total",
+		"Campaigns reaching a terminal state, by state.", "state", "done")
+	m.finishedFailed = reg.Counter("mcversid_campaigns_finished_total",
+		"Campaigns reaching a terminal state, by state.", "state", "failed")
+
+	m.leasesIssued = reg.Counter("mcversid_leases_issued_total",
+		"Shard leases handed to workers (re-issues included).")
+	m.leaseRenewals = reg.Counter("mcversid_lease_renewals_total",
+		"Lease TTL renewals.")
+	m.leasesExpired = reg.Counter("mcversid_leases_expired_total",
+		"Leases reclaimed after their TTL lapsed.")
+	m.zombieDone = reg.Counter("mcversid_zombie_completions_total",
+		"Shard completions or failures arriving for unknown or expired leases (result discarded).")
+	m.shardFailures = reg.Counter("mcversid_shard_failures_total",
+		"Shard run failures reported by workers.")
+
+	m.sseDropped = reg.Counter("mcversid_sse_dropped_total",
+		"Events dropped on slow SSE subscriber channels.")
+	m.draining = reg.Gauge("mcversid_draining",
+		"1 while the daemon drains after a shutdown signal.")
+
+	m.testRuns = reg.Counter("mcversid_test_runs_total",
+		"Completed test-runs across all merged shard results.")
+	m.itemsDone = reg.Counter("mcversid_items_done_total",
+		"Campaign items completed across all shard results.")
+	m.bugsFound = reg.Counter("mcversid_bugs_found_total",
+		"Items whose campaign reported a bug.")
+
+	m.campaignSeconds = reg.Histogram("mcversid_campaign_seconds",
+		"Submit-to-terminal campaign latency in seconds.", campaignSecondsBounds)
+
+	for _, p := range obs.Phases() {
+		m.phaseNs[p] = reg.Counter("mcversid_phase_nanoseconds_total",
+			"Wall time spent per pipeline phase across all shard results.", "phase", p.String())
+		m.phaseSpans[p] = reg.Counter("mcversid_phase_spans_total",
+			"Span count per pipeline phase across all shard results.", "phase", p.String())
+	}
+
+	reg.GaugeFunc("mcversid_queue_depth",
+		"Campaigns waiting for an active slot.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, id := range s.order {
+				if s.campaigns[id].state == StateQueued {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("mcversid_campaigns_running",
+		"Campaigns holding an active slot.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.active)
+		})
+	reg.GaugeFunc("mcversid_leases_outstanding",
+		"Live (unexpired, unreported) shard leases.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.leases))
+		})
+
+	return m
+}
+
+// absorbObs folds one shard snapshot into the phase counters.
+func (m *metrics) absorbObs(snap obs.Snapshot) {
+	for _, p := range obs.Phases() {
+		st := snap.Phase(p)
+		if st.Ns > 0 {
+			m.phaseNs[p].Add(uint64(st.Ns))
+		}
+		m.phaseSpans[p].Add(st.Count)
+	}
+}
+
+// Metrics exposes the service's registry for /metrics exposition.
+func (s *Service) Metrics() *obs.Registry { return s.met.reg }

@@ -1,0 +1,306 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+// scrape renders the service's registry and returns it as text.
+func scrape(t *testing.T, s *Service) string {
+	t.Helper()
+	var b strings.Builder
+	if err := s.Metrics().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// metricValue extracts one sample (exact name+labels match) from a
+// scrape, failing the test when absent.
+func metricValue(t *testing.T, text, sample string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == sample {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("unparseable sample %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("sample %s not found in scrape:\n%s", sample, text)
+	return 0
+}
+
+func TestMetricsAdmissionCounters(t *testing.T) {
+	clock := newFakeClock()
+	s, err := New(Config{MaxActive: 1, MaxQueued: 1, TenantMaxPending: 2, MaxItems: 4, ShardSize: 1, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(core.GenRandom, 2, 2, 7, "mesi-tso")
+
+	if _, err := s.Submit("a", spec); err != nil {
+		t.Fatal(err)
+	}
+	// Oversized.
+	if _, err := s.Submit("a", testSpec(core.GenRandom, 5, 2, 7, "mesi-tso")); err == nil {
+		t.Fatal("oversized spec admitted")
+	}
+	// Fill the queue (1 active + 1 queued), then overflow it.
+	if _, err := s.Submit("b", spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("b", spec); err == nil {
+		t.Fatal("queue overflow admitted")
+	}
+	// Invalid spec.
+	if _, err := s.Submit("a", core.Spec{}); err == nil {
+		t.Fatal("invalid spec admitted")
+	}
+
+	text := scrape(t, s)
+	checks := map[string]float64{
+		"mcversid_campaigns_submitted_total":                       2,
+		`mcversid_admission_rejects_total{reason="too_large"}`:     1,
+		`mcversid_admission_rejects_total{reason="queue_full"}`:    1,
+		`mcversid_admission_rejects_total{reason="invalid_spec"}`:  1,
+		`mcversid_admission_rejects_total{reason="tenant_budget"}`: 0,
+		"mcversid_queue_depth":                                     1,
+		"mcversid_campaigns_running":                               1,
+	}
+	for sample, want := range checks {
+		if got := metricValue(t, text, sample); got != want {
+			t.Errorf("%s = %v, want %v", sample, got, want)
+		}
+	}
+
+	// Tenant budget: tenant b already has 1 pending with cap 2 — one
+	// more fills it, the next is rejected.
+	s2, _ := New(Config{TenantMaxPending: 1, Now: clock.Now})
+	if _, err := s2.Submit("c", spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Submit("c", spec); err == nil {
+		t.Fatal("tenant budget exceeded but admitted")
+	}
+	if got := metricValue(t, scrape(t, s2), `mcversid_admission_rejects_total{reason="tenant_budget"}`); got != 1 {
+		t.Errorf("tenant_budget rejects = %v, want 1", got)
+	}
+}
+
+func TestMetricsLeaseLifecycle(t *testing.T) {
+	clock := newFakeClock()
+	s, err := New(Config{ShardSize: 1, LeaseTTL: time.Minute, MaxAttempts: 2, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(core.GenRandom, 2, 2, 7, "mesi-tso")
+	if _, err := s.Submit("t", spec); err != nil {
+		t.Fatal(err)
+	}
+
+	l1, err := s.Claim("w1")
+	if err != nil || l1 == nil {
+		t.Fatalf("claim: %v %v", l1, err)
+	}
+	if err := s.Renew(l1.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Expire it.
+	clock.Advance(3 * time.Minute)
+	if n := s.ExpireLeases(); n != 1 {
+		t.Fatalf("expired %d leases, want 1", n)
+	}
+	// Zombie completion for the dead lease.
+	if err := s.Complete(l1.ID, fleet.ShardResult{}); err != ErrNoLease {
+		t.Fatalf("zombie completion: %v", err)
+	}
+	// Re-claim and fail it.
+	l2, err := s.Claim("w2")
+	if err != nil || l2 == nil {
+		t.Fatalf("reclaim: %v %v", l2, err)
+	}
+	if err := s.Fail(l2.ID, "boom"); err != nil {
+		t.Fatal(err)
+	}
+
+	text := scrape(t, s)
+	checks := map[string]float64{
+		"mcversid_leases_issued_total":      2,
+		"mcversid_lease_renewals_total":     1,
+		"mcversid_leases_expired_total":     1,
+		"mcversid_zombie_completions_total": 1,
+		"mcversid_shard_failures_total":     1,
+	}
+	for sample, want := range checks {
+		if got := metricValue(t, text, sample); got != want {
+			t.Errorf("%s = %v, want %v", sample, got, want)
+		}
+	}
+}
+
+// TestMetricsAndStatuszEndToEnd drives a campaign through the embedded
+// pool and checks the full observability surface: throughput counters,
+// phase counters fed by instrumented workers, the latency histogram,
+// /metrics and /statusz over HTTP, and a parseable scrape.
+func TestMetricsAndStatuszEndToEnd(t *testing.T) {
+	s, err := New(Config{ShardSize: 2, FleetWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(core.GenRandom, 3, 3, 7, "mesi-tso")
+	id, err := s.Submit("t", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	wg := s.StartWorkers(ctx, 2)
+	st := waitDone(t, s, id)
+	cancel()
+	wg.Wait()
+	if st.State != StateDone {
+		t.Fatalf("campaign state %s: %s", st.State, st.Err)
+	}
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if _, err := io.Copy(&b, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("GET /metrics: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	text := b.String()
+
+	if got := metricValue(t, text, `mcversid_campaigns_finished_total{state="done"}`); got != 1 {
+		t.Errorf("finished done = %v", got)
+	}
+	if got := metricValue(t, text, "mcversid_items_done_total"); got != float64(spec.Items()) {
+		t.Errorf("items done = %v, want %d", got, spec.Items())
+	}
+	if got := metricValue(t, text, "mcversid_test_runs_total"); got != float64(st.TestRuns) {
+		t.Errorf("test runs = %v, want %d", got, st.TestRuns)
+	}
+	if got := metricValue(t, text, "mcversid_campaign_seconds_count"); got != 1 {
+		t.Errorf("campaign_seconds count = %v", got)
+	}
+	// Workers run shards instrumented, so the phase counters must be live.
+	for _, phase := range []string{"sim", "testgen", "merge"} {
+		if got := metricValue(t, text, `mcversid_phase_nanoseconds_total{phase="`+phase+`"}`); got <= 0 {
+			t.Errorf("phase %s nanoseconds = %v, want > 0", phase, got)
+		}
+	}
+
+	// Every non-comment line must parse as `name{labels} value` with a
+	// finite value — the contract a Prometheus scraper needs.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if fields[1] == "NaN" || strings.Contains(fields[1], "Inf") {
+			t.Fatalf("non-finite sample %q", line)
+		}
+	}
+
+	// /statusz: per-campaign phase breakdown rides the JSON page.
+	resp, err = http.Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sz Statusz
+	if err := json.NewDecoder(resp.Body).Decode(&sz); err != nil {
+		t.Fatal(err)
+	}
+	if sz.Stats.Done != 1 || len(sz.Campaigns) != 1 {
+		t.Fatalf("statusz = %+v", sz.Stats)
+	}
+	c := sz.Campaigns[0]
+	if c.ID != id || c.State != StateDone {
+		t.Fatalf("statusz campaign = %+v", c.Status)
+	}
+	if c.Obs.Sim.Count == 0 || c.Obs.Merging.Count != 1 {
+		t.Fatalf("statusz campaign obs = %+v", c.Obs)
+	}
+	if c.PhaseSummary == "" || c.PhaseSummary == "no spans" {
+		t.Fatalf("statusz phase summary = %q", c.PhaseSummary)
+	}
+}
+
+func TestDrainStatus(t *testing.T) {
+	clock := newFakeClock()
+	s, err := New(Config{MaxActive: 1, ShardSize: 1, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(core.GenRandom, 1, 2, 7, "mesi-tso")
+	if _, err := s.Submit("a", spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("b", spec); err != nil {
+		t.Fatal(err)
+	}
+	if l, err := s.Claim("w"); err != nil || l == nil {
+		t.Fatalf("claim: %v %v", l, err)
+	}
+
+	d := s.Drain()
+	if d.Leases != 1 || d.Queued != 1 || d.Running != 1 {
+		t.Fatalf("drain = %+v", d)
+	}
+	if got := metricValue(t, scrape(t, s), "mcversid_draining"); got != 1 {
+		t.Errorf("mcversid_draining = %v, want 1", got)
+	}
+}
+
+// TestSSEDropCounter: an emit that cannot be delivered to a stalled
+// subscriber channel increments the drop counter instead of blocking
+// the service lock.
+func TestSSEDropCounter(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(core.GenRandom, 1, 2, 7, "mesi-tso")
+	id, err := s.Submit("t", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	c := s.campaigns[id]
+	// A full, never-drained channel: the next emit must drop.
+	c.subs[999] = make(chan Event)
+	s.emitLocked(c, Event{Type: EventShard})
+	delete(c.subs, 999)
+	s.mu.Unlock()
+
+	if got := s.met.sseDropped.Load(); got != 1 {
+		t.Fatalf("sse dropped = %d, want 1", got)
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 // Config tunes the service.
@@ -175,6 +176,11 @@ type campaign struct {
 	subs    map[int]chan Event
 	nextSub int
 
+	// obs accumulates the phase timing of every completed shard (plus
+	// the final merge span), for /statusz. Pure side channel: never part
+	// of mergedBytes.
+	obs obs.Snapshot
+
 	submitted, started, finished time.Time
 }
 
@@ -189,6 +195,7 @@ type leaseRef struct {
 // the lock.
 type Service struct {
 	cfg Config
+	met *metrics
 
 	mu        sync.Mutex
 	campaigns map[string]*campaign
@@ -212,6 +219,7 @@ func New(cfg Config) (*Service, error) {
 		leases:    map[string]*leaseRef{},
 		tenants:   map[string]int{},
 	}
+	s.met = newMetrics(s)
 	if err := s.loadCheckpoints(); err != nil {
 		return nil, err
 	}
@@ -225,6 +233,7 @@ func (s *Service) Submit(tenant string, spec core.Spec) (string, error) {
 		tenant = "default"
 	}
 	if err := spec.Validate(); err != nil {
+		s.met.rejectInvalid.Inc()
 		return "", err
 	}
 	items := spec.Items()
@@ -232,6 +241,7 @@ func (s *Service) Submit(tenant string, spec core.Spec) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if items > s.cfg.MaxItems {
+		s.met.rejectTooLarge.Inc()
 		return "", fmt.Errorf("%w: %d items > cap %d", ErrTooLarge, items, s.cfg.MaxItems)
 	}
 	queued := 0
@@ -241,11 +251,14 @@ func (s *Service) Submit(tenant string, spec core.Spec) (string, error) {
 		}
 	}
 	if queued >= s.cfg.MaxQueued {
+		s.met.rejectQueue.Inc()
 		return "", fmt.Errorf("%w: %d campaigns queued", ErrQueueFull, queued)
 	}
 	if s.tenants[tenant] >= s.cfg.TenantMaxPending {
+		s.met.rejectTenant.Inc()
 		return "", fmt.Errorf("%w: tenant %q has %d campaigns pending", ErrTenantBudget, tenant, s.tenants[tenant])
 	}
+	s.met.submitted.Inc()
 
 	s.seq++
 	c := &campaign{
@@ -311,6 +324,7 @@ func (s *Service) Claim(worker string) (*Lease, error) {
 			sh.expiry = s.cfg.Now().Add(s.cfg.LeaseTTL)
 			sh.attempts++
 			s.leases[sh.leaseID] = &leaseRef{camp: c, shard: sh}
+			s.met.leasesIssued.Inc()
 			s.emitLocked(c, Event{Type: EventLeased, Shard: &sh.rng, Worker: worker})
 			return &Lease{
 				ID:        sh.leaseID,
@@ -333,6 +347,7 @@ func (s *Service) Renew(leaseID string) error {
 		return ErrNoLease
 	}
 	ref.shard.expiry = s.cfg.Now().Add(s.cfg.LeaseTTL)
+	s.met.leaseRenewals.Inc()
 	return nil
 }
 
@@ -346,6 +361,7 @@ func (s *Service) Complete(leaseID string, sr fleet.ShardResult) error {
 	defer s.mu.Unlock()
 	ref, ok := s.leases[leaseID]
 	if !ok {
+		s.met.zombieDone.Inc()
 		return ErrNoLease
 	}
 	c, sh := ref.camp, ref.shard
@@ -363,11 +379,18 @@ func (s *Service) Complete(leaseID string, sr fleet.ShardResult) error {
 	res := sr
 	sh.result = &res
 
+	if sr.Obs != nil {
+		c.obs = c.obs.Merge(*sr.Obs)
+		s.met.absorbObs(*sr.Obs)
+	}
 	c.itemsDone += sh.rng.Len()
+	s.met.itemsDone.Add(uint64(sh.rng.Len()))
 	for i, r := range sr.Results {
 		c.testRuns += r.TestRuns
+		s.met.testRuns.Add(uint64(r.TestRuns))
 		if r.Found {
 			c.found++
+			s.met.bugsFound.Inc()
 		}
 		rr := r
 		s.emitLocked(c, Event{
@@ -395,8 +418,10 @@ func (s *Service) Fail(leaseID, reason string) error {
 	defer s.mu.Unlock()
 	ref, ok := s.leases[leaseID]
 	if !ok {
+		s.met.zombieDone.Inc()
 		return ErrNoLease
 	}
+	s.met.shardFailures.Inc()
 	delete(s.leases, leaseID)
 	c, sh := ref.camp, ref.shard
 	if sh.phase != shardLeased {
@@ -418,6 +443,10 @@ func (s *Service) finishLocked(c *campaign) {
 	for _, sh := range c.shards {
 		shards = append(shards, *sh.result)
 	}
+	// The merge itself is a measured phase. MergeShards stays clock-free
+	// (pure function of the shard results); the service times the call —
+	// real wall clock, not cfg.Now, which tests fake.
+	t0 := time.Now()
 	merged, err := fleet.MergeShards(c.spec.Items(), shards)
 	if err != nil {
 		s.failLocked(c, err.Error())
@@ -428,10 +457,15 @@ func (s *Service) finishLocked(c *campaign) {
 		s.failLocked(c, err.Error())
 		return
 	}
+	mergeSpan := obs.Span(obs.PhaseMerge, time.Since(t0))
+	c.obs = merged.Obs.Merge(mergeSpan)
+	s.met.absorbObs(mergeSpan)
 	c.merged = &merged
 	c.mergedBytes = bytes
 	c.state = StateDone
 	c.finished = s.cfg.Now()
+	s.met.finishedDone.Inc()
+	s.met.campaignSeconds.Observe(c.finished.Sub(c.submitted).Seconds())
 	s.active--
 	s.tenants[c.tenant]--
 	s.emitLocked(c, Event{
@@ -453,6 +487,8 @@ func (s *Service) failLocked(c *campaign, msg string) {
 	c.state = StateFailed
 	c.errMsg = msg
 	c.finished = s.cfg.Now()
+	s.met.finishedFailed.Inc()
+	s.met.campaignSeconds.Observe(c.finished.Sub(c.submitted).Seconds())
 	s.tenants[c.tenant]--
 	for _, sh := range c.shards {
 		if sh.phase == shardLeased {
@@ -517,6 +553,7 @@ func (s *Service) expireLocked(now time.Time) int {
 			delete(s.leases, id)
 			ref.shard.phase = shardPending
 			ref.shard.leaseID = ""
+			s.met.leasesExpired.Inc()
 			s.emitLocked(ref.camp, Event{Type: EventExpired, Shard: &ref.shard.rng, Worker: ref.shard.worker})
 			ref.shard.worker = ""
 			n++
@@ -619,4 +656,66 @@ func (s *Service) Stats() ServiceStats {
 		st.TestRuns += c.testRuns
 	}
 	return st
+}
+
+// CampaignStatusz is one campaign's status plus its phase timing
+// breakdown — the accumulated spans of every completed shard, and for
+// finished campaigns the merge span too.
+type CampaignStatusz struct {
+	Status
+	Obs obs.Snapshot `json:"obs"`
+	// PhaseSummary is the human rendering of Obs ("sim 2.4s (63%), ...").
+	PhaseSummary string `json:"phase_summary"`
+}
+
+// Statusz is the GET /statusz payload: service-wide stats plus every
+// retained campaign in admission order with its per-phase breakdown.
+type Statusz struct {
+	Stats     ServiceStats      `json:"stats"`
+	Campaigns []CampaignStatusz `json:"campaigns"`
+}
+
+// Statusz snapshots the service for the human/JSON status page.
+func (s *Service) Statusz() Statusz {
+	st := s.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Statusz{Stats: st, Campaigns: make([]CampaignStatusz, 0, len(s.order))}
+	for _, id := range s.order {
+		c := s.campaigns[id]
+		out.Campaigns = append(out.Campaigns, CampaignStatusz{
+			Status:       s.statusLocked(c),
+			Obs:          c.obs,
+			PhaseSummary: c.obs.String(),
+		})
+	}
+	return out
+}
+
+// DrainStatus is the in-flight work snapshot the daemon logs when a
+// shutdown signal arrives.
+type DrainStatus struct {
+	Leases  int `json:"leases"`
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
+// Drain marks the daemon draining (mcversid_draining flips to 1) and
+// returns what is still in flight: outstanding leases whose workers
+// are being cancelled, plus queued and running campaigns that will be
+// recovered from checkpoints on restart.
+func (s *Service) Drain() DrainStatus {
+	s.met.draining.Set(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := DrainStatus{Leases: len(s.leases)}
+	for _, c := range s.campaigns {
+		switch c.state {
+		case StateQueued:
+			d.Queued++
+		case StateRunning:
+			d.Running++
+		}
+	}
+	return d
 }

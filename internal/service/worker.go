@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 // Source is where a worker gets its leases: the in-process Service
@@ -30,6 +31,12 @@ type WorkerOptions struct {
 	// FleetWorkers is the intra-shard parallelism (0 = all cores).
 	// Results never depend on it.
 	FleetWorkers int
+	// Obs, when non-nil, accumulates the worker's own copy of every
+	// completed shard's phase timing — the local breakdown a worker
+	// process prints at shutdown. Shards always run instrumented either
+	// way (the snapshot also rides the ShardResult to the service);
+	// results are byte-identical regardless.
+	Obs *obs.Agg
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -108,6 +115,7 @@ func runLease(ctx context.Context, src Source, lease *Lease, opts WorkerOptions)
 	sr, err := fleet.RunShard(runCtx, lease.Spec, lease.Range, fleet.Options{
 		Workers:    opts.FleetWorkers,
 		Collective: true,
+		Obs:        true,
 	})
 	cancel()
 	wg.Wait()
@@ -116,6 +124,9 @@ func runLease(ctx context.Context, src Source, lease *Lease, opts WorkerOptions)
 			_ = src.Fail(ctx, lease.ID, err.Error())
 		}
 		return
+	}
+	if sr.Obs != nil {
+		opts.Obs.Absorb(*sr.Obs)
 	}
 	_ = src.Complete(ctx, lease.ID, sr)
 }

@@ -42,11 +42,21 @@ func (d *Dedupe) Merge(o Dedupe) {
 }
 
 // HitRate returns Hits/Checks, or 0 when nothing was checked.
-func (d Dedupe) HitRate() float64 {
-	if d.Checks == 0 {
+func (d Dedupe) HitRate() float64 { return Ratio(d.Hits, d.Checks) }
+
+// UniqueRate returns Unique/Checks, or 0 when nothing was checked.
+func (d Dedupe) UniqueRate() float64 { return Ratio(d.Unique, d.Checks) }
+
+// Ratio returns num/den, or 0 when den is zero. Every ratio derived
+// from the counters in this package goes through it: these values feed
+// the /metrics exposition, where a NaN from a 0/0 breaks the text
+// format (and rate() math downstream), so zero totals are defined to
+// yield 0 — "no activity", not "undefined".
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
 		return 0
 	}
-	return float64(d.Hits) / float64(d.Checks)
+	return float64(num) / float64(den)
 }
 
 func (d Dedupe) String() string {

@@ -47,6 +47,45 @@ func TestMinMax(t *testing.T) {
 	}
 }
 
+// TestRatioZeroTotals is the /metrics-exposition regression guard: a
+// ratio over a zero total must be 0, never NaN or Inf — a NaN that
+// reaches the text exposition poisons every rate() over the family.
+func TestRatioZeroTotals(t *testing.T) {
+	cases := []struct {
+		num, den uint64
+		want     float64
+	}{
+		{0, 0, 0},
+		{5, 0, 0}, // degenerate but must still not divide
+		{0, 4, 0},
+		{1, 4, 0.25},
+		{4, 4, 1},
+	}
+	for _, tc := range cases {
+		got := Ratio(tc.num, tc.den)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("Ratio(%d, %d) = %v, non-finite", tc.num, tc.den, got)
+		}
+		if !almost(got, tc.want) {
+			t.Errorf("Ratio(%d, %d) = %v, want %v", tc.num, tc.den, got, tc.want)
+		}
+	}
+
+	var d Dedupe
+	for name, got := range map[string]float64{
+		"HitRate":    d.HitRate(),
+		"UniqueRate": d.UniqueRate(),
+	} {
+		if math.IsNaN(got) || math.IsInf(got, 0) || got != 0 {
+			t.Errorf("zero-total %s = %v, want 0", name, got)
+		}
+	}
+	d = Dedupe{Checks: 8, Hits: 6, Unique: 2}
+	if !almost(d.HitRate(), 0.75) || !almost(d.UniqueRate(), 0.25) {
+		t.Errorf("HitRate/UniqueRate = %v/%v", d.HitRate(), d.UniqueRate())
+	}
+}
+
 func TestDedupeCounters(t *testing.T) {
 	var d Dedupe
 	if d.HitRate() != 0 {
