@@ -369,6 +369,21 @@ func BenchmarkCollectiveChecker(b *testing.B) {
 	b.Run("collective", benchwork.BenchChecker(true, progs, orders))
 }
 
+// BenchmarkFastpathChecker is the checker-decision A/B: the pure
+// exact checker versus the vector-clock fast path over the same
+// captured executions (replay and recorder bookkeeping excluded from
+// both sides). The fast side asserts verdict agreement with the exact
+// checker in-band before the timer starts, so CI's bench smoke run
+// catches a divergence even at -benchtime 1x. cmd/bench snapshots the
+// same A/B into BENCH_8.json with the gated checker_fastpath_speedup
+// and fastpath_conclusive_rate.
+func BenchmarkFastpathChecker(b *testing.B) {
+	progs, orders := benchwork.CheckerWorkload()
+	execs := benchwork.FastcheckExecutions(progs, orders)
+	b.Run("exact-check", benchwork.BenchExactCheck(execs, memmodel.TSO{}))
+	b.Run("fastpath-check", benchwork.BenchFastpathCheck(execs, memmodel.TSO{}))
+}
+
 // BenchmarkCoverageHotpath is the per-transition recording A/B: one op
 // is one test-run's worth of coverage records plus the run-boundary
 // fitness pass, through the seed-style string-keyed tracker (legacy)

@@ -47,6 +47,7 @@ for family in \
   mcversid_leases_issued_total \
   mcversid_queue_depth \
   mcversid_campaign_seconds_count \
+  mcversid_check_fastpath_total \
   mcversid_phase_nanoseconds_total; do
   if ! grep -q "^$family" service-metrics.txt; then
     echo "FAIL: /metrics missing family $family" >&2
@@ -70,6 +71,21 @@ awk '
 sim_ns=$(awk -F' ' '/^mcversid_phase_nanoseconds_total\{phase="sim"\}/ { print $2 }' service-metrics.txt)
 if [ -z "$sim_ns" ] || ! awk -v v="$sim_ns" 'BEGIN { exit !(v > 0) }'; then
   echo "FAIL: sim phase nanoseconds not positive: '$sim_ns'" >&2
+  exit 1
+fi
+
+# The smoke campaign runs only fast-path-supported models (TSO/PSO),
+# so every verdict the worker shipped must have been decided by the
+# fast-path checker — zero conclusive checks or any fallback means its
+# scope silently regressed.
+fast=$(awk -F' ' '/^mcversid_check_fastpath_total/ { print $2 }' service-metrics.txt)
+fallback=$(awk -F' ' '/^mcversid_check_fallback_total/ { print $2 }' service-metrics.txt)
+if [ -z "$fast" ] || ! awk -v v="$fast" 'BEGIN { exit !(v > 0) }'; then
+  echo "FAIL: check fast-path total not positive: '$fast'" >&2
+  exit 1
+fi
+if [ -n "$fallback" ] && ! awk -v v="$fallback" 'BEGIN { exit !(v == 0) }'; then
+  echo "FAIL: fast path fell back $fallback times on TSO/PSO" >&2
   exit 1
 fi
 

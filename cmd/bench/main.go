@@ -11,7 +11,13 @@
 // The checker A/B runs the exact workload of the CI-proven
 // BenchmarkCollectiveChecker (internal/benchwork), and the derived
 // checker_collective_speedup field records the naive/collective ratio
-// (see EXPERIMENTS.md, "Collective vs naive checking"). The scenario
+// (see EXPERIMENTS.md, "Collective vs naive checking"). The checker
+// fast-path A/B (checker/exact-check vs checker/fastpath-check) times
+// the pure decision procedures — full axiomatic check vs the
+// vector-clock frontier + Kahn-wave fast path — over the same captured
+// executions, asserting verdict agreement in-band before timing; the
+// derived checker_fastpath_speedup and fastpath_conclusive_rate are
+// gated (see EXPERIMENTS.md, "Checker fast path"). The scenario
 // sweep benchmark drives a 4-scenario fleet (SC/TSO/PSO/RMO on MESI)
 // end to end, so the scenario layer's overhead is tracked PR-over-PR
 // (the derived e2e_testruns_per_sec is its sample-throughput reading).
@@ -45,10 +51,11 @@
 // ≤2%: observability must be a side channel, not a tax (see
 // EXPERIMENTS.md, "Observability overhead").
 //
-// -smoke restricts the run to the gated A/Bs (coverage hot path, event
-// kernel, service overhead, obs overhead) so CI gets a fast regression
-// signal; -gate exits non-zero when a derived metric falls below its
-// recorded floor or above its recorded ceiling.
+// -smoke restricts the run to the gated A/Bs (checker fast path,
+// coverage hot path, event kernel, service overhead, obs overhead) so
+// CI gets a fast regression signal; -gate exits non-zero when a
+// derived metric falls below its recorded floor or above its recorded
+// ceiling.
 package main
 
 import (
@@ -92,6 +99,12 @@ var gates = map[string]float64{
 	"coverage_hotpath_alloc_ratio": 10.0,
 	"event_kernel_speedup":         2.0,
 	"event_kernel_alloc_ratio":     10.0,
+	// The fast-path checker must decide the workload at least 2× faster
+	// than the exact checker, and must stay conclusive on at least 95%
+	// of supported-model checks — a fallback-rate regression silently
+	// converts the speedup back into exact-checker time.
+	"checker_fastpath_speedup": 2.0,
+	"fastpath_conclusive_rate": 0.95,
 }
 
 // gatesMax are ceilings: derived metrics that must stay BELOW the
@@ -342,7 +355,7 @@ func median(xs []float64) float64 {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "snapshot path (- for stdout only)")
+	out := flag.String("out", "BENCH_8.json", "snapshot path (- for stdout only)")
 	smoke := flag.Bool("smoke", false, "run only the gated A/B benchmarks (CI regression signal)")
 	gate := flag.Bool("gate", false, "exit non-zero if a derived metric falls below its recorded gate")
 	flag.Parse()
@@ -353,8 +366,8 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Derived:    map[string]float64{},
 	}
+	progs, orders := benchwork.CheckerWorkload()
 	if !*smoke {
-		progs, orders := benchwork.CheckerWorkload()
 		dag := layeredDAG(100, 8)
 		snap.Benchmarks = append(snap.Benchmarks,
 			run("checker/naive", benchwork.BenchChecker(false, progs, orders)),
@@ -391,6 +404,14 @@ func main() {
 			}),
 		)
 	}
+	// Checker fast-path A/B: pure decision procedure over the captured
+	// workload executions — verdict agreement with the exact checker is
+	// asserted in-band before timing. Gated, so it runs in smoke too.
+	fastExecs := benchwork.FastcheckExecutions(progs, orders)
+	snap.Benchmarks = append(snap.Benchmarks,
+		run("checker/exact-check", benchwork.BenchExactCheck(fastExecs, memmodel.TSO{})),
+		run("checker/fastpath-check", benchwork.BenchFastpathCheck(fastExecs, memmodel.TSO{})),
+	)
 	snap.Benchmarks = append(snap.Benchmarks,
 		run("coverage/record-legacy", benchwork.BenchCoverage(false)),
 		run("coverage/record-id", benchwork.BenchCoverage(true)),
@@ -475,6 +496,10 @@ func main() {
 	}
 	if inc, dfs := byName["relation/acyclic-incremental"], byName["relation/acyclic-dfs"]; inc.NsPerOp > 0 {
 		snap.Derived["relation_incremental_vs_dfs"] = dfs.NsPerOp / inc.NsPerOp
+	}
+	if fast, exact := byName["checker/fastpath-check"], byName["checker/exact-check"]; fast.NsPerOp > 0 {
+		snap.Derived["checker_fastpath_speedup"] = exact.NsPerOp / fast.NsPerOp
+		snap.Derived["fastpath_conclusive_rate"] = fast.Metrics["conclusive-%"] / 100
 	}
 	if id, legacy := byName["coverage/record-id"], byName["coverage/record-legacy"]; id.NsPerOp > 0 {
 		snap.Derived["coverage_hotpath_speedup"] = legacy.NsPerOp / id.NsPerOp

@@ -224,6 +224,9 @@ func main() {
 	if st.Dedupe.Checks > 0 {
 		fmt.Printf("collective checking: %s\n", st.Dedupe)
 	}
+	if st.Fastpath.Checks > 0 {
+		fmt.Printf("checker fast path: %s\n", st.Fastpath)
+	}
 	if st.UnionCoverage > 0 {
 		fmt.Printf("fleet union coverage: %.1f%% of the transition table\n", 100*st.UnionCoverage)
 	}
@@ -358,6 +361,9 @@ func runSpecMode(ctx context.Context, spec core.Spec, o specModeOptions) {
 		merged.Stats.Found, merged.Stats.Items, merged.Stats.TestRuns)
 	if merged.Stats.Dedupe.Checks > 0 {
 		fmt.Printf("collective checking: %s\n", merged.Stats.Dedupe)
+	}
+	if merged.Fastpath.Checks > 0 {
+		fmt.Printf("checker fast path: %s\n", merged.Fastpath)
 	}
 	if merged.Stats.UnionCoverage > 0 {
 		fmt.Printf("fleet union coverage: %.1f%% of the transition table\n", 100*merged.Stats.UnionCoverage)

@@ -1,0 +1,95 @@
+package benchwork
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/memmodel"
+	"repro/internal/memmodel/fastpath"
+	"repro/internal/testgen"
+)
+
+// FastcheckExecutions captures the checker workload's candidate
+// executions in fully-assembled form (rf and co resolved), one per
+// serial interleaving, so the exact-vs-fastpath A/B times pure
+// decision procedure — no replay, no recorder bookkeeping — over the
+// same graphs the campaign hot path checks.
+func FastcheckExecutions(progs []testgen.Program, orders [][]int) []*memmodel.Execution {
+	rec := checker.NewRecorder(memmodel.TSO{})
+	execs := make([]*memmodel.Execution, 0, len(orders))
+	for _, order := range orders {
+		ReplaySerial(rec, progs, order)
+		// EndIteration resolves rf and co into the captured execution in
+		// place before handing the recorder a fresh one.
+		x := rec.Execution()
+		if v := rec.EndIteration(); v != nil {
+			panic(fmt.Sprintf("benchwork: serial execution rejected: %v", v))
+		}
+		execs = append(execs, x)
+	}
+	return execs
+}
+
+// verifyFastpathAgreement asserts, for every captured execution, that
+// the fast path's Result is identical to the exact checker's and that
+// its verdict is conclusive — in-band, before any timing, so a
+// speedup number can never be recorded for a checker that disagrees
+// with the reference.
+func verifyFastpathAgreement(fc *fastpath.Checker, execs []*memmodel.Execution, arch memmodel.Arch) {
+	for i, x := range execs {
+		exact := memmodel.Check(x, arch)
+		res, v := fc.Check(x, arch)
+		if !reflect.DeepEqual(res, exact) {
+			panic(fmt.Sprintf("benchwork: fastpath Result diverges from exact on execution %d:\n  fast  %+v\n  exact %+v", i, res, exact))
+		}
+		if v.Outcome == fastpath.OutcomeInconclusive {
+			panic(fmt.Sprintf("benchwork: fastpath inconclusive on supported execution %d", i))
+		}
+	}
+}
+
+// BenchExactCheck returns the baseline side of the checker-fastpath
+// A/B: the full axiomatic checker (relation building, incremental
+// topological GHB) over the captured executions.
+func BenchExactCheck(execs []*memmodel.Execution, arch memmodel.Arch) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := memmodel.Check(execs[i%len(execs)], arch); !res.Valid {
+				b.Fatalf("exact checker rejected workload execution: %+v", res)
+			}
+		}
+	}
+}
+
+// BenchFastpathCheck returns the fast side: the vector-clock frontier
+// + Kahn-wave checker over the same executions, through the same
+// Check entry the recorder uses. Verdict agreement with the exact
+// checker is asserted in-band before the timer starts; the
+// "conclusive-%" metric records the fraction of checks the fast path
+// decided without falling back (100 on this workload by construction
+// — the gate reads it so a silent scope regression fails CI).
+func BenchFastpathCheck(execs []*memmodel.Execution, arch memmodel.Arch) func(b *testing.B) {
+	return func(b *testing.B) {
+		fc := fastpath.New()
+		verifyFastpathAgreement(fc, execs, arch)
+		conclusive, checks := 0, 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, v := fc.Check(execs[i%len(execs)], arch)
+			if !res.Valid {
+				b.Fatalf("fastpath rejected workload execution: %+v", res)
+			}
+			checks++
+			if v.Outcome != fastpath.OutcomeInconclusive {
+				conclusive++
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(100*float64(conclusive)/float64(checks), "conclusive-%")
+	}
+}

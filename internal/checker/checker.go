@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/memmodel"
+	"repro/internal/memmodel/fastpath"
 	"repro/internal/memsys"
 	"repro/internal/relation"
 	"repro/internal/stats"
@@ -60,6 +61,16 @@ type Recorder struct {
 	seen map[collective.Sig]struct{}
 	ded  stats.Dedupe
 
+	// Fast-path state (nil fast = exact-only checking). The clock-rule
+	// checker decides most executions in near-linear time and falls back
+	// to memmodel.Check when it cannot; Results are identical either
+	// way, so the toggle can never change verdicts — only fstats.
+	fast   *fastpath.Checker
+	fstats stats.Fastpath
+	// checkFn caches the checkExec method value so the per-iteration
+	// memo call does not allocate a fresh closure.
+	checkFn collective.CheckFunc
+
 	// Per-iteration state.
 	exec       *memmodel.Execution
 	writeByVal map[uint64]relation.EventID
@@ -75,9 +86,11 @@ type Recorder struct {
 	allEvents map[memmodel.Key]struct{}
 }
 
-// NewRecorder returns a recorder checking against arch.
+// NewRecorder returns a recorder checking against arch. The fastpath
+// checker is on by default; see SetFastpath.
 func NewRecorder(arch memmodel.Arch) *Recorder {
-	r := &Recorder{arch: arch}
+	r := &Recorder{arch: arch, fast: fastpath.New()}
+	r.checkFn = r.checkExec
 	r.ResetAll()
 	return r
 }
@@ -95,6 +108,7 @@ func (r *Recorder) ResetAll() {
 	r.addrOf = make(map[memmodel.Key]memsys.Addr)
 	r.allEvents = make(map[memmodel.Key]struct{})
 	r.ded = stats.Dedupe{}
+	r.fstats = stats.Fastpath{}
 }
 
 // SetMemo enables collective checking: each iteration's execution is
@@ -120,6 +134,35 @@ func (r *Recorder) SetScope(scope string) { r.scope = scope }
 // own signature history, so the counters are deterministic regardless
 // of memo sharing.
 func (r *Recorder) Dedupe() stats.Dedupe { return r.ded }
+
+// SetFastpath enables or disables the clock-rule fast path. Disabling
+// it routes every check through the exact memmodel.Check — the A/B
+// reference configuration; verdicts are identical either way.
+func (r *Recorder) SetFastpath(on bool) {
+	if on {
+		if r.fast == nil {
+			r.fast = fastpath.New()
+		}
+	} else {
+		r.fast = nil
+	}
+}
+
+// Fastpath returns the current run's fast-path outcome counters (zero
+// while the fast path is disabled).
+func (r *Recorder) Fastpath() stats.Fastpath { return r.fstats }
+
+// checkExec decides one execution through the fast path when enabled,
+// tallying the outcome, or through the exact checker otherwise. The
+// Result is identical on both routes.
+func (r *Recorder) checkExec(x *memmodel.Execution, arch memmodel.Arch) memmodel.Result {
+	if r.fast == nil {
+		return memmodel.Check(x, arch)
+	}
+	res, v := r.fast.Check(x, arch)
+	r.fstats.Note(v.Outcome == fastpath.OutcomeValid, v.Outcome != fastpath.OutcomeInconclusive)
+	return res
+}
 
 func (r *Recorder) resetIteration() {
 	r.exec = memmodel.NewExecution()
@@ -269,14 +312,14 @@ func (r *Recorder) EndIteration() *Violation {
 		// signature; the shared memo model-checks each unique
 		// (program, observed-ordering) pair at most once.
 		sig := collective.Signature(exec)
-		res, _ = r.memo.CheckScoped(r.scope, sig, exec, r.arch)
+		res, _ = r.memo.CheckScopedVia(r.scope, sig, exec, r.arch, r.checkFn)
 		_, dup := r.seen[sig]
 		if !dup {
 			r.seen[sig] = struct{}{}
 		}
 		r.ded.Note(dup)
 	} else {
-		res = memmodel.Check(exec, r.arch)
+		res = r.checkExec(exec, r.arch)
 	}
 
 	// Fold this iteration's rf and co (immediate edges) into rfcoRUN

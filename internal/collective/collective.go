@@ -198,11 +198,25 @@ func (m *Memo) Check(sig Sig, x *memmodel.Execution, arch memmodel.Arch) (res me
 // scenario matrix without cross-scenario leakage. The empty scope is
 // itself a scope (the one Check uses).
 func (m *Memo) CheckScoped(scope string, sig Sig, x *memmodel.Execution, arch memmodel.Arch) (res memmodel.Result, hit bool) {
+	return m.CheckScopedVia(scope, sig, x, arch, memmodel.Check)
+}
+
+// CheckFunc is a drop-in decision procedure for CheckScopedVia. It must
+// return Results identical to memmodel.Check's for every input — the
+// contract the fastpath checker keeps by falling back to the exact
+// checker whenever its clock rules cannot decide.
+type CheckFunc func(*memmodel.Execution, memmodel.Arch) memmodel.Result
+
+// CheckScopedVia is CheckScoped with a caller-supplied decision
+// procedure: memo misses and invalid-hit witness re-derivations both
+// run through check, so a recorder wiring its fast path in here keeps
+// one set of outcome counters covering every execution it submits.
+func (m *Memo) CheckScopedVia(scope string, sig Sig, x *memmodel.Execution, arch memmodel.Arch, check CheckFunc) (res memmodel.Result, hit bool) {
 	m.checks.Add(1)
 	e, _ := m.entry(archKey(sig, arch, scope))
 	computed := false
 	e.once.Do(func() {
-		e.res = memmodel.Check(x, arch)
+		e.res = check(x, arch)
 		computed = true
 	})
 	if computed {
@@ -210,7 +224,7 @@ func (m *Memo) CheckScoped(scope string, sig Sig, x *memmodel.Execution, arch me
 	}
 	m.hits.Add(1)
 	if !e.res.Valid {
-		return memmodel.Check(x, arch), true
+		return check(x, arch), true
 	}
 	return e.res, true
 }

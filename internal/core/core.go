@@ -201,6 +201,14 @@ type Campaign struct {
 	// or off.
 	ps *obs.PhaseStats
 
+	// fstats accumulates the checker fast-path outcome tallies across
+	// test-runs. It lives outside Result deliberately: under a shared
+	// fleet memo, which campaign pays the one exact-or-fast computation
+	// for a signature depends on worker scheduling, so the per-campaign
+	// split is not a pure function of (spec, range) the way Result must
+	// be — only fleet-wide totals are deterministic.
+	fstats stats.Fastpath
+
 	out      Result
 	finished bool
 }
@@ -378,6 +386,7 @@ func (c *Campaign) Advance(ctx context.Context, extra int) (bool, error) {
 		c.out.TestRuns++
 		c.out.SumFitness += fitness
 		c.out.Dedupe.Merge(res.Dedupe)
+		c.fstats.Merge(res.Fastpath)
 		c.out.LastNDT = res.NDT
 		if res.NDT > c.out.MaxNDT {
 			c.out.MaxNDT = res.NDT
@@ -404,6 +413,11 @@ func (c *Campaign) Result() Result {
 	out.TotalCoverage = c.tracker.TotalCoverage()
 	return out
 }
+
+// Fastpath returns the campaign's checker fast-path tally so far. It
+// is reported beside Result, never inside it — see the fstats field
+// for why the split would break Result determinism.
+func (c *Campaign) Fastpath() stats.Fastpath { return c.fstats }
 
 // RunContext executes the campaign to completion or until ctx is
 // cancelled, returning the tally so far in either case.

@@ -145,6 +145,12 @@ type Stats struct {
 	// checks, unique signatures and hits. Checks - Unique == Hits;
 	// all three are deterministic at any worker count.
 	Dedupe stats.Dedupe
+	// Fastpath sums the per-campaign checker fast-path tallies. The
+	// fleet-wide totals are deterministic at any worker count (each
+	// unique signature is decided exactly once under a shared memo);
+	// the per-campaign attribution is not, which is why the counters
+	// ride here and never inside core.Result.
+	Fastpath stats.Fastpath
 	// Obs is the fleet-wide phase timing breakdown (zero unless
 	// Options.Obs).
 	Obs obs.Snapshot
@@ -174,6 +180,14 @@ type emitter struct {
 	covTable *coverage.Table
 	covUnion []uint64
 	covMixed bool
+}
+
+// absorbFastpath folds one campaign's fast-path tally into the
+// fleet-wide sum. Commutative, so worker count cannot change totals.
+func (em *emitter) absorbFastpath(f stats.Fastpath) {
+	em.mu.Lock()
+	em.stats.Fastpath.Merge(f)
+	em.mu.Unlock()
 }
 
 // absorb folds one sample's per-transition count delta (indexed by the
@@ -300,6 +314,7 @@ func pooledSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64
 		t0 := time.Now()
 		res, err := camp.RunContext(ctx)
 		em.absorb(camp.Tracker().Table(), camp.Tracker().Snapshot(nil))
+		em.absorbFastpath(camp.Fastpath())
 		if err != nil {
 			// The sample did not complete: report its partial tally to
 			// listeners and Stats either way. Only a genuine cancellation

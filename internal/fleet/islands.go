@@ -77,6 +77,7 @@ func islandSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64
 		isles[i].done = true
 		isles[i].stopped = stopped
 		results[i] = isles[i].camp.Result()
+		em.absorbFastpath(isles[i].camp.Fastpath())
 		em.emit(Event{
 			Sample: i, Epoch: em.stats.Epochs, Done: true, Stopped: stopped,
 			Result: results[i], Elapsed: time.Since(isles[i].started),

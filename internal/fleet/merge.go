@@ -105,6 +105,12 @@ type Merged struct {
 	// the byte-identity currency, and wall-clock spans are the one
 	// shard output that legitimately differs run to run.
 	Obs obs.Snapshot `json:"-"`
+	// Fastpath sums the shards' fast-path checker tallies. Excluded from
+	// the JSON encoding for the same reason as Obs: the split between
+	// fast-path verdicts and memo hits depends on where the shard cuts
+	// fall (memos never cross shards), so the sum is operator telemetry,
+	// not part of the byte-identity contract.
+	Fastpath stats.Fastpath `json:"-"`
 }
 
 // CanonicalBytes returns the deterministic JSON encoding (fixed field
@@ -137,6 +143,7 @@ func MergeShards(items int, shards []ShardResult) (Merged, error) {
 		if sr.Obs != nil {
 			m.Obs = m.Obs.Merge(*sr.Obs)
 		}
+		m.Fastpath.Merge(sr.Fastpath)
 		if sr.CoverageMixed {
 			acc.poison()
 		} else {

@@ -125,10 +125,11 @@ func TestObsPhaseBreakdownPlausible(t *testing.T) {
 	if s.Merging.Count != 1 {
 		t.Errorf("merge spans = %+v, want exactly one", s.Merging)
 	}
-	// Every iteration ends in exactly one verdict: check or memo hit.
-	verdicts := s.Check.Count + s.Memo.Count
+	// Every iteration ends in exactly one verdict: fast-path check,
+	// exact check, or memo hit.
+	verdicts := s.FastCheck.Count + s.Check.Count + s.Memo.Count
 	if verdicts == 0 {
-		t.Error("no check/memo spans at all")
+		t.Error("no fastcheck/check/memo spans at all")
 	}
 	if dd := m.Stats.Dedupe; dd.Hits > 0 && s.Memo.Count == 0 {
 		t.Errorf("dedupe reports %d hits but no spans classified memo", dd.Hits)

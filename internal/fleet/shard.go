@@ -9,6 +9,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // Range is a half-open interval [Start, End) of campaign-item indices
@@ -70,6 +71,14 @@ type ShardResult struct {
 	// enters the merged CanonicalBytes: wall time is the one shard
 	// output that is NOT a pure function of (spec, range).
 	Obs *obs.Snapshot `json:"obs,omitempty"`
+	// Fastpath sums the per-item fast-path checker tallies. A single
+	// shard's total is deterministic (the shared memo computes each
+	// unique signature exactly once), but the sum over a partition is
+	// not — memos never cross shard boundaries, so a signature shared by
+	// two items lands in one shard's Fastpath.Checks or two depending on
+	// where the cut falls. It therefore rides next to Obs: across the
+	// wire for operator visibility, never into CanonicalBytes.
+	Fastpath stats.Fastpath `json:"fastpath"`
 }
 
 // RunShard executes one range of spec's items in-process: each item is
@@ -105,8 +114,9 @@ func RunShard(ctx context.Context, spec core.Spec, r Range, opts Options) (Shard
 	}
 
 	var (
-		mu  sync.Mutex
-		acc coverageAcc
+		mu    sync.Mutex
+		acc   coverageAcc
+		fpAcc stats.Fastpath
 	)
 	results, err := Map(ctx, opts.Workers, r.Len(), func(ctx context.Context, k int) (core.Result, error) {
 		item := r.Start + k
@@ -126,6 +136,7 @@ func RunShard(ctx context.Context, spec core.Spec, r Range, opts Options) (Shard
 		res, err := camp.RunContext(ctx)
 		mu.Lock()
 		acc.absorb(string(spec.ItemScenario(item).Protocol), camp.Tracker().Snapshot(nil))
+		fpAcc.Merge(camp.Fastpath())
 		mu.Unlock()
 		if err != nil {
 			return res, err
@@ -144,7 +155,7 @@ func RunShard(ctx context.Context, spec core.Spec, r Range, opts Options) (Shard
 	if err != nil {
 		return ShardResult{}, err
 	}
-	out := ShardResult{Range: r, Results: results, CoverageMixed: acc.mixed}
+	out := ShardResult{Range: r, Results: results, CoverageMixed: acc.mixed, Fastpath: fpAcc}
 	out.CoverageKey, out.CoverageCounts = acc.merged()
 	if ps != nil {
 		snap := ps.Snapshot()

@@ -124,6 +124,9 @@ type RunResult struct {
 	// Dedupe is the run's collective-checking tally (zero when the
 	// recorder checks naively).
 	Dedupe stats.Dedupe
+	// Fastpath is the run's checker fast-path outcome tally (zero when
+	// the fast path is disabled).
+	Fastpath stats.Fastpath
 }
 
 // errorTrap collects protocol errors raised during a run.
@@ -296,19 +299,25 @@ func (h *Host) RunTest(t *testgen.Test) (RunResult, error) {
 			}
 			return RunResult{}, runErr
 		}
-		// Verification time splits on the collective memo: an iteration
-		// whose signature was already decided is a memo hit (lookup
-		// only), everything else paid a full model check. The hit/miss
-		// classification comes from the recorder's own dedupe delta, so
-		// no checker-layer hook is needed.
-		var hits0 uint64
+		// Verification time splits three ways: an iteration whose
+		// signature was already decided is a memo hit (lookup only);
+		// otherwise the lap is fastcheck when the clock-rule fast path
+		// answered conclusively and check when the exact checker ran.
+		// Both classifications come from the recorder's own counter
+		// deltas, so no checker-layer hook is needed.
+		var hits0, fast0 uint64
 		if h.obs != nil {
 			hits0 = h.rec.Dedupe().Hits
+			fast0 = h.rec.Fastpath().Conclusive()
 		}
 		v := h.rec.EndIteration()
 		checkPhase := obs.PhaseCheck
-		if h.obs != nil && h.rec.Dedupe().Hits > hits0 {
-			checkPhase = obs.PhaseMemo
+		if h.obs != nil {
+			if h.rec.Dedupe().Hits > hits0 {
+				checkPhase = obs.PhaseMemo
+			} else if h.rec.Fastpath().Conclusive() > fast0 {
+				checkPhase = obs.PhaseFastCheck
+			}
 		}
 		lap(checkPhase)
 		if v != nil {
@@ -325,6 +334,7 @@ func (h *Host) RunTest(t *testgen.Test) (RunResult, error) {
 	res.NDT = h.rec.NDT()
 	res.FitAddrs = h.rec.FitAddrs()
 	res.Dedupe = h.rec.Dedupe()
+	res.Fastpath = h.rec.Fastpath()
 	res.Ticks = h.m.Sim.Now() - start
 	h.runs++
 	return res, nil

@@ -23,7 +23,15 @@ type Arch interface {
 	Name() string
 	// PPOEdges appends the preserved-program-order and fence edges of
 	// one thread (events given in program order) to r.
-	PPOEdges(x *Execution, thread []relation.EventID, r *relation.Relation)
+	PPOEdges(x *Execution, thread []relation.EventID, r EdgeSink)
+}
+
+// EdgeSink receives the edges PPOEdges generates. *relation.Relation
+// satisfies it for the exact checker; the fastpath checker supplies a
+// flat-array sink so both decision procedures share the one ppo/fence
+// edge-generation implementation per model.
+type EdgeSink interface {
+	Add(from, to relation.EventID)
 }
 
 // SC is sequential consistency: ppo = po, nothing is reordered.
@@ -34,7 +42,7 @@ func (SC) Name() string { return "SC" }
 
 // PPOEdges implements Arch: under SC every adjacent po pair is preserved,
 // and adjacency chains give full reachability.
-func (SC) PPOEdges(x *Execution, thread []relation.EventID, r *relation.Relation) {
+func (SC) PPOEdges(x *Execution, thread []relation.EventID, r EdgeSink) {
 	for i := 0; i+1 < len(thread); i++ {
 		r.Add(thread[i], thread[i+1])
 	}
@@ -57,7 +65,7 @@ func (TSO) Name() string { return "TSO" }
 //     (R→R and F→R are preserved; W→R is not, so writes get no edge
 //     towards reads and no path from a write can reach a po-later read
 //     without passing a fence).
-func (TSO) PPOEdges(x *Execution, thread []relation.EventID, r *relation.Relation) {
+func (TSO) PPOEdges(x *Execution, thread []relation.EventID, r EdgeSink) {
 	// Scan backwards keeping the nearest later event of each class.
 	// Only full fences act as ordering points: SS/LL fence events add
 	// nothing TSO does not already preserve, and giving them in-edges
@@ -114,7 +122,7 @@ func (PSO) Name() string { return "PSO" }
 //     W …fence… W paths exist exactly when a fence intervenes;
 //   - writes get no other out-edges: no path from a write reaches a
 //     po-later read or write without passing a fence that orders it.
-func (PSO) PPOEdges(x *Execution, thread []relation.EventID, r *relation.Relation) {
+func (PSO) PPOEdges(x *Execution, thread []relation.EventID, r EdgeSink) {
 	var chainPrev, lastWW relation.EventID
 	haveChain, haveWW := false, false
 	for _, id := range thread {
@@ -165,7 +173,7 @@ func (RMO) Name() string { return "RMO" }
 // a path between two accesses exists exactly when a fence flavour that
 // orders the pair intervenes. The two chains meet only at full fences,
 // which belong to both.
-func (RMO) PPOEdges(x *Execution, thread []relation.EventID, r *relation.Relation) {
+func (RMO) PPOEdges(x *Execution, thread []relation.EventID, r EdgeSink) {
 	var lastLL, lastWW relation.EventID
 	haveLL, haveWW := false, false
 	for _, id := range thread {

@@ -3,6 +3,7 @@ package memmodel
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/relation"
 )
@@ -65,6 +66,44 @@ func (r Result) Err() error {
 	return fmt.Errorf("memmodel: %s violation: %s", r.Kind, r.Detail)
 }
 
+// Scratch holds the per-check working state — the derived-relation edge
+// sets and the two incremental acyclicity engines — so repeated checks
+// reuse allocations instead of rebuilding maps and adjacency arrays per
+// execution. A Scratch is single-use-at-a-time; Check draws one from an
+// internal pool, and callers with their own loop can hold one directly
+// via CheckWith.
+type Scratch struct {
+	rf, co, fr, poloc, rfe, ppo *relation.Relation
+	base, uni                   *relation.Topo
+}
+
+// NewScratch returns an empty scratch ready for CheckWith.
+func NewScratch() *Scratch {
+	return &Scratch{
+		rf:    relation.New(),
+		co:    relation.New(),
+		fr:    relation.New(),
+		poloc: relation.New(),
+		rfe:   relation.New(),
+		ppo:   relation.New(),
+		base:  relation.NewTopo(0),
+		uni:   relation.NewTopo(0),
+	}
+}
+
+func (s *Scratch) reset() {
+	s.rf.Reset()
+	s.co.Reset()
+	s.fr.Reset()
+	s.poloc.Reset()
+	s.rfe.Reset()
+	s.ppo.Reset()
+	s.base.Reset()
+	s.uni.Reset()
+}
+
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
 // Check decides whether execution x is valid under arch. The procedure
 // is the complete polynomial-time pre-silicon check of §4.1: all
 // conflict orders are visible, so each constraint is a cycle search
@@ -73,21 +112,32 @@ func (r Result) Err() error {
 // GHB constraint graphs is topologically sorted once and its sort
 // state reused for both, and each constraint's own edges are inserted
 // incrementally with the first order-closing insertion yielding the
-// witness cycle.
+// witness cycle. Working state comes from a shared pool; see CheckWith
+// to supply your own.
 func Check(x *Execution, arch Arch) Result {
+	s := scratchPool.Get().(*Scratch)
+	res := CheckWith(x, arch, s)
+	scratchPool.Put(s)
+	return res
+}
+
+// CheckWith is Check with caller-provided scratch. The returned Result
+// shares no state with s, so s may be reused immediately.
+func CheckWith(x *Execution, arch Arch, s *Scratch) Result {
 	if err := x.Validate(); err != nil {
 		return Result{Kind: ViolationStructural, Detail: err.Error()}
 	}
+	s.reset()
 
-	rf := x.RFRelation()
-	co := x.CORelation()
-	fr := x.FRRelation()
+	rf := x.RFRelationInto(s.rf)
+	co := x.CORelationInto(s.co)
+	fr := x.FRRelationInto(s.fr)
 
 	// Shared core: co ∪ fr appears in both constraint graphs. It is
 	// acyclic by construction (no edge enters a read), but a cycle here
 	// would be a same-address ordering violation, so classify it as
 	// uniproc if it ever happens.
-	base := relation.NewTopo(x.NumEvents())
+	base := s.base
 	for _, rel := range []*relation.Relation{co, fr} {
 		if cycle, ok := base.AddRelation(rel); !ok {
 			return uniprocViolation(x, cycle)
@@ -96,8 +146,9 @@ func Check(x *Execution, arch Arch) Result {
 
 	// Constraint 1 — uniproc / SC-per-location:
 	// acyclic(po-loc ∪ rf ∪ co ∪ fr).
-	uni := base.Clone()
-	for _, rel := range []*relation.Relation{x.POLocRelation(), rf} {
+	uni := s.uni
+	uni.CopyFrom(base)
+	for _, rel := range []*relation.Relation{x.POLocRelationInto(s.poloc), rf} {
 		if cycle, ok := uni.AddRelation(rel); !ok {
 			return uniprocViolation(x, cycle)
 		}
@@ -106,18 +157,18 @@ func Check(x *Execution, arch Arch) Result {
 	// Constraint 2 — RMW atomicity: for the read and write halves of an
 	// atomic pair, no other write may be coherence-ordered between the
 	// read's source and the write.
-	if res, ok := checkAtomicity(x); !ok {
+	if res, ok := CheckAtomicity(x); !ok {
 		return res
 	}
 
 	// Constraint 3 — global happens-before:
 	// acyclic(ppo ∪ fences ∪ rfe ∪ co ∪ fr). Reuses base directly: the
-	// uniproc check is done with its clone.
-	ppo := relation.New()
+	// uniproc check is done with its copy.
+	ppo := s.ppo
 	for _, tid := range x.Threads() {
 		arch.PPOEdges(x, x.ThreadEvents(tid), ppo)
 	}
-	for _, rel := range []*relation.Relation{x.RFERelation(), ppo} {
+	for _, rel := range []*relation.Relation{x.RFERelationInto(s.rfe), ppo} {
 		if cycle, ok := base.AddRelation(rel); !ok {
 			return Result{
 				Kind:   ViolationGHB,
@@ -138,10 +189,12 @@ func uniprocViolation(x *Execution, cycle []relation.EventID) Result {
 	}
 }
 
-// checkAtomicity verifies every RMW pair. A pair is the read half
+// CheckAtomicity verifies every RMW pair. A pair is the read half
 // followed by the write half of the same instruction (same Key.TID and
-// Key.Instr, consecutive Sub numbers, both Atomic).
-func checkAtomicity(x *Execution) (Result, bool) {
+// Key.Instr, consecutive Sub numbers, both Atomic). Exported so the
+// fastpath checker shares the one implementation and, with it, the
+// exact checker's Result for atomicity violations.
+func CheckAtomicity(x *Execution) (Result, bool) {
 	for _, tid := range x.Threads() {
 		events := x.ThreadEvents(tid)
 		for i := 0; i+1 < len(events); i++ {

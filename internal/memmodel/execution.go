@@ -137,6 +137,13 @@ func (x *Execution) renumberCO(addr memsys.Addr) {
 // it has been created).
 func (x *Execution) CO(addr memsys.Addr) []relation.EventID { return x.co[addr] }
 
+// COIndex returns w's position within its address's coherence order —
+// the coherence clock the fastpath checker's frontier rules compare.
+func (x *Execution) COIndex(w relation.EventID) (int, bool) {
+	pos, ok := x.coPos[w]
+	return pos, ok
+}
+
 // COSuccessor returns the write immediately co-after w, if any.
 func (x *Execution) COSuccessor(w relation.EventID) (relation.EventID, bool) {
 	addr := x.events[w].Addr
@@ -170,7 +177,12 @@ func (x *Execution) Addresses() []memsys.Addr {
 
 // RFRelation returns rf as a relation (write -> read).
 func (x *Execution) RFRelation() *relation.Relation {
-	r := relation.New()
+	return x.RFRelationInto(relation.New())
+}
+
+// RFRelationInto adds the rf edges to r and returns it — the
+// caller-provided-buffer variant the pooled check scratch uses.
+func (x *Execution) RFRelationInto(r *relation.Relation) *relation.Relation {
 	for read, write := range x.rf {
 		r.Add(write, read)
 	}
@@ -181,7 +193,11 @@ func (x *Execution) RFRelation() *relation.Relation {
 // over immediate edges equals the full co order, which is all the cycle
 // search needs.
 func (x *Execution) CORelation() *relation.Relation {
-	r := relation.New()
+	return x.CORelationInto(relation.New())
+}
+
+// CORelationInto adds the immediate co edges to r and returns it.
+func (x *Execution) CORelationInto(r *relation.Relation) *relation.Relation {
 	for _, order := range x.co {
 		for i := 0; i+1 < len(order); i++ {
 			r.Add(order[i], order[i+1])
@@ -194,7 +210,11 @@ func (x *Execution) CORelation() *relation.Relation {
 // edges: each read points at the co-successor of the write it read from;
 // reachability extends to all later writes through co edges.
 func (x *Execution) FRRelation() *relation.Relation {
-	r := relation.New()
+	return x.FRRelationInto(relation.New())
+}
+
+// FRRelationInto adds the immediate fr edges to r and returns it.
+func (x *Execution) FRRelationInto(r *relation.Relation) *relation.Relation {
 	for read, write := range x.rf {
 		if succ, ok := x.COSuccessor(write); ok {
 			r.Add(read, succ)
@@ -206,7 +226,11 @@ func (x *Execution) FRRelation() *relation.Relation {
 // POLocRelation returns program order restricted to same-address pairs,
 // as per-(thread,address) chains of immediate edges.
 func (x *Execution) POLocRelation() *relation.Relation {
-	r := relation.New()
+	return x.POLocRelationInto(relation.New())
+}
+
+// POLocRelationInto adds the po-loc chain edges to r and returns it.
+func (x *Execution) POLocRelationInto(r *relation.Relation) *relation.Relation {
 	for _, ids := range x.threads {
 		last := make(map[memsys.Addr]relation.EventID)
 		for _, id := range ids {
@@ -226,7 +250,11 @@ func (x *Execution) POLocRelation() *relation.Relation {
 // RFERelation returns external read-from edges (writer and reader on
 // different threads). Initial writes are external to every reader.
 func (x *Execution) RFERelation() *relation.Relation {
-	r := relation.New()
+	return x.RFERelationInto(relation.New())
+}
+
+// RFERelationInto adds the external rf edges to r and returns it.
+func (x *Execution) RFERelationInto(r *relation.Relation) *relation.Relation {
 	for read, write := range x.rf {
 		if x.events[read].Key.TID != x.events[write].Key.TID {
 			r.Add(write, read)

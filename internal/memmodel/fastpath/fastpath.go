@@ -1,0 +1,276 @@
+// Package fastpath implements a near-linear-time decision procedure for
+// the TSO-like models (SC, TSO, PSO) in the style of Roy et al., "Fast
+// and Generalized Polynomial Time Memory Consistency Verification": the
+// same candidate execution the exact checker sees is decided by clock
+// rules instead of incremental topological sorting.
+//
+//   - The uniproc constraint (SC-per-location) collapses to a frontier
+//     scan: assign every access a coherence clock — a write's position
+//     in its address's co order, a read half a step after its source —
+//     and walk each thread's po-loc chain checking the clock never goes
+//     backwards. Every communication edge strictly increases the clock
+//     and po-loc preserves it, so per-adjacent-pair monotonicity is
+//     exactly acyclic(po-loc ∪ rf ∪ co ∪ fr); the rule is complete in
+//     both directions, not an approximation.
+//   - The GHB constraint is decided by frontier propagation (Kahn
+//     waves) over a flat CSR graph built from the same per-model
+//     ppo/fence edge generators the exact checker uses (shared through
+//     memmodel.EdgeSink), plus rfe, immediate co and immediate fr. The
+//     wavefront is the vector clock: events drain in happens-before
+//     order, and a residue means a cycle.
+//
+// The pass returns Valid, Invalid, or Inconclusive. RMO (and any model
+// the clock rules were not audited against) and structurally malformed
+// executions are Inconclusive by design and fall back to the exact
+// memmodel.Check; invalid executions also route through the exact
+// checker once so the caller receives the canonical witness cycle and
+// Detail. Either way the Result handed back is byte-identical to the
+// exact checker's — memoization, fleet merging and the service layer
+// cannot observe which path decided an execution.
+package fastpath
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+	"repro/internal/memsys"
+	"repro/internal/relation"
+)
+
+// Outcome classifies how the clock pass answered.
+type Outcome uint8
+
+const (
+	// OutcomeInconclusive means the clock rules do not cover the model
+	// or the execution shape; the exact checker decided.
+	OutcomeInconclusive Outcome = iota
+	// OutcomeValid means the clock pass proved the execution valid.
+	OutcomeValid
+	// OutcomeInvalid means the clock pass found a violation (the
+	// canonical witness still comes from the exact checker).
+	OutcomeInvalid
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeInconclusive:
+		return "inconclusive"
+	case OutcomeValid:
+		return "valid"
+	case OutcomeInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// Verdict is the clock pass's own answer: the outcome, and for
+// OutcomeInvalid the violated constraint. Conclusive verdicts must
+// agree with the exact checker — the differential harness and the
+// bench A/B enforce it.
+type Verdict struct {
+	Outcome Outcome
+	Kind    memmodel.ViolationKind
+}
+
+// Checker holds the reusable flat scratch of the clock pass. It is
+// single-goroutine, like memmodel.Scratch; each recorder owns one.
+type Checker struct {
+	frontier map[memsys.Addr]int64
+
+	// GHB graph scratch: a flat edge list bucket-sorted into CSR form,
+	// plus the Kahn in-degree array and wavefront stack.
+	edges []relation.Edge
+	off   []int32
+	cur   []int32
+	indeg []int32
+	adj   []relation.EventID
+	queue []relation.EventID
+}
+
+// New returns a ready checker.
+func New() *Checker {
+	return &Checker{frontier: make(map[memsys.Addr]int64)}
+}
+
+// Supported reports whether the clock rules decide arch conclusively.
+// The set is exactly the models the rules were audited against (SC,
+// TSO, PSO — the TSO-like models of Roy et al.); RMO's fence-flavour
+// chains fall back to the exact checker.
+func Supported(arch memmodel.Arch) bool {
+	switch arch.(type) {
+	case memmodel.SC, memmodel.TSO, memmodel.PSO:
+		return true
+	}
+	return false
+}
+
+// Check decides x under arch, consulting the exact checker whenever the
+// clock pass cannot (Inconclusive) or to re-derive the canonical
+// witness (Invalid). The returned Result is always byte-identical to
+// memmodel.Check's; the Verdict reports how the decision was reached.
+func (c *Checker) Check(x *memmodel.Execution, arch memmodel.Arch) (memmodel.Result, Verdict) {
+	v := c.Decide(x, arch)
+	if v.Outcome == OutcomeValid {
+		return memmodel.Result{Valid: true}, v
+	}
+	// Invalid: the violation is terminal for its campaign, so paying one
+	// exact check for the canonical cycle and Detail is the same trade
+	// the collective memo makes on invalid re-hits. Inconclusive: the
+	// exact checker is the decision procedure.
+	return memmodel.Check(x, arch), v
+}
+
+// Decide runs the pure clock pass with no fallback. The constraint
+// order mirrors the exact checker — structural, uniproc, atomicity,
+// GHB — so a conclusive Kind always matches the exact Result's Kind.
+func (c *Checker) Decide(x *memmodel.Execution, arch memmodel.Arch) Verdict {
+	if !Supported(arch) {
+		return Verdict{Outcome: OutcomeInconclusive}
+	}
+	if x.Validate() != nil {
+		return Verdict{Outcome: OutcomeInconclusive, Kind: memmodel.ViolationStructural}
+	}
+	if !c.uniproc(x) {
+		return Verdict{Outcome: OutcomeInvalid, Kind: memmodel.ViolationUniproc}
+	}
+	if _, ok := memmodel.CheckAtomicity(x); !ok {
+		return Verdict{Outcome: OutcomeInvalid, Kind: memmodel.ViolationAtomicity}
+	}
+	if !c.ghbAcyclic(x, arch) {
+		return Verdict{Outcome: OutcomeInvalid, Kind: memmodel.ViolationGHB}
+	}
+	return Verdict{Outcome: OutcomeValid}
+}
+
+// uniproc checks SC-per-location by frontier monotonicity. Each access
+// gets an even/odd-encoded coherence clock — write w ↦ 2·coIndex(w),
+// read r ↦ 2·coIndex(rf(r))+1 — under which every rf, co and fr edge
+// strictly increases the clock, so acyclic(po-loc ∪ com) holds exactly
+// when the clock never decreases along any per-(thread,address) po-loc
+// chain. (The odd offset makes a read sit between its source and the
+// source's co-successor: a same-clock R→R pair shares a source and is
+// legal, while W→R of the same clock means reading a po-earlier value
+// and R→W of a lower-or-equal clock means overwriting with the past —
+// both flagged.)
+func (c *Checker) uniproc(x *memmodel.Execution) bool {
+	for _, tid := range x.Threads() {
+		clear(c.frontier)
+		for _, id := range x.ThreadEvents(tid) {
+			e := x.Event(id)
+			if e.Kind == memmodel.KindFence {
+				continue
+			}
+			var pos int64
+			if e.IsWrite() {
+				ci, _ := x.COIndex(id)
+				pos = 2 * int64(ci)
+			} else {
+				w, _ := x.RF(id)
+				ci, _ := x.COIndex(w)
+				pos = 2*int64(ci) + 1
+			}
+			if prev, ok := c.frontier[e.Addr]; ok && pos < prev {
+				return false
+			}
+			c.frontier[e.Addr] = pos
+		}
+	}
+	return true
+}
+
+// Add implements memmodel.EdgeSink by appending to the flat GHB edge
+// list — the conduit through which the per-model PPOEdges generators
+// feed the clock pass.
+func (c *Checker) Add(from, to relation.EventID) {
+	c.edges = append(c.edges, relation.Edge{From: from, To: to})
+}
+
+// ghbAcyclic decides acyclic(ppo ∪ fences ∪ rfe ∪ co ∪ fr) by Kahn
+// wave propagation: gather the same edge set the exact checker sorts
+// incrementally, bucket it into CSR arrays, and drain zero-in-degree
+// events. Duplicated edges are harmless (counted symmetrically on both
+// endpoints), so no dedup pass is needed.
+func (c *Checker) ghbAcyclic(x *memmodel.Execution, arch memmodel.Arch) bool {
+	n := x.NumEvents()
+	c.edges = c.edges[:0]
+	for _, tid := range x.Threads() {
+		arch.PPOEdges(x, x.ThreadEvents(tid), c)
+	}
+	events := x.Events()
+	for i := range events {
+		e := &events[i]
+		switch {
+		case e.IsRead():
+			w, _ := x.RF(e.ID)
+			if events[w].Key.TID != e.Key.TID {
+				c.edges = append(c.edges, relation.Edge{From: w, To: e.ID}) // rfe
+			}
+			if succ, ok := x.COSuccessor(w); ok {
+				c.edges = append(c.edges, relation.Edge{From: e.ID, To: succ}) // fr
+			}
+		case e.IsWrite():
+			if succ, ok := x.COSuccessor(e.ID); ok {
+				c.edges = append(c.edges, relation.Edge{From: e.ID, To: succ}) // co
+			}
+		}
+	}
+
+	c.off = growInt32(c.off, n+1)
+	c.cur = growInt32(c.cur, n)
+	c.indeg = growInt32(c.indeg, n)
+	for _, e := range c.edges {
+		c.off[e.From]++
+		c.indeg[e.To]++
+	}
+	var sum int32
+	for v := 0; v < n; v++ {
+		cnt := c.off[v]
+		c.off[v] = sum
+		c.cur[v] = sum
+		sum += cnt
+	}
+	c.off[n] = sum
+	c.adj = growIDs(c.adj, len(c.edges))
+	for _, e := range c.edges {
+		c.adj[c.cur[e.From]] = e.To
+		c.cur[e.From]++
+	}
+
+	queue := growIDs(c.queue, n)[:0]
+	for v := 0; v < n; v++ {
+		if c.indeg[v] == 0 {
+			queue = append(queue, relation.EventID(v))
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		processed++
+		for _, w := range c.adj[c.off[v]:c.off[v+1]] {
+			c.indeg[w]--
+			if c.indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	c.queue = queue[:0]
+	return processed == n
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func growIDs(s []relation.EventID, n int) []relation.EventID {
+	if cap(s) < n {
+		return make([]relation.EventID, n)
+	}
+	return s[:n]
+}

@@ -23,8 +23,14 @@ const (
 	// PhaseSim covers simulated execution: program load, event-kernel
 	// ticks, quiesce and test-memory resets.
 	PhaseSim
+	// PhaseFastCheck covers verification laps the clock-rule fast path
+	// decided conclusively — no exact model check ran (invalid
+	// detections also land here: the fast path found the violation and
+	// only the witness was re-derived exactly).
+	PhaseFastCheck
 	// PhaseCheck covers full memmodel/collective verdict computation —
-	// iterations whose execution signature had not been seen before.
+	// iterations whose execution signature had not been seen before and
+	// the fast path could not decide (or was disabled).
 	PhaseCheck
 	// PhaseMemo covers the collective-checking memo hit path —
 	// iterations resolved by signature lookup without a model check.
@@ -36,7 +42,7 @@ const (
 	NumPhases
 )
 
-var phaseNames = [NumPhases]string{"testgen", "sim", "check", "memo", "merge"}
+var phaseNames = [NumPhases]string{"testgen", "sim", "fastcheck", "check", "memo", "merge"}
 
 func (p Phase) String() string {
 	if p < 0 || p >= NumPhases {
@@ -119,10 +125,11 @@ func (s PhaseStat) add(o PhaseStat) PhaseStat {
 // from Merged.CanonicalBytes, because wall time is the one thing about
 // a campaign that is NOT a pure function of (spec, range).
 type Snapshot struct {
-	Testgen PhaseStat `json:"testgen"`
-	Sim     PhaseStat `json:"sim"`
-	Check   PhaseStat `json:"check"`
-	Memo    PhaseStat `json:"memo"`
+	Testgen   PhaseStat `json:"testgen"`
+	Sim       PhaseStat `json:"sim"`
+	FastCheck PhaseStat `json:"fastcheck"`
+	Check     PhaseStat `json:"check"`
+	Memo      PhaseStat `json:"memo"`
 	// Merging is the PhaseMerge aggregate (named to leave the Merge
 	// method its natural name).
 	Merging PhaseStat `json:"merge"`
@@ -143,6 +150,8 @@ func (s Snapshot) Phase(p Phase) PhaseStat {
 		return s.Testgen
 	case PhaseSim:
 		return s.Sim
+	case PhaseFastCheck:
+		return s.FastCheck
 	case PhaseCheck:
 		return s.Check
 	case PhaseMemo:
@@ -160,6 +169,8 @@ func (s *Snapshot) set(p Phase, st PhaseStat) {
 		s.Testgen = st
 	case PhaseSim:
 		s.Sim = st
+	case PhaseFastCheck:
+		s.FastCheck = st
 	case PhaseCheck:
 		s.Check = st
 	case PhaseMemo:

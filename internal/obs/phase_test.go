@@ -157,7 +157,7 @@ func TestAgg(t *testing.T) {
 }
 
 func TestPhaseNames(t *testing.T) {
-	want := []string{"testgen", "sim", "check", "memo", "merge"}
+	want := []string{"testgen", "sim", "fastcheck", "check", "memo", "merge"}
 	for i, p := range Phases() {
 		if p.String() != want[i] {
 			t.Errorf("phase %d = %q, want %q", i, p, want[i])

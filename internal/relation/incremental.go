@@ -37,14 +37,56 @@ func NewTopo(n int) *Topo {
 func (t *Topo) Len() int { return t.edges }
 
 // ensure registers id, assigning new nodes the next (maximal) order
-// position.
+// position. Extending within capacity revives the adjacency backing
+// arrays a Reset left behind instead of allocating fresh ones.
 func (t *Topo) ensure(id EventID) {
 	for int(id) >= len(t.ord) {
-		t.succ = append(t.succ, nil)
-		t.pred = append(t.pred, nil)
-		t.ord = append(t.ord, len(t.ord))
+		n := len(t.ord)
+		if n < cap(t.succ) && n < cap(t.pred) {
+			t.succ = t.succ[:n+1]
+			t.succ[n] = t.succ[n][:0]
+			t.pred = t.pred[:n+1]
+			t.pred[n] = t.pred[n][:0]
+		} else {
+			t.succ = append(t.succ, nil)
+			t.pred = append(t.pred, nil)
+		}
+		t.ord = append(t.ord, n)
 		t.seen = append(t.seen, false)
 	}
+}
+
+// Reset empties the engine for reuse, keeping every allocated backing
+// array — including each node's adjacency lists, which ensure revives
+// on re-registration — so a pooled engine stops allocating once it has
+// seen its working set.
+func (t *Topo) Reset() {
+	for i := range t.succ {
+		t.succ[i] = t.succ[i][:0]
+		t.pred[i] = t.pred[i][:0]
+	}
+	t.succ = t.succ[:0]
+	t.pred = t.pred[:0]
+	t.ord = t.ord[:0]
+	t.seen = t.seen[:0]
+	t.edges = 0
+}
+
+// CopyFrom makes t an independent copy of src, reusing t's backing
+// arrays — the pooled-scratch variant of Clone.
+func (t *Topo) CopyFrom(src *Topo) {
+	t.Reset()
+	n := len(src.ord)
+	if n == 0 {
+		return
+	}
+	t.ensure(EventID(n - 1))
+	for i := 0; i < n; i++ {
+		t.succ[i] = append(t.succ[i], src.succ[i]...)
+		t.pred[i] = append(t.pred[i], src.pred[i]...)
+		t.ord[i] = src.ord[i]
+	}
+	t.edges = src.edges
 }
 
 // Clone returns an independent deep copy sharing no state, so a base

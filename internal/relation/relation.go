@@ -55,6 +55,16 @@ func (r *Relation) Add(from, to EventID) {
 	}
 }
 
+// Reset empties the relation for reuse, keeping the allocated per-node
+// successor sets so a pooled relation stops allocating once it has seen
+// its working set.
+func (r *Relation) Reset() {
+	for _, s := range r.succ {
+		clear(s)
+	}
+	r.n = 0
+}
+
 // Has reports whether the edge (from, to) is present.
 func (r *Relation) Has(from, to EventID) bool {
 	_, ok := r.succ[from][to]

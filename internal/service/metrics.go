@@ -2,6 +2,7 @@ package service
 
 import (
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // metrics is the service's pre-registered handle set on its obs
@@ -33,6 +34,9 @@ type metrics struct {
 	testRuns  *obs.Counter
 	itemsDone *obs.Counter
 	bugsFound *obs.Counter
+
+	checkFastpath *obs.Counter
+	checkFallback *obs.Counter
 
 	campaignSeconds *obs.Histogram
 
@@ -90,6 +94,11 @@ func newMetrics(s *Service) *metrics {
 	m.bugsFound = reg.Counter("mcversid_bugs_found_total",
 		"Items whose campaign reported a bug.")
 
+	m.checkFastpath = reg.Counter("mcversid_check_fastpath_total",
+		"Verdicts the fast-path checker concluded (valid or invalid) across all shard results.")
+	m.checkFallback = reg.Counter("mcversid_check_fallback_total",
+		"Checks the fast path declined, decided by the exact checker.")
+
 	m.campaignSeconds = reg.Histogram("mcversid_campaign_seconds",
 		"Submit-to-terminal campaign latency in seconds.", campaignSecondsBounds)
 
@@ -137,6 +146,13 @@ func (m *metrics) absorbObs(snap obs.Snapshot) {
 		}
 		m.phaseSpans[p].Add(st.Count)
 	}
+}
+
+// absorbFastpath folds one shard's fast-path tally into the checker
+// counters.
+func (m *metrics) absorbFastpath(f stats.Fastpath) {
+	m.checkFastpath.Add(f.Conclusive())
+	m.checkFallback.Add(f.Fallback)
 }
 
 // Metrics exposes the service's registry for /metrics exposition.

@@ -383,6 +383,7 @@ func (s *Service) Complete(leaseID string, sr fleet.ShardResult) error {
 		c.obs = c.obs.Merge(*sr.Obs)
 		s.met.absorbObs(*sr.Obs)
 	}
+	s.met.absorbFastpath(sr.Fastpath)
 	c.itemsDone += sh.rng.Len()
 	s.met.itemsDone.Add(uint64(sh.rng.Len()))
 	for i, r := range sr.Results {

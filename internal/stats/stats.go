@@ -64,6 +64,60 @@ func (d Dedupe) String() string {
 		d.Checks, d.Unique, d.Hits, 100*d.HitRate())
 }
 
+// Fastpath aggregates checker fast-path outcome counters: of the
+// executions the clock-rule checker saw, how many it proved valid on
+// its own, how many violations it detected itself, and how many fell
+// back to the exact checker (unsupported model or malformed
+// execution). Like Dedupe the fields are commutative sums, so any
+// partition of the same check stream merges to the same totals.
+type Fastpath struct {
+	// Checks is the number of executions submitted to the fast path.
+	Checks uint64
+	// Valid counts executions the clock pass proved valid alone.
+	Valid uint64
+	// Invalid counts violations the clock pass detected (the canonical
+	// witness is still re-derived by the exact checker).
+	Invalid uint64
+	// Fallback counts inconclusive answers decided by the exact checker.
+	Fallback uint64
+}
+
+// Note records one fast-path answer: conclusive (valid or invalid) or
+// a fallback.
+func (f *Fastpath) Note(valid, conclusive bool) {
+	f.Checks++
+	switch {
+	case !conclusive:
+		f.Fallback++
+	case valid:
+		f.Valid++
+	default:
+		f.Invalid++
+	}
+}
+
+// Merge folds o's counters into f.
+func (f *Fastpath) Merge(o Fastpath) {
+	f.Checks += o.Checks
+	f.Valid += o.Valid
+	f.Invalid += o.Invalid
+	f.Fallback += o.Fallback
+}
+
+// Conclusive returns the number of checks the clock pass decided.
+func (f Fastpath) Conclusive() uint64 { return f.Valid + f.Invalid }
+
+// ConclusiveRate returns Conclusive/Checks, or 0 when nothing ran.
+func (f Fastpath) ConclusiveRate() float64 { return Ratio(f.Conclusive(), f.Checks) }
+
+// FallbackRate returns Fallback/Checks, or 0 when nothing ran.
+func (f Fastpath) FallbackRate() float64 { return Ratio(f.Fallback, f.Checks) }
+
+func (f Fastpath) String() string {
+	return fmt.Sprintf("%d checks, %d fast-valid, %d fast-invalid, %d fallback (%.1f%% conclusive)",
+		f.Checks, f.Valid, f.Invalid, f.Fallback, 100*f.ConclusiveRate())
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

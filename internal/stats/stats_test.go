@@ -111,3 +111,43 @@ func TestDedupeCounters(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+func TestFastpathCounters(t *testing.T) {
+	var f Fastpath
+	if f.ConclusiveRate() != 0 || f.FallbackRate() != 0 {
+		t.Errorf("empty rates = %v/%v, want 0/0", f.ConclusiveRate(), f.FallbackRate())
+	}
+	f.Note(true, true)
+	f.Note(true, true)
+	f.Note(false, true)
+	f.Note(false, false)
+	if f.Checks != 4 || f.Valid != 2 || f.Invalid != 1 || f.Fallback != 1 {
+		t.Fatalf("counters = %+v, want 4/2/1/1", f)
+	}
+	if f.Conclusive() != 3 || !almost(f.ConclusiveRate(), 0.75) || !almost(f.FallbackRate(), 0.25) {
+		t.Errorf("conclusive = %d, rates = %v/%v", f.Conclusive(), f.ConclusiveRate(), f.FallbackRate())
+	}
+
+	// Merge is a commutative component-wise sum: any grouping of the
+	// same tallies folds to the same totals — what lets the counters
+	// ride the shard-merge algebra.
+	a := Fastpath{Checks: 4, Valid: 2, Invalid: 1, Fallback: 1}
+	b := Fastpath{Checks: 6, Valid: 5, Invalid: 0, Fallback: 1}
+	c := Fastpath{Checks: 1, Valid: 0, Invalid: 0, Fallback: 1}
+	var ab, ba Fastpath
+	ab.Merge(a)
+	ab.Merge(b)
+	ab.Merge(c)
+	ba.Merge(c)
+	ba.Merge(b)
+	ba.Merge(a)
+	if ab != ba {
+		t.Fatalf("merge order changed totals: %+v vs %+v", ab, ba)
+	}
+	if ab.Checks != 11 || ab.Valid != 7 || ab.Invalid != 1 || ab.Fallback != 3 {
+		t.Fatalf("merged = %+v, want 11/7/1/3", ab)
+	}
+	if got := ab.String(); got != "11 checks, 7 fast-valid, 1 fast-invalid, 3 fallback (72.7% conclusive)" {
+		t.Errorf("String = %q", got)
+	}
+}
