@@ -1,0 +1,20 @@
+// Command mcvlint is this repository's determinism & merge-algebra
+// static-analysis suite, speaking the cmd/go vet tool protocol:
+//
+//	go build -o mcvlint ./cmd/mcvlint
+//	go vet -vettool=./mcvlint ./...
+//
+// It enforces, per package, the invariants the distributed campaign
+// service is built on: no wall-clock/global-RNG/environment reads in
+// determinism-critical packages (nondeterm), no order-sensitive output
+// built from map iteration (maprange), no counters left out of
+// Merge/Union methods (mergefields), and explicit, documented json
+// tags on wire structs (wiretags). See internal/lint for the analyzer
+// framework and README.md "Static analysis" for the contract.
+package main
+
+import "repro/internal/lint"
+
+func main() {
+	lint.Main(lint.DefaultAnalyzers())
+}

@@ -1,0 +1,186 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// This file is a stdlib-only stand-in for x/tools' analysistest: each
+// testdata/<analyzer> directory is one fixture package, type-checked
+// against the standard library compiled from source, run through the
+// analyzer under test, and diffed against `// want "regexp"`
+// expectations attached to the offending lines. Lines silenced by
+// //mcvlint:allow carry no want comment — if the directive fails to
+// suppress, the unexpected diagnostic fails the test.
+
+// loadFixture parses and type-checks testdata/<dir> as import path
+// path.
+func loadFixture(t *testing.T, dir, path string) *lint.Package {
+	t.Helper()
+	fixDir := filepath.Join("testdata", dir)
+	entries, err := os.ReadDir(fixDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(fixDir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", fixDir)
+	}
+	info := lint.NewInfo()
+	// The source importer compiles imported stdlib packages from
+	// GOROOT source: no export data or network needed.
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := tc.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking %s: %v", fixDir, err)
+	}
+	return &lint.Package{Fset: fset, Files: files, Types: pkg, Info: info, Path: path}
+}
+
+// wantRe matches `// want "re"` and `// want ` + "`re`" + ` comments.
+// An optional signed offset (`// want-2 ...`) anchors the expectation
+// N lines away — for diagnostics on lines that cannot host a comment
+// of their own (for example a bare //mcvlint:allow directive).
+var wantRe = regexp.MustCompile("//\\s*want([+-][0-9]+)?\\s+(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants extracts the per-line expectations from the fixture's
+// comments.
+func collectWants(t *testing.T, pkg *lint.Package) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				offset := 0
+				if m[1] != "" {
+					offset, _ = strconv.Atoi(m[1])
+				}
+				raw := m[2]
+				var pat string
+				if raw[0] == '`' {
+					pat = raw[1 : len(raw)-1]
+				} else {
+					var err error
+					pat, err = strconv.Unquote(raw)
+					if err != nil {
+						t.Fatalf("bad want comment %q: %v", c.Text, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line+offset)
+				wants[key] = append(wants[key], &expectation{re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs analyzers over testdata/<dir> and enforces the
+// want expectations exactly: every diagnostic must match a want on its
+// line, every want must be hit.
+func checkFixture(t *testing.T, dir, path string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, dir, path)
+	wants := collectWants(t, pkg)
+	diags := lint.Run(pkg, analyzers)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+func TestNondetermFixture(t *testing.T) {
+	critical := func(path string) bool { return path == "fixture/nd" }
+	checkFixture(t, "nondeterm", "fixture/nd", lint.NewNondeterm(critical))
+}
+
+// TestNondetermScope proves the analyzer is silent outside the
+// determinism-critical package list: the same violating fixture,
+// loaded under a non-critical path, yields nothing.
+func TestNondetermScope(t *testing.T) {
+	pkg := loadFixture(t, "nondeterm", "fixture/other")
+	critical := func(path string) bool { return path == "fixture/nd" }
+	if diags := lint.Run(pkg, []*lint.Analyzer{lint.NewNondeterm(critical)}); len(diags) != 0 {
+		t.Fatalf("nondeterm fired outside critical packages: %v", diags)
+	}
+}
+
+func TestMaprangeFixture(t *testing.T) {
+	checkFixture(t, "maprange", "fixture/mr", lint.NewMaprange())
+}
+
+func TestMergefieldsFixture(t *testing.T) {
+	checkFixture(t, "mergefields", "fixture/mf", lint.NewMergefields())
+}
+
+func TestWiretagsFixture(t *testing.T) {
+	wire := func(path string) bool { return path == "fixture/wt" }
+	checkFixture(t, "wiretags", "fixture/wt", lint.NewWiretags(wire))
+}
+
+// TestWiretagsScope proves wiretags is silent outside wire packages.
+func TestWiretagsScope(t *testing.T) {
+	pkg := loadFixture(t, "wiretags", "fixture/elsewhere")
+	wire := func(path string) bool { return path == "fixture/wt" }
+	if diags := lint.Run(pkg, []*lint.Analyzer{lint.NewWiretags(wire)}); len(diags) != 0 {
+		t.Fatalf("wiretags fired outside wire packages: %v", diags)
+	}
+}
+
+func TestAllowDirectiveFixture(t *testing.T) {
+	checkFixture(t, "allow", "fixture/al", lint.NewMaprange())
+}

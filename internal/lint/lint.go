@@ -1,0 +1,125 @@
+// Package lint is mcvlint's analysis framework: a dependency-free
+// equivalent of golang.org/x/tools/go/analysis sized to this repo's
+// needs. It exists because the invariants the rest of the codebase is
+// built on — byte-identical merges at any worker topology, commutative
+// shard algebra, wire-stable checkpoints — are invisible to the Go
+// compiler, and PRs 6–8 each spent review cycles hand-catching
+// violations (poisoned coverage unions, counters missing from Merge,
+// untagged wire fields). The four analyzers here encode those contracts
+// so `go vet -vettool=mcvlint` catches the next violation at CI time.
+//
+// Findings that are deliberate are silenced in source with
+//
+//	//mcvlint:allow <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory; an optional leading analyzer name scopes the directive
+// (`//mcvlint:allow nondeterm wall-clock lap, not part of canonical
+// results`). A bare `//mcvlint:allow` with no reason is itself a
+// diagnostic — unexplained escapes defeat the point.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and scoped
+	// //mcvlint:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description surfaced by mcvlint -flags
+	// style help and the README.
+	Doc string
+	// Run inspects the package and reports findings through pass.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package's parsed and type-checked source through an
+// analyzer, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax trees, comments included.
+	Files []*ast.File
+	// Pkg and Info are the type-checker's output for the package.
+	Pkg  *types.Package
+	Info *types.Info
+	// Path is the package's import path (the canonical path from the
+	// vet config, or the fixture path under test).
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced
+// it so scoped allow directives can target it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Package bundles the inputs shared by every analyzer run.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Path  string
+}
+
+// Run applies analyzers to pkg, filters findings through the
+// //mcvlint:allow directives collected from the package's comments, and
+// returns the surviving diagnostics in file/position order. Malformed
+// directives (no reason) are appended as findings of the pseudo-analyzer
+// "allow".
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+
+	allows, malformed := collectAllows(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allows.covers(pkg.Fset.Position(d.Pos), d.Analyzer) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, malformed...)
+
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}

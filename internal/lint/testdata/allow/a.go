@@ -1,0 +1,55 @@
+// Package al exercises //mcvlint:allow semantics end to end:
+// suppression on the same line and the line above, analyzer scoping,
+// and the reason requirement.
+package al
+
+func suppressedAbove(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		//mcvlint:allow consumer deduplicates; order never observed
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func suppressedSameLine(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) //mcvlint:allow maprange consumer deduplicates; order never observed
+	}
+	return ks
+}
+
+// A directive scoped to a different analyzer does not cover this
+// finding.
+func scopedWrong(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		//mcvlint:allow nondeterm wrong analyzer for this finding
+		ks = append(ks, k) // want `append to ks inside map iteration`
+	}
+	return ks
+}
+
+// A bare directive is no escape: the finding stands AND the directive
+// itself is flagged as unexplained.
+func bare(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		//mcvlint:allow
+		ks = append(ks, k) // want `append to ks inside map iteration`
+		// want-2 `needs a reason`
+	}
+	return ks
+}
+
+// Naming an analyzer without a reason is equally unexplained.
+func scopedBare(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		//mcvlint:allow maprange
+		ks = append(ks, k) // want `append to ks inside map iteration`
+		// want-2 `needs a reason`
+	}
+	return ks
+}

@@ -1,0 +1,65 @@
+// Package mf seeds mergefields true positives (counters missing from
+// Merge/Union methods) plus the indirection and exemption cases that
+// must stay silent.
+package mf
+
+// Tally forgets B in its Merge; C is deliberately unmerged and
+// annotated; Label is a string (identity, exempt).
+type Tally struct {
+	A uint64
+	B uint64 // want `field Tally\.B is never read by \(\*Tally\)\.Merge`
+	//mcvlint:allow mergefields scratch field, reset per epoch instead of merged
+	C     uint64
+	Label string
+}
+
+func (t *Tally) Merge(o Tally) { t.A += o.A }
+
+// Indirect merges every field only through helper methods of the same
+// type — the analyzer's read closure must follow them.
+type Indirect struct {
+	X int
+	Y int
+}
+
+func (s Indirect) get(i int) int {
+	if i == 0 {
+		return s.X
+	}
+	return s.Y
+}
+
+func (s *Indirect) put(i, v int) {
+	if i == 0 {
+		s.X = v
+		return
+	}
+	s.Y = v
+}
+
+func (s *Indirect) Merge(o *Indirect) {
+	for i := 0; i < 2; i++ {
+		s.put(i, s.get(i)+o.get(i))
+	}
+}
+
+// UnionInto is merge-shaped through the Union prefix and a pointer
+// parameter.
+type Set struct {
+	Elems map[int]bool
+	Count int // want `field Set\.Count is never read by \(\*Set\)\.UnionInto`
+}
+
+func (s *Set) UnionInto(o *Set) {
+	for e := range o.Elems {
+		s.Elems[e] = true
+	}
+}
+
+// MergeWith takes two parameters: not merge-shaped, R is not required.
+type Pair struct {
+	L int
+	R int
+}
+
+func (p *Pair) MergeWith(o Pair, scale int) { p.L += o.L * scale }

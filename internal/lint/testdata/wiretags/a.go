@@ -1,0 +1,46 @@
+// Package wt seeds wiretags true positives (untagged exported fields
+// and undocumented json:"-" exclusions on wire structs) plus the
+// unexported / untagged-struct / embedded cases that must stay silent.
+package wt
+
+// Wire self-identifies as a wire struct by tagging one field.
+type Wire struct {
+	Tagged   int `json:"tagged"`
+	Untagged int // want `exported field Wire\.Untagged of wire struct has no json tag`
+	hidden   int
+}
+
+// Excl has one documented exclusion (fine) and one bare (finding).
+type Excl struct {
+	A int `json:"a"`
+	// Merge-only operator telemetry; never part of canonical bytes.
+	DocOK  int `json:"-"`
+	BareNo int `json:"-"` // want `excludes field BareNo from its encoding`
+}
+
+// Plain carries no json tags at all: it never crosses the wire, so
+// nothing is required of it.
+type Plain struct {
+	A int
+	B string
+}
+
+// Inner's fields inline into Outer: embedding is the sanctioned
+// inlining idiom and needs no tag.
+type Inner struct {
+	V int `json:"v"`
+}
+
+type Outer struct {
+	Inner
+	N int `json:"n"`
+}
+
+// Level is a leaf type: embedding it would marshal under its type
+// name, so the tag requirement applies.
+type Level int
+
+type WithLeaf struct {
+	Level     // want `exported field WithLeaf\.Level of wire struct has no json tag`
+	M     int `json:"m"`
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// This file implements the cmd/go vet tool protocol — a stdlib-only
+// stand-in for golang.org/x/tools/go/analysis/unitchecker (x/tools is
+// not vendored here and the build must stay dependency-free). The
+// protocol, per cmd/go/internal/work and cmd/go/internal/vet:
+//
+//   tool -V=full     print "<name> version devel ... buildID=<hex>"
+//                    (cmd/go hashes this into its action cache key, so
+//                    the ID must change when the tool's code changes —
+//                    we hash the executable itself)
+//   tool -flags      print a JSON list of the tool's flags
+//   tool <vet.cfg>   analyze one package described by the JSON config,
+//                    diagnostics on stderr, facts to cfg.VetxOutput;
+//                    exit 0 = clean, 2 = findings (any nonzero fails
+//                    `go vet`)
+//
+// mcvlint's analyzers are package-local (no cross-package facts), so
+// the facts file is written empty and dependency packages — which
+// cmd/go vets with VetxOnly set purely to produce facts — are
+// acknowledged without being analyzed at all.
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the mcvlint entry point. It never returns.
+func Main(analyzers []*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			fmt.Printf("%s version devel buildID=%s\n", progname, selfID())
+			os.Exit(0)
+		case "-flags", "--flags":
+			// No tool-specific flags: scoping lives in source as
+			// //mcvlint:allow directives, not on the command line.
+			fmt.Println("[]")
+			os.Exit(0)
+		case "-h", "-help", "--help":
+			usage(progname, analyzers)
+			os.Exit(0)
+		}
+	}
+	if len(os.Args) != 2 || !strings.HasSuffix(os.Args[1], ".cfg") {
+		usage(progname, analyzers)
+		os.Exit(1)
+	}
+	code, err := runVetCfg(os.Args[1], analyzers, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func usage(progname string, analyzers []*Analyzer) {
+	fmt.Fprintf(os.Stderr, "%s: determinism & merge-algebra static analysis for this repo\n\n", progname)
+	fmt.Fprintf(os.Stderr, "usage: go vet -vettool=$(command -v %s) ./...\n\nanalyzers:\n", progname)
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nsilence a finding with //mcvlint:allow [analyzer] <reason> on or above its line\n")
+}
+
+// selfID hashes the running executable so cmd/go's vet action cache
+// invalidates whenever the tool is rebuilt with different code.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// runVetCfg analyzes the package described by cfgPath, printing
+// findings to w. It returns the process exit code: 0 clean, 2 findings.
+func runVetCfg(cfgPath string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// cmd/go requires the facts file to exist whether or not the tool
+	// produces facts; ours never does.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	// Dependency packages are vetted only for facts; test variants
+	// recompile the same non-test files the plain package run already
+	// analyzed (and add _test.go files, which the analyzers exempt).
+	if cfg.VetxOnly || testVariant(cfg.ImportPath) {
+		return 0, nil
+	}
+
+	pkg, err := typecheckCfg(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	diags := Run(pkg, analyzers)
+	if len(diags) == 0 {
+		return 0, nil
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return 2, nil
+}
+
+// testVariant reports whether path names a test build of a package
+// ("pkg [pkg.test]", "pkg_test [pkg.test]", or the generated "pkg.test"
+// main).
+func testVariant(path string) bool {
+	return strings.Contains(path, " [") || strings.HasSuffix(path, ".test")
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// typecheckCfg parses and type-checks the package named by cfg, using
+// the export-data files cmd/go supplies for every import.
+func typecheckCfg(cfg *vetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:    imp,
+		Sizes:       types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		FakeImportC: true,
+	}
+	if strings.HasPrefix(cfg.GoVersion, "go1") {
+		tc.GoVersion = cfg.GoVersion
+	}
+	info := NewInfo()
+	tpkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Fset: fset, Files: files, Types: tpkg, Info: info, Path: cfg.ImportPath}, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,153 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// buildMcvlint compiles cmd/mcvlint into a temp dir and returns the
+// binary path.
+func buildMcvlint(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "mcvlint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/mcvlint")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/mcvlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway module so `go vet` runs the tool
+// against packages outside this repo's analyzer scoping.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func goVet(t *testing.T, dir, vettool string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+vettool, "./...")
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err
+}
+
+// TestVettoolProtocol drives the compiled binary through cmd/go
+// exactly as CI does: the -V=full/-flags handshake, a module with a
+// seeded violation (vet must fail and print it), an allow directive
+// (vet must pass), and a clean module (vet must pass).
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go not in PATH")
+	}
+	bin := buildMcvlint(t)
+
+	t.Run("handshake", func(t *testing.T) {
+		out, err := exec.Command(bin, "-V=full").Output()
+		if err != nil {
+			t.Fatalf("-V=full: %v", err)
+		}
+		// cmd/go requires "<name> version devel ... buildID=<hex>" and
+		// hashes it into the vet action cache key.
+		if !regexp.MustCompile(`^mcvlint version devel buildID=[0-9a-f]+\n$`).Match(out) {
+			t.Errorf("-V=full output %q does not match cmd/go's expected shape", out)
+		}
+		out, err = exec.Command(bin, "-flags").Output()
+		if err != nil {
+			t.Fatalf("-flags: %v", err)
+		}
+		if string(out) != "[]\n" {
+			t.Errorf("-flags printed %q, want JSON list", out)
+		}
+	})
+
+	t.Run("seeded violation fails vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": "module fixturemod\n\ngo 1.21\n",
+			"dirty/dirty.go": `package dirty
+
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+`,
+		})
+		out, err := goVet(t, dir, bin)
+		if err == nil {
+			t.Fatalf("go vet passed on a seeded maprange violation; output:\n%s", out)
+		}
+		if !regexp.MustCompile(`dirty\.go:6:\d+: maprange: append to ks inside map iteration`).MatchString(out) {
+			t.Errorf("go vet output missing the maprange finding:\n%s", out)
+		}
+	})
+
+	t.Run("allow directive passes vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": "module fixturemod\n\ngo 1.21\n",
+			"dirty/dirty.go": `package dirty
+
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		//mcvlint:allow maprange caller sorts; covered by TestKeysSorted
+		ks = append(ks, k)
+	}
+	return ks
+}
+`,
+		})
+		if out, err := goVet(t, dir, bin); err != nil {
+			t.Errorf("go vet failed despite //mcvlint:allow: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("clean module passes vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": "module fixturemod\n\ngo 1.21\n",
+			"clean/clean.go": `package clean
+
+import "sort"
+
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+`,
+		})
+		if out, err := goVet(t, dir, bin); err != nil {
+			t.Errorf("go vet failed on a clean module: %v\n%s", err, out)
+		}
+	})
+}
