@@ -15,6 +15,7 @@ package litmus
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/memmodel"
@@ -232,8 +233,13 @@ func (t *Test) String() string {
 		b.WriteByte('\n')
 	}
 	b.WriteString("  forbidden: reads observe expectations")
-	for v, val := range t.FinalWrites {
-		fmt.Fprintf(&b, " ∧ %c=%d", rune('x'+v), val)
+	finals := make([]int, 0, len(t.FinalWrites))
+	for v := range t.FinalWrites {
+		finals = append(finals, v)
+	}
+	sort.Ints(finals)
+	for _, v := range finals {
+		fmt.Fprintf(&b, " ∧ %c=%d", rune('x'+v), t.FinalWrites[v])
 	}
 	b.WriteByte('\n')
 	return b.String()

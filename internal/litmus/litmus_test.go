@@ -249,3 +249,26 @@ func TestTestString(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+// TestStringDeterministic pins the final-condition rendering order:
+// FinalWrites is a map, and before the keys were sorted the forbidden
+// clause came out in whatever order the runtime walked it, so the same
+// test printed differently run to run.
+func TestStringDeterministic(t *testing.T) {
+	tst := &Test{
+		Name:        "pin",
+		Threads:     [][]Event{{{IsWrite: true, Var: 0, Val: 1}}},
+		FinalWrites: map[int]uint64{0: 1, 1: 2, 2: 3},
+		NumVars:     3,
+	}
+	first := tst.String()
+	want := "∧ x=1 ∧ y=2 ∧ z=3"
+	if !strings.Contains(first, want) {
+		t.Fatalf("final condition not in sorted key order:\n%s", first)
+	}
+	for i := 0; i < 64; i++ {
+		if s := tst.String(); s != first {
+			t.Fatalf("String unstable across calls:\n%s\nvs\n%s", first, s)
+		}
+	}
+}
