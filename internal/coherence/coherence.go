@@ -21,6 +21,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/interconnect"
 	"repro/internal/memsys"
@@ -355,4 +356,31 @@ type Transition struct {
 
 func (t Transition) String() string {
 	return t.Controller + ":" + t.State + ":" + t.Event
+}
+
+// sortTransitions orders an enumeration by (controller, state, event)
+// so table listings built from map iteration come out deterministic.
+func sortTransitions(ts []Transition) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.Controller != b.Controller {
+			return a.Controller < b.Controller
+		}
+		if a.State != b.State {
+			return a.State < b.State
+		}
+		return a.Event < b.Event
+	})
+}
+
+// sortInternKeys orders a transition vocabulary by its dense (state,
+// event) coordinates, detaching recorder construction from map
+// iteration order.
+func sortInternKeys(keys []internKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].s != keys[j].s {
+			return keys[i].s < keys[j].s
+		}
+		return keys[i].e < keys[j].e
+	})
 }

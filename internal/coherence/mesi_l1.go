@@ -182,6 +182,7 @@ func NewMESIL1(s *sim.Sim, net *interconnect.Network, cfg MESIL1Config, row, col
 	for k := range mesiL1Table {
 		keys = append(keys, internKey{int(k.state), int(k.ev), k.state.String(), k.ev.String()})
 	}
+	sortInternKeys(keys)
 	c.covRec = newCovRecorder(c.cov, "L1Cache", len(l1StateNames), len(l1EventNames), keys)
 	if err := net.Register(L1Node(cfg.CoreID), c, row, col); err != nil {
 		return nil, err

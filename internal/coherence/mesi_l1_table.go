@@ -455,5 +455,6 @@ func MESIL1Transitions() []Transition {
 			Event:      k.ev.String(),
 		})
 	}
+	sortTransitions(out)
 	return out
 }

@@ -153,6 +153,7 @@ func NewMESIL2(s *sim.Sim, net *interconnect.Network, cfg MESIL2Config, row, col
 	for k := range mesiL2Table {
 		keys = append(keys, internKey{int(k.state), int(k.ev), k.state.String(), k.ev.String()})
 	}
+	sortInternKeys(keys)
 	c.covRec = newCovRecorder(c.cov, "L2Cache", len(l2StateNames), len(l2EventNames), keys)
 	if err := net.Register(L2Node(cfg.Tile), c, row, col); err != nil {
 		return nil, err

@@ -374,6 +374,7 @@ func MESIL2Transitions() []Transition {
 			Event:      k.ev.String(),
 		})
 	}
+	sortTransitions(out)
 	return out
 }
 

@@ -185,6 +185,7 @@ func NewTSOCCL1(s *sim.Sim, net *interconnect.Network, cfg TSOCCL1Config, row, c
 	for k := range tsoccL1Table {
 		keys = append(keys, internKey{int(k.state), int(k.ev), k.state.String(), k.ev.String()})
 	}
+	sortInternKeys(keys)
 	c.covRec = newCovRecorder(c.cov, "L1Cache", len(tsoL1StateNames), len(tsoL1EventNames), keys)
 	c.tsResetID = c.covRec.resolve("core", tTsReset.String())
 	if err := net.Register(L1Node(cfg.CoreID), c, row, col); err != nil {

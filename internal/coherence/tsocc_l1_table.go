@@ -237,5 +237,6 @@ func TSOCCL1Transitions() []Transition {
 		})
 	}
 	out = append(out, Transition{Controller: "L1Cache", State: "core", Event: tTsReset.String()})
+	sortTransitions(out)
 	return out
 }

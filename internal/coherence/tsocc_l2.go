@@ -124,6 +124,7 @@ func NewTSOCCL2(s *sim.Sim, net *interconnect.Network, cfg TSOCCL2Config, row, c
 	for k := range tsoccL2Table {
 		keys = append(keys, internKey{int(k.state), int(k.ev), k.state.String(), k.ev.String()})
 	}
+	sortInternKeys(keys)
 	c.covRec = newCovRecorder(c.cov, "L2Cache", len(tsoL2StateNames), len(tsoL2EventNames), keys)
 	if err := net.Register(L2Node(cfg.Tile), c, row, col); err != nil {
 		return nil, err
@@ -466,6 +467,7 @@ func TSOCCL2Transitions() []Transition {
 			Event:      k.ev.String(),
 		})
 	}
+	sortTransitions(out)
 	return out
 }
 

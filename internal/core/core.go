@@ -327,10 +327,12 @@ func (c *Campaign) feedback(tst *testgen.Test, res host.RunResult, covFitness fl
 func (c *Campaign) Step() (host.RunResult, float64, error) {
 	var t0 time.Time
 	if c.ps != nil {
+		//mcvlint:allow nondeterm phase-timing lap; obs wall times never enter canonical results
 		t0 = time.Now()
 	}
 	tst := c.nextTest()
 	if c.ps != nil {
+		//mcvlint:allow nondeterm phase-timing lap; obs wall times never enter canonical results
 		c.ps.Observe(obs.PhaseTestgen, time.Since(t0))
 	}
 	c.tracker.StartRun()
@@ -340,8 +342,10 @@ func (c *Campaign) Step() (host.RunResult, float64, error) {
 	}
 	fitness := c.tracker.EndRun()
 	if c.ps != nil && c.engine != nil {
+		//mcvlint:allow nondeterm phase-timing lap; obs wall times never enter canonical results
 		t0 = time.Now()
 		c.feedback(tst, res, fitness)
+		//mcvlint:allow nondeterm phase-timing lap; obs wall times never enter canonical results
 		c.ps.Observe(obs.PhaseTestgen, time.Since(t0))
 	} else {
 		c.feedback(tst, res, fitness)

@@ -262,6 +262,7 @@ func (em *emitter) emit(ev Event) {
 // caveat.
 func SampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64, opts Options) ([]core.Result, Stats, error) {
 	opts = opts.withDefaults()
+	//mcvlint:allow nondeterm wall-clock telemetry for Stats.Wall; excluded from canonical bytes
 	start := time.Now()
 	em := &emitter{ch: opts.Events}
 	if opts.Obs {
@@ -291,6 +292,7 @@ func SampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64, opts
 	}
 	em.stats.UnionCoverage = em.unionCoverage()
 	em.stats.Obs = em.ps.Snapshot()
+	//mcvlint:allow nondeterm wall-clock telemetry for Stats.Wall; excluded from canonical bytes
 	em.stats.Wall = time.Since(start)
 	return results, em.stats, err
 }
@@ -311,6 +313,7 @@ func pooledSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64
 		if em.ps != nil {
 			camp.InstrumentObs(em.ps)
 		}
+		//mcvlint:allow nondeterm per-sample Elapsed telemetry; never feeds results
 		t0 := time.Now()
 		res, err := camp.RunContext(ctx)
 		em.absorb(camp.Tracker().Table(), camp.Tracker().Snapshot(nil))
@@ -321,6 +324,7 @@ func pooledSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64
 			// caused by a sibling's find is benign; a campaign's own
 			// failure (or caller cancellation) must still surface even if
 			// the early-stop cause is already set.
+			//mcvlint:allow nondeterm per-sample Elapsed telemetry; never feeds results
 			em.emit(Event{Sample: i, Done: true, Stopped: true, Result: res, Elapsed: time.Since(t0)})
 			if errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), errEarlyStop) {
 				return res, nil
@@ -330,6 +334,7 @@ func pooledSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64
 		if opts.StopOnFound && res.Found {
 			stop(errEarlyStop) // first cancel wins; later calls are no-ops
 		}
+		//mcvlint:allow nondeterm per-sample Elapsed telemetry; never feeds results
 		em.emit(Event{Sample: i, Done: true, Result: res, Elapsed: time.Since(t0)})
 		return res, nil
 	})

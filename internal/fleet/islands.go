@@ -58,6 +58,7 @@ func (is *island) mergeCoverage(em *emitter) {
 // stop is deterministic here.
 func islandSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64, opts Options, em *emitter) ([]core.Result, error) {
 	isles := make([]*island, n)
+	//mcvlint:allow nondeterm island start stamp for Elapsed telemetry; never feeds results
 	now := time.Now()
 	for i := 0; i < n; i++ {
 		c := cfg
@@ -80,6 +81,7 @@ func islandSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64
 		em.absorbFastpath(isles[i].camp.Fastpath())
 		em.emit(Event{
 			Sample: i, Epoch: em.stats.Epochs, Done: true, Stopped: stopped,
+			//mcvlint:allow nondeterm per-sample Elapsed telemetry; never feeds results
 			Result: results[i], Elapsed: time.Since(isles[i].started),
 		})
 	}
@@ -101,6 +103,7 @@ func islandSampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64
 			} else if em.ch != nil {
 				em.emit(Event{
 					Sample: i, Epoch: em.stats.Epochs,
+					//mcvlint:allow nondeterm per-sample Elapsed telemetry; never feeds results
 					Result: isles[i].camp.Result(), Elapsed: time.Since(isles[i].started),
 				})
 			}

@@ -196,10 +196,12 @@ func LocalMerged(ctx context.Context, spec core.Spec, opts Options) (Merged, err
 	// the caller times it so the merge phase shows up in the breakdown.
 	var t0 time.Time
 	if opts.Obs {
+		//mcvlint:allow nondeterm merge-span telemetry; CanonicalBytes strips phase timing
 		t0 = time.Now()
 	}
 	merged, err := MergeShards(spec.Items(), []ShardResult{sr})
 	if err == nil && opts.Obs {
+		//mcvlint:allow nondeterm merge-span telemetry; CanonicalBytes strips phase timing
 		merged.Obs = merged.Obs.Merge(obs.Span(obs.PhaseMerge, time.Since(t0)))
 	}
 	return merged, err

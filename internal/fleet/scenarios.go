@@ -27,6 +27,7 @@ import (
 // instead.
 func ScenarioSweep(ctx context.Context, base core.Config, scens []scenario.Scenario, samples int, baseSeed int64, opts Options) ([][]core.Result, Stats, error) {
 	opts = opts.withDefaults()
+	//mcvlint:allow nondeterm wall-clock telemetry for Stats.Wall; excluded from canonical bytes
 	start := time.Now()
 	n := len(scens) * samples
 	em := &emitter{ch: opts.Events}
@@ -48,9 +49,11 @@ func ScenarioSweep(ctx context.Context, base core.Config, scens []scenario.Scena
 		if err != nil {
 			return core.Result{}, err
 		}
+		//mcvlint:allow nondeterm per-sample Elapsed telemetry; never feeds results
 		t0 := time.Now()
 		res, err := camp.RunContext(ctx)
 		em.absorb(camp.Tracker().Table(), camp.Tracker().Snapshot(nil))
+		//mcvlint:allow nondeterm per-sample Elapsed telemetry; never feeds results
 		ev := Event{Sample: i, Scenario: cfg.Scenario.Name, Result: res, Elapsed: time.Since(t0), Done: true}
 		if err != nil {
 			ev.Stopped = true
@@ -80,6 +83,7 @@ func ScenarioSweep(ctx context.Context, base core.Config, scens []scenario.Scena
 	// Meaningful for same-protocol sweeps (one shared vocabulary);
 	// zero when scenarios span protocols.
 	em.stats.UnionCoverage = em.unionCoverage()
+	//mcvlint:allow nondeterm wall-clock telemetry for Stats.Wall; excluded from canonical bytes
 	em.stats.Wall = time.Since(start)
 	return out, em.stats, err
 }

@@ -241,6 +241,7 @@ func (h *Host) RunTest(t *testgen.Test) (RunResult, error) {
 		phaseN  [obs.NumPhases]uint64
 	)
 	if h.obs != nil {
+		//mcvlint:allow nondeterm monotonic lap base for phase observability; results unaffected
 		base = time.Now()
 		defer func() {
 			for p := obs.Phase(0); p < obs.NumPhases; p++ {
@@ -252,6 +253,7 @@ func (h *Host) RunTest(t *testgen.Test) (RunResult, error) {
 		if h.obs == nil {
 			return
 		}
+		//mcvlint:allow nondeterm monotonic lap read for phase observability; results unaffected
 		now := time.Since(base)
 		phaseNs[p] += int64(now - mark)
 		phaseN[p]++
