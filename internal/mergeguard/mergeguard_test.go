@@ -1,0 +1,66 @@
+package mergeguard
+
+import (
+	"reflect"
+	"testing"
+)
+
+type nested struct {
+	Ns    int64
+	Count uint64
+}
+
+type tally struct {
+	A      uint64
+	B      uint64
+	Rate   float64
+	Phases [2]nested
+	Hist   []uint64
+	label  string // unexported: outside the algebra
+	Name   string // non-numeric: outside the algebra
+}
+
+func goodMerge(a, b tally) tally {
+	a.A += b.A
+	a.B += b.B
+	a.Rate += b.Rate
+	for i := range a.Phases {
+		a.Phases[i].Ns += b.Phases[i].Ns
+		a.Phases[i].Count += b.Phases[i].Count
+	}
+	a.Hist = append(a.Hist[:len(a.Hist):len(a.Hist)], b.Hist...)
+	return a
+}
+
+func TestCompleteMergePasses(t *testing.T) {
+	if got := Uncovered(goodMerge, 1); got != nil {
+		t.Errorf("complete merge reported uncovered fields %v", got)
+	}
+}
+
+// TestDroppedFieldsNamed seeds a merge that forgets B, one nested
+// counter, and the slice; the guard must name exactly those paths.
+func TestDroppedFieldsNamed(t *testing.T) {
+	leaky := func(a, b tally) tally {
+		a.A += b.A
+		a.Rate += b.Rate
+		a.Phases[0].Ns += b.Phases[0].Ns
+		a.Phases[0].Count += b.Phases[0].Count
+		a.Phases[1].Ns += b.Phases[1].Ns
+		return a
+	}
+	want := []string{"B", "Phases[1].Count", "Hist"}
+	if got := Uncovered(leaky, 1); !reflect.DeepEqual(got, want) {
+		t.Errorf("Uncovered = %v, want %v", got, want)
+	}
+}
+
+func TestSeedStability(t *testing.T) {
+	leaky := func(a, b tally) tally { a.A += b.A; return a }
+	first := Uncovered(leaky, 42)
+	for i := 0; i < 8; i++ {
+		if got := Uncovered(leaky, 42); !reflect.DeepEqual(got, first) {
+			t.Fatalf("same seed produced %v then %v", first, got)
+		}
+	}
+}

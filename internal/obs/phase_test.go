@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/mergeguard"
 )
 
 func TestPhaseStatsObserveAndSnapshot(t *testing.T) {
@@ -165,5 +167,15 @@ func TestPhaseNames(t *testing.T) {
 	}
 	if got := Phase(99).String(); got != "phase(99)" {
 		t.Errorf("out-of-range phase = %q", got)
+	}
+}
+
+// TestSnapshotMergeCoversEveryField is the runtime half of the
+// mergefields invariant: every PhaseStat leaf of every phase must
+// propagate through Merge — a phase dropped from the Phase/set
+// dispatch tables fails here by name.
+func TestSnapshotMergeCoversEveryField(t *testing.T) {
+	if got := mergeguard.Uncovered(Snapshot.Merge, 1); got != nil {
+		t.Errorf("Snapshot.Merge drops %v", got)
 	}
 }

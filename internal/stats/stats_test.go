@@ -3,6 +3,8 @@ package stats
 import (
 	"math"
 	"testing"
+
+	"repro/internal/mergeguard"
 )
 
 func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
@@ -149,5 +151,19 @@ func TestFastpathCounters(t *testing.T) {
 	}
 	if got := ab.String(); got != "11 checks, 7 fast-valid, 1 fast-invalid, 3 fallback (72.7% conclusive)" {
 		t.Errorf("String = %q", got)
+	}
+}
+
+// TestMergeCoversEveryField is the runtime half of the mergefields
+// invariant: the static analyzer proves Merge reads each counter, this
+// guard proves each counter actually propagates into the result.
+func TestMergeCoversEveryField(t *testing.T) {
+	dedupe := func(a, b Dedupe) Dedupe { a.Merge(b); return a }
+	if got := mergeguard.Uncovered(dedupe, 1); got != nil {
+		t.Errorf("Dedupe.Merge drops %v", got)
+	}
+	fastpath := func(a, b Fastpath) Fastpath { a.Merge(b); return a }
+	if got := mergeguard.Uncovered(fastpath, 1); got != nil {
+		t.Errorf("Fastpath.Merge drops %v", got)
 	}
 }
