@@ -8,7 +8,9 @@
 set -euo pipefail
 
 WORKDIR=$(mktemp -d)
-trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+# xargs -r instead of an unquoted $(jobs -p): no word-splitting lint
+# (SC2046), and no kill usage error when there are no jobs left.
+trap 'jobs -p | xargs -r kill 2>/dev/null; rm -rf "$WORKDIR"' EXIT
 
 ADDR=127.0.0.1:8473
 URL="http://$ADDR"
