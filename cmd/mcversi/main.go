@@ -45,6 +45,8 @@ func main() {
 	migrate := flag.Int("migrate", 50, "island migration interval in test-runs")
 	collective := flag.Bool("collective", true,
 		"collective checking: dedupe executions by signature, one shared verdict memo per fleet (disable for naive A/B benchmarks)")
+	storeDir := flag.String("store", "",
+		"durable verdict store directory: signatures decided by earlier runs (or other processes on the same directory) are answered from disk; results are byte-identical either way")
 	progress := flag.Bool("progress", false, "stream per-sample fleet events to stderr")
 	list := flag.Bool("list", false, "list the 11 studied bugs and exit")
 	scenarioFlag := flag.String("scenario", "",
@@ -130,10 +132,17 @@ func main() {
 		if len(specScens) == 0 {
 			specScens = []mcversi.Scenario{base}
 		}
+		if *remote != "" && *storeDir != "" {
+			// The store is a local directory; a remote daemon attaches its
+			// own via mcversid -store.
+			fmt.Fprintln(os.Stderr, "mcversi: -store is not available with -remote (use mcversid -store on the daemon)")
+			os.Exit(2)
+		}
 		spec := core.NewSpec(cfg, specScens, *samples, *seed)
 		runSpecMode(ctx, spec, specModeOptions{
 			Remote: *remote, Tenant: *tenant, MergedOut: *mergedOut,
 			Parallel: *parallel, Collective: *collective, Progress: *progress,
+			StoreDir: *storeDir,
 		})
 		return
 	}
@@ -145,6 +154,18 @@ func main() {
 		MigrationInterval: *migrate,
 		Collective:        *collective,
 		Obs:               *progress,
+	}
+	var vs *mcversi.DurableVerdictStore
+	if *storeDir != "" {
+		var verr error
+		vs, verr = mcversi.OpenVerdictStore(*storeDir)
+		if verr != nil {
+			fmt.Fprintln(os.Stderr, "mcversi:", verr)
+			os.Exit(2)
+		}
+		// Closed explicitly below: os.Exit on the error path would skip
+		// a defer, and Close is what fsyncs the active segment.
+		opts.Store = vs
 	}
 	var drained chan struct{}
 	var events chan mcversi.FleetEvent
@@ -233,6 +254,12 @@ func main() {
 	if *progress {
 		fmt.Fprintf(os.Stderr, "[obs] phase breakdown: %s\n", st.Obs)
 	}
+	if vs != nil {
+		if cerr := vs.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "mcversi: verdict store:", cerr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcversi:", err)
 		os.Exit(1)
@@ -243,6 +270,9 @@ type specModeOptions struct {
 	Remote, Tenant, MergedOut string
 	Parallel                  int
 	Collective, Progress      bool
+	// StoreDir is the durable verdict store directory (local spec runs
+	// only; rejected with -remote before reaching here).
+	StoreDir string
 }
 
 // renderSample writes one per-sample progress line to stderr in the
@@ -317,6 +347,14 @@ func runSpecMode(ctx context.Context, spec core.Spec, o specModeOptions) {
 		// daemon's /statusz reports, printed locally. Merged bytes are
 		// identical either way (spans ride outside CanonicalBytes).
 		fopts := fleet.Options{Workers: o.Parallel, Collective: o.Collective, Obs: o.Progress}
+		if o.StoreDir != "" {
+			vs, err := mcversi.OpenVerdictStore(o.StoreDir)
+			if err != nil {
+				fail(err)
+			}
+			defer vs.Close()
+			fopts.Store = vs
+		}
 		var drained chan struct{}
 		if o.Progress {
 			events := make(chan fleet.Event, 64)

@@ -61,13 +61,12 @@ type Recorder struct {
 	seen map[collective.Sig]struct{}
 	ded  stats.Dedupe
 
-	// Fast-path state (nil fast = exact-only checking). The clock-rule
-	// checker decides most executions in near-linear time and falls back
-	// to memmodel.Check when it cannot; Results are identical either
-	// way, so the toggle can never change verdicts — only fstats.
-	fast   *fastpath.Checker
-	fstats stats.Fastpath
-	// checkFn caches the checkExec method value so the per-iteration
+	// chk is the unified decision procedure: the clock-rule fast path
+	// (when enabled) with exact fallback, plus the fast-path outcome
+	// counters. Results are identical with the fast path on or off, so
+	// the toggle can never change verdicts — only the counters.
+	chk *memmodel.Checker
+	// checkFn caches the chk.Check method value so the per-iteration
 	// memo call does not allocate a fresh closure.
 	checkFn collective.CheckFunc
 
@@ -89,8 +88,11 @@ type Recorder struct {
 // NewRecorder returns a recorder checking against arch. The fastpath
 // checker is on by default; see SetFastpath.
 func NewRecorder(arch memmodel.Arch) *Recorder {
-	r := &Recorder{arch: arch, fast: fastpath.New()}
-	r.checkFn = r.checkExec
+	r := &Recorder{
+		arch: arch,
+		chk:  memmodel.NewChecker(memmodel.WithFastDecider(fastpath.New())),
+	}
+	r.checkFn = r.chk.Check
 	r.ResetAll()
 	return r
 }
@@ -108,7 +110,7 @@ func (r *Recorder) ResetAll() {
 	r.addrOf = make(map[memmodel.Key]memsys.Addr)
 	r.allEvents = make(map[memmodel.Key]struct{})
 	r.ded = stats.Dedupe{}
-	r.fstats = stats.Fastpath{}
+	r.chk.ResetStats()
 }
 
 // SetMemo enables collective checking: each iteration's execution is
@@ -140,29 +142,17 @@ func (r *Recorder) Dedupe() stats.Dedupe { return r.ded }
 // reference configuration; verdicts are identical either way.
 func (r *Recorder) SetFastpath(on bool) {
 	if on {
-		if r.fast == nil {
-			r.fast = fastpath.New()
+		if !r.chk.FastEnabled() {
+			r.chk.SetFastDecider(fastpath.New())
 		}
 	} else {
-		r.fast = nil
+		r.chk.SetFastDecider(nil)
 	}
 }
 
 // Fastpath returns the current run's fast-path outcome counters (zero
 // while the fast path is disabled).
-func (r *Recorder) Fastpath() stats.Fastpath { return r.fstats }
-
-// checkExec decides one execution through the fast path when enabled,
-// tallying the outcome, or through the exact checker otherwise. The
-// Result is identical on both routes.
-func (r *Recorder) checkExec(x *memmodel.Execution, arch memmodel.Arch) memmodel.Result {
-	if r.fast == nil {
-		return memmodel.Check(x, arch)
-	}
-	res, v := r.fast.Check(x, arch)
-	r.fstats.Note(v.Outcome == fastpath.OutcomeValid, v.Outcome != fastpath.OutcomeInconclusive)
-	return res
-}
+func (r *Recorder) Fastpath() stats.Fastpath { return r.chk.Fastpath() }
 
 func (r *Recorder) resetIteration() {
 	r.exec = memmodel.NewExecution()
@@ -319,7 +309,7 @@ func (r *Recorder) EndIteration() *Violation {
 		}
 		r.ded.Note(dup)
 	} else {
-		res = r.checkExec(exec, r.arch)
+		res = r.chk.Check(exec, r.arch)
 	}
 
 	// Fold this iteration's rf and co (immediate edges) into rfcoRUN

@@ -112,6 +112,39 @@ func Signature(x *memmodel.Execution) Sig {
 	}
 }
 
+// Verdict is the durable essence of a check Result: validity and the
+// violated constraint. The witness cycle and Detail are deliberately
+// absent — they depend on the submitter's dense event numbering, so
+// persisting them would make Results depend on which historical
+// campaign checked first. Invalid durable hits re-derive the witness
+// from the submitted execution, exactly like in-RAM invalid re-hits.
+type Verdict struct {
+	// Valid reports whether the execution satisfies the model.
+	Valid bool `json:"valid"`
+	// Kind identifies the violated constraint when invalid.
+	Kind memmodel.ViolationKind `json:"kind"`
+}
+
+// VerdictOf extracts the durable essence of a Result.
+func VerdictOf(res memmodel.Result) Verdict {
+	return Verdict{Valid: res.Valid, Kind: res.Kind}
+}
+
+// VerdictStore is the durable tier below the in-RAM memo: an on-disk
+// verdict table keyed by scoped signature (see ScopedKey) shared across
+// process restarts and campaigns. Implementations must be safe for
+// concurrent use; Put may be called multiple times for the same key
+// (idempotent append semantics). The store subpackage provides the
+// append-only segment implementation.
+type VerdictStore interface {
+	// Get returns the stored verdict for key, if present.
+	Get(key Sig) (Verdict, bool)
+	// Put records the verdict for key. Errors are the store's to
+	// surface (a memo lookup cannot fail); implementations log or
+	// latch them.
+	Put(key Sig, v Verdict)
+}
+
 // memoShards bounds lock contention between fleet workers.
 const memoShards = 64
 
@@ -120,11 +153,22 @@ const memoShards = 64
 // goroutines sharing the memo: concurrent submitters of the same new
 // signature block on the first one's computation instead of repeating
 // it. The zero value is not ready; call NewMemo.
+//
+// A Memo optionally backs onto a VerdictStore (SetStore), forming a
+// two-tier lookup: RAM memo first, then the durable store, then a
+// fresh model check whose verdict is written back to the store. The
+// tiers are invisible to verdicts — campaign results are byte-identical
+// with the store attached or not — only the Durable counter and the
+// checking work change.
 type Memo struct {
 	checks  atomic.Uint64
 	hits    atomic.Uint64
 	entries atomic.Uint64
-	shards  [memoShards]memoShard
+	durable atomic.Uint64
+	// store is the durable tier (nil = RAM only). Set before the memo
+	// is shared across goroutines.
+	store  VerdictStore
+	shards [memoShards]memoShard
 }
 
 type memoShard struct {
@@ -145,6 +189,14 @@ func NewMemo() *Memo {
 	}
 	return m
 }
+
+// SetStore attaches the durable tier (nil detaches). Call before the
+// memo is shared across goroutines: the field is read without
+// synchronization on the check path.
+func (m *Memo) SetStore(s VerdictStore) { m.store = s }
+
+// Store returns the attached durable tier, or nil.
+func (m *Memo) Store() VerdictStore { return m.store }
 
 func (m *Memo) entry(sig Sig) (*memoEntry, bool) {
 	s := &m.shards[sig.Lo%memoShards]
@@ -172,6 +224,15 @@ func archKey(sig Sig, arch memmodel.Arch, scope string) Sig {
 	h.Write([]byte(scope))
 	n := h.Sum64()
 	return Sig{Hi: sig.Hi ^ n, Lo: sig.Lo ^ (n<<32 | n>>32)}
+}
+
+// ScopedKey is the exported fold of (scenario scope, memory model,
+// execution signature) into the 128-bit key the memo — and through it
+// any attached VerdictStore — looks verdicts up under. External tooling
+// that inspects or pre-seeds a store must key records with exactly this
+// fold to interoperate with campaign lookups.
+func ScopedKey(scope string, sig Sig, arch memmodel.Arch) Sig {
+	return archKey(sig, arch, scope)
 }
 
 // Check returns the verdict for the execution whose signature is sig,
@@ -213,10 +274,32 @@ type CheckFunc func(*memmodel.Execution, memmodel.Arch) memmodel.Result
 // one set of outcome counters covering every execution it submits.
 func (m *Memo) CheckScopedVia(scope string, sig Sig, x *memmodel.Execution, arch memmodel.Arch, check CheckFunc) (res memmodel.Result, hit bool) {
 	m.checks.Add(1)
-	e, _ := m.entry(archKey(sig, arch, scope))
+	key := archKey(sig, arch, scope)
+	e, _ := m.entry(key)
 	computed := false
 	e.once.Do(func() {
+		// Two-tier lookup: consult the durable store once per unique
+		// scoped key (the once.Do makes this race-free), then fall back
+		// to a fresh check whose verdict is written through. Durable
+		// verdicts carry no witness, so a stored invalid re-derives it
+		// via check — the same trade as in-RAM invalid re-hits — which
+		// keeps Results byte-identical with and without a store.
+		if m.store != nil {
+			if v, ok := m.store.Get(key); ok {
+				m.durable.Add(1)
+				if v.Valid {
+					e.res = memmodel.Result{Valid: true}
+				} else {
+					e.res = check(x, arch)
+				}
+				computed = true
+				return
+			}
+		}
 		e.res = check(x, arch)
+		if m.store != nil {
+			m.store.Put(key, VerdictOf(e.res))
+		}
 		computed = true
 	})
 	if computed {
@@ -238,9 +321,10 @@ func (m *Memo) Len() int { return int(m.entries.Load()) }
 // Unique == Hits always holds.
 func (m *Memo) Stats() stats.Dedupe {
 	return stats.Dedupe{
-		Checks: m.checks.Load(),
-		Hits:   m.hits.Load(),
-		Unique: m.entries.Load(),
+		Checks:  m.checks.Load(),
+		Hits:    m.hits.Load(),
+		Unique:  m.entries.Load(),
+		Durable: m.durable.Load(),
 	}
 }
 

@@ -23,52 +23,42 @@ type op struct {
 	val        uint64
 }
 
-// replay builds an execution from ops in the given global order: the
-// same op multiset in a different order yields the same per-thread
-// slices, and rf/co are resolved from the final value map / write
-// order, which the caller keeps fixed across permutations.
+// replay builds an execution from ops in the given global order via the
+// public Builder: the same op multiset in a different order yields the
+// same per-thread slices, and rf/co are pinned from the caller's maps,
+// which stay fixed across permutations. Keys are explicit (the ops
+// carry their instruction slots) because the whole point is appending
+// threads' events interleaved.
 func replay(t *testing.T, ops []op, co map[memsys.Addr][]uint64, rf map[[2]int]uint64) *memmodel.Execution {
 	t.Helper()
-	x := memmodel.NewExecution()
+	b := memmodel.NewBuilder()
 	writes := map[uint64]relation.EventID{}
-	var reads []relation.EventID
+	reads := map[[2]int]relation.EventID{}
 	for _, o := range ops {
-		kind := memmodel.KindRead
+		key := memmodel.Key{TID: o.tid, Instr: o.instr}
 		if o.write {
-			kind = memmodel.KindWrite
-		}
-		id := x.AddEvent(memmodel.Event{
-			Key:   memmodel.Key{TID: o.tid, Instr: o.instr},
-			Kind:  kind,
-			Addr:  o.addr,
-			Value: o.val,
-		})
-		if o.write {
-			writes[o.val] = id
+			writes[o.val] = b.WriteKeyed(key, o.addr, o.val, false)
 		} else {
-			reads = append(reads, id)
+			reads[[2]int{o.tid, o.instr}] = b.ReadKeyed(key, o.addr, o.val, false)
 		}
 	}
 	for addr, vals := range co {
+		ids := make([]relation.EventID, 0, len(vals))
 		for _, v := range vals {
-			if err := x.AppendCO(writes[v]); err != nil {
-				t.Fatal(err)
-			}
+			ids = append(ids, writes[v])
 		}
-		_ = addr
+		b.CO(addr, ids...)
 	}
-	for _, r := range reads {
-		e := x.Event(r)
-		want := rf[[2]int{e.Key.TID, e.Key.Instr}]
-		var w relation.EventID
-		if want == 0 {
-			w = x.InitWrite(e.Addr)
+	for slot, r := range reads {
+		if want := rf[slot]; want == 0 {
+			b.SetRFInit(r)
 		} else {
-			w = writes[want]
+			b.SetRF(r, writes[want])
 		}
-		if err := x.SetRF(r, w); err != nil {
-			t.Fatal(err)
-		}
+	}
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
 	}
 	return x
 }

@@ -64,6 +64,15 @@ type Options struct {
 	// preserved. If the campaign config already carries a Memo it is
 	// used as-is (e.g. to share verdicts across several fleet runs).
 	Collective bool
+	// Store attaches a durable verdict tier beneath the collective
+	// memo: signatures already decided by an earlier run (or another
+	// process pointed at the same store directory) are answered from
+	// disk instead of a fresh model check, tallied as Dedupe.Durable.
+	// Results stay byte-identical — the store only persists (valid,
+	// kind) and invalid hits re-derive their witness locally. Ignored
+	// unless a memo is in play (Collective, or a caller-supplied
+	// cfg.Memo that doesn't already have a store).
+	Store collective.VerdictStore
 	// Events, when non-nil, receives one Event per completed sample
 	// and one per island epoch. Sends are blocking: the consumer must
 	// drain the channel until SampleSet returns. The channel is never
@@ -161,6 +170,15 @@ type Stats struct {
 // errEarlyStop is the cancellation cause distinguishing "a sibling
 // found the bug" from caller cancellation.
 var errEarlyStop = errors.New("fleet: sibling found bug")
+
+// attachStore hooks the durable verdict tier beneath the run's memo.
+// A memo that already carries a store keeps it (the caller wired it
+// deliberately, e.g. to share one store across several fleet runs).
+func attachStore(memo *collective.Memo, opts Options) {
+	if memo != nil && opts.Store != nil && memo.Store() == nil {
+		memo.SetStore(opts.Store)
+	}
+}
 
 // emitter serializes optional event delivery and owns the running
 // aggregate.
@@ -277,6 +295,7 @@ func SampleSet(ctx context.Context, cfg core.Config, n int, baseSeed int64, opts
 	if opts.Collective && cfg.Memo == nil {
 		cfg.Memo = collective.NewMemo()
 	}
+	attachStore(cfg.Memo, opts)
 
 	var (
 		results []core.Result

@@ -111,6 +111,12 @@ type Merged struct {
 	// fall (memos never cross shards), so the sum is operator telemetry,
 	// not part of the byte-identity contract.
 	Fastpath stats.Fastpath `json:"-"`
+	// MemoDedupe sums the shards' shared-memo tallies — the view that
+	// carries Dedupe.Durable when a verdict store is attached. Excluded
+	// from the JSON encoding like Fastpath: the per-shard memo split is
+	// partition-dependent operator telemetry (Stats.Dedupe is the
+	// canonical, campaign-locally-classified tally).
+	MemoDedupe stats.Dedupe `json:"-"`
 }
 
 // CanonicalBytes returns the deterministic JSON encoding (fixed field
@@ -144,6 +150,7 @@ func MergeShards(items int, shards []ShardResult) (Merged, error) {
 			m.Obs = m.Obs.Merge(*sr.Obs)
 		}
 		m.Fastpath.Merge(sr.Fastpath)
+		m.MemoDedupe.Merge(sr.MemoDedupe)
 		if sr.CoverageMixed {
 			acc.poison()
 		} else {

@@ -37,6 +37,7 @@ func ScenarioSweep(ctx context.Context, base core.Config, scens []scenario.Scena
 	if opts.Collective && base.Memo == nil {
 		base.Memo = collective.NewMemo()
 	}
+	attachStore(base.Memo, opts)
 
 	ctx, stop := context.WithCancelCause(ctx)
 	defer stop(nil)

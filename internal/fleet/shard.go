@@ -79,6 +79,12 @@ type ShardResult struct {
 	// where the cut falls. It therefore rides next to Obs: across the
 	// wire for operator visibility, never into CanonicalBytes.
 	Fastpath stats.Fastpath `json:"fastpath"`
+	// MemoDedupe snapshots the shard's shared verdict memo, including
+	// the Durable tier's hit count when a store is attached. Like
+	// Fastpath it is partition-dependent (memos never cross shard
+	// boundaries), so it rides the wire for operator visibility but
+	// stays out of the merged CanonicalBytes.
+	MemoDedupe stats.Dedupe `json:"memo_dedupe"`
 }
 
 // RunShard executes one range of spec's items in-process: each item is
@@ -108,6 +114,7 @@ func RunShard(ctx context.Context, spec core.Spec, r Range, opts Options) (Shard
 	if opts.Collective {
 		memo = collective.NewMemo()
 	}
+	attachStore(memo, opts)
 	var ps *obs.PhaseStats
 	if opts.Obs {
 		ps = &obs.PhaseStats{}
@@ -158,6 +165,9 @@ func RunShard(ctx context.Context, spec core.Spec, r Range, opts Options) (Shard
 		return ShardResult{}, err
 	}
 	out := ShardResult{Range: r, Results: results, CoverageMixed: acc.mixed, Fastpath: fpAcc}
+	if memo != nil {
+		out.MemoDedupe = memo.Stats()
+	}
 	out.CoverageKey, out.CoverageCounts = acc.merged()
 	if ps != nil {
 		snap := ps.Snapshot()

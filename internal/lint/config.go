@@ -24,6 +24,7 @@ var criticalPackages = map[string]bool{
 	"repro/internal/checker":           true,
 	"repro/internal/coherence":         true,
 	"repro/internal/collective":        true,
+	"repro/internal/collective/store":  true,
 	"repro/internal/core":              true,
 	"repro/internal/coverage":          true,
 	"repro/internal/cpu":               true,
@@ -43,18 +44,23 @@ var criticalPackages = map[string]bool{
 	"repro/internal/sim":               true,
 	"repro/internal/stats":             true,
 	"repro/internal/testgen":           true,
+	"repro/internal/trace":             true,
+	"repro/oracle":                     true,
 }
 
 // wirePackages hold structs that cross process boundaries as JSON:
 // specs, checkpoints, shard results, service API types, and the
 // stats/obs aggregates that ride shard results.
 var wirePackages = map[string]bool{
-	"repro/internal/core":     true,
-	"repro/internal/fleet":    true,
-	"repro/internal/obs":      true,
-	"repro/internal/scenario": true,
-	"repro/internal/service":  true,
-	"repro/internal/stats":    true,
+	"repro/internal/collective": true,
+	"repro/internal/core":       true,
+	"repro/internal/fleet":      true,
+	"repro/internal/obs":        true,
+	"repro/internal/scenario":   true,
+	"repro/internal/service":    true,
+	"repro/internal/stats":      true,
+	"repro/internal/trace":      true,
+	"repro/oracle":              true,
 }
 
 // DefaultAnalyzers returns the suite wired to this repository's

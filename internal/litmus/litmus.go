@@ -320,145 +320,142 @@ func materialize(c Cycle) (*Test, bool) {
 	return t, true
 }
 
-// buildExecution constructs the candidate execution the cycle describes:
-// co per location is the topological order of the Wse and (Rfe;Fre)
-// constraints, Rfe edges fix rf, and unconstrained reads observe the
-// initial value. Returns ok=false when the constraints are inconsistent
-// (degenerate cycles).
+// buildExecution constructs the candidate execution the cycle describes
+// through memmodel.Builder: co per location is the topological order of
+// the Wse and (Rfe;Fre) constraints, Rfe edges fix rf, and
+// unconstrained reads observe the initial value. The rf and co plans
+// are computed over (thread, index) slots before any event exists, so
+// every read's observed value is known at creation — the shape the
+// builder (and the trace format it also serves) requires. Returns
+// ok=false when the constraints are inconsistent (degenerate cycles).
 func buildExecution(t *Test) (*memmodel.Execution, bool) {
-	x := memmodel.NewExecution()
-	ids := make([][]relation.EventID, len(t.Threads))
-	for ti, evs := range t.Threads {
-		ids[ti] = make([]relation.EventID, len(evs))
-		for ei, ev := range evs {
-			if ev.FenceBefore {
-				x.AddEvent(memmodel.Event{
-					Key:   memmodel.Key{TID: ti, Instr: 1000 + ei},
-					Kind:  memmodel.KindFence,
-					Fence: ev.FenceKind,
-				})
-			}
-			kind := memmodel.KindRead
-			if ev.IsWrite {
-				kind = memmodel.KindWrite
-			}
-			ids[ti][ei] = x.AddEvent(memmodel.Event{
-				Key:   memmodel.Key{TID: ti, Instr: ei},
-				Kind:  kind,
-				Addr:  VarAddr(ev.Var),
-				Value: ev.Val,
-			})
-		}
-	}
-	slotID := func(i int) relation.EventID {
-		ref := t.walk[i%len(t.walk)]
-		return ids[ref[0]][ref[1]]
-	}
+	type slot = [2]int // (thread, index)
+	slotAt := func(i int) slot { return t.walk[i%len(t.walk)] }
 	slotEv := func(i int) Event {
-		ref := t.walk[i%len(t.walk)]
+		ref := slotAt(i)
 		return t.Threads[ref[0]][ref[1]]
 	}
 
-	// rf: the dst of each Rfe reads the src.
-	rfOf := map[relation.EventID]relation.EventID{}
+	// Plan rf: the dst of each Rfe reads the src.
+	rfOf := map[slot]slot{}
 	for i, e := range t.Cycle {
 		if e == Rfe {
-			rfOf[slotID(i+1)] = slotID(i)
+			rfOf[slotAt(i+1)] = slotAt(i)
 		}
 	}
 
-	// co constraints per location.
-	var constraints []coPair
+	// Plan co: ordering constraints per location.
+	var constraints []coSlotPair
 	for i, e := range t.Cycle {
 		switch e {
 		case Wse:
-			constraints = append(constraints, coPair{slotID(i), slotID(i + 1)})
+			constraints = append(constraints, coSlotPair{slotAt(i), slotAt(i + 1)})
 		case Fre:
 			// The read's rf source (or the initial write) must be
-			// coherence-before the dst write.
-			read := slotID(i)
-			if w, ok := rfOf[read]; ok {
-				constraints = append(constraints, coPair{w, slotID(i + 1)})
+			// coherence-before the dst write. Reads of the initial value
+			// are trivially satisfied (the initial write is co-minimal).
+			if w, ok := rfOf[slotAt(i)]; ok {
+				constraints = append(constraints, coSlotPair{w, slotAt(i + 1)})
 			}
-			// Reads of the initial value are trivially satisfied
-			// (the initial write is co-minimal).
 		}
 	}
-	// Topologically order writes per location (stable over walk order).
-	perVar := map[int][]relation.EventID{}
+	perVar := map[int][]slot{}
 	for i := range t.walk {
-		ev := slotEv(i)
-		if ev.IsWrite {
-			perVar[ev.Var] = append(perVar[ev.Var], slotID(i))
+		if ev := slotEv(i); ev.IsWrite {
+			perVar[ev.Var] = append(perVar[ev.Var], slotAt(i))
 		}
 	}
+	coOrder := map[int][]slot{}
 	for v, writes := range perVar {
 		order, ok := topo(writes, constraints)
 		if !ok {
 			return nil, false
 		}
-		for _, w := range order {
-			if err := x.AppendCO(w); err != nil {
-				return nil, false
-			}
-		}
-		t.FinalWrites[v] = x.Event(order[len(order)-1]).Value
+		coOrder[v] = order
 	}
 
-	// Resolve rf.
-	for read, w := range rfOf {
-		x.Event(read).Value = x.Event(w).Value
-		if err := x.SetRF(read, w); err != nil {
-			return nil, false
+	// Resolve read expectations before materializing: an Rfe target
+	// observes its source's value, everything else the initial value.
+	val := func(s slot) uint64 { return t.Threads[s[0]][s[1]].Val }
+	for ti, evs := range t.Threads {
+		for ei := range evs {
+			if evs[ei].IsWrite {
+				continue
+			}
+			if w, ok := rfOf[slot{ti, ei}]; ok {
+				t.Threads[ti][ei].Val = val(w)
+			} else {
+				t.Threads[ti][ei].Val = 0
+			}
 		}
+	}
+
+	// Materialize through the builder with the same stable keys the raw
+	// construction used (fences at Instr 1000+index keep clear of the
+	// access slots).
+	b := memmodel.NewBuilder()
+	ids := map[slot]relation.EventID{}
+	for ti, evs := range t.Threads {
+		for ei, ev := range evs {
+			if ev.FenceBefore {
+				b.FenceKeyed(memmodel.Key{TID: ti, Instr: 1000 + ei}, ev.FenceKind)
+			}
+			key := memmodel.Key{TID: ti, Instr: ei}
+			if ev.IsWrite {
+				ids[slot{ti, ei}] = b.WriteKeyed(key, VarAddr(ev.Var), ev.Val, false)
+			} else {
+				ids[slot{ti, ei}] = b.ReadKeyed(key, VarAddr(ev.Var), ev.Val, false)
+			}
+		}
+	}
+	for v, order := range coOrder {
+		writes := make([]relation.EventID, len(order))
+		for i, s := range order {
+			writes[i] = ids[s]
+		}
+		b.CO(VarAddr(v), writes...)
+		t.FinalWrites[v] = val(order[len(order)-1])
 	}
 	for ti, evs := range t.Threads {
 		for ei, ev := range evs {
 			if ev.IsWrite {
 				continue
 			}
-			id := ids[ti][ei]
-			if _, ok := rfOf[id]; ok {
-				continue
-			}
-			init := x.InitWrite(VarAddr(ev.Var))
-			x.Event(id).Value = 0
-			if err := x.SetRF(id, init); err != nil {
-				return nil, false
+			if w, ok := rfOf[slot{ti, ei}]; ok {
+				b.SetRF(ids[slot{ti, ei}], ids[w])
+			} else {
+				b.SetRFInit(ids[slot{ti, ei}])
 			}
 		}
 	}
-	// Propagate resolved read expectations back into the test.
-	for ti, evs := range t.Threads {
-		for ei := range evs {
-			if !evs[ei].IsWrite {
-				t.Threads[ti][ei].Val = x.Event(ids[ti][ei]).Value
-			}
-		}
+	x, err := b.Build()
+	if err != nil {
+		return nil, false
 	}
 	return x, true
 }
 
-// coPair is one must-precede coherence constraint.
-type coPair struct{ a, b relation.EventID }
+// coSlotPair is one must-precede coherence constraint over (thread,
+// index) slots.
+type coSlotPair struct{ a, b [2]int }
 
-// topo orders nodes under must-precede constraints, preserving input
-// order among unconstrained nodes; ok=false on a constraint cycle.
-func topo(nodes []relation.EventID, constraints []coPair) ([]relation.EventID, bool) {
-	in := map[relation.EventID]bool{}
+// topo orders slots under must-precede constraints, preserving input
+// order among unconstrained slots; ok=false on a constraint cycle.
+func topo(nodes [][2]int, constraints []coSlotPair) ([][2]int, bool) {
+	in := map[[2]int]bool{}
 	for _, n := range nodes {
 		in[n] = true
 	}
-	succ := map[relation.EventID][]relation.EventID{}
-	deg := map[relation.EventID]int{}
+	succ := map[[2]int][][2]int{}
+	deg := map[[2]int]int{}
 	for _, c := range constraints {
 		if in[c.a] && in[c.b] {
 			succ[c.a] = append(succ[c.a], c.b)
 			deg[c.b]++
 		}
 	}
-	var out []relation.EventID
-	taken := map[relation.EventID]bool{}
+	var out [][2]int
+	taken := map[[2]int]bool{}
 	for len(out) < len(nodes) {
 		progressed := false
 		for _, n := range nodes {
@@ -489,11 +486,19 @@ func VarAddr(v int) memsys.Addr {
 // Forbidden reports whether the test's outcome is forbidden under arch
 // by checking the materialized candidate execution.
 func Forbidden(t *Test, arch memmodel.Arch) bool {
-	x, ok := buildExecution(t)
+	x, ok := t.Execution()
 	if !ok {
 		return false
 	}
 	return !memmodel.Check(x, arch).Valid
+}
+
+// Execution materializes the candidate execution of the test's
+// forbidden outcome — the shape the cycle describes, with every read
+// observing its expectation. Exported so the oracle layer can ship the
+// corpus as known-answer traces; ok=false on degenerate cycles.
+func (t *Test) Execution() (*memmodel.Execution, bool) {
+	return buildExecution(t)
 }
 
 // wellKnownNames maps canonical cycles to their classic names.

@@ -1,0 +1,334 @@
+package memmodel
+
+import (
+	"fmt"
+
+	"repro/internal/memsys"
+	"repro/internal/relation"
+)
+
+// Builder assembles candidate executions with validation, replacing the
+// raw struct-literal construction that used to be scattered across
+// tests and the litmus materializer. It is also the target the trace
+// decoder builds into, so every construction path shares one set of
+// well-formedness rules.
+//
+// Events are appended per thread in program order; their Keys default
+// to (thread, running instruction index, sub 0) but can be pinned
+// explicitly via the Keyed variants when key identity matters (RMW
+// pairing, signature stability across encode/decode round trips).
+// Coherence order defaults to write-registration order per address and
+// can be overridden with CO; read-from edges default to value
+// resolution — value 0 reads the initial write, any other value must
+// match exactly one write to the address — and can be pinned with
+// SetRF/SetRFInit.
+//
+// Errors are sticky: the first malformed call poisons the builder and
+// Build returns it. A Builder is single-use; Build returns the
+// execution at most once.
+type Builder struct {
+	x    *Execution
+	err  error
+	done bool
+
+	nextInstr map[int]int
+	// coSeq is the per-address write registration order (the default
+	// coherence order); coOverride replaces it per address when set.
+	coSeq      map[memsys.Addr][]relation.EventID
+	coOverride map[memsys.Addr][]relation.EventID
+	// rfPin maps pinned reads to their source; rfInit marks reads
+	// pinned to the initial write.
+	rfPin  map[relation.EventID]relation.EventID
+	rfInit map[relation.EventID]bool
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		x:          NewExecution(),
+		nextInstr:  make(map[int]int),
+		coSeq:      make(map[memsys.Addr][]relation.EventID),
+		coOverride: make(map[memsys.Addr][]relation.EventID),
+		rfPin:      make(map[relation.EventID]relation.EventID),
+		rfInit:     make(map[relation.EventID]bool),
+	}
+}
+
+// fail records the first error; later calls keep the original.
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("memmodel: builder: "+format, args...)
+	}
+}
+
+// Err returns the first recorded error, if any.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) autoKey(tid int) Key {
+	n := b.nextInstr[tid]
+	b.nextInstr[tid] = n + 1
+	return Key{TID: tid, Instr: n}
+}
+
+// Read appends a read of addr observing val to tid's program order.
+func (b *Builder) Read(tid int, addr memsys.Addr, val uint64) relation.EventID {
+	return b.ReadKeyed(b.autoKey(tid), addr, val, false)
+}
+
+// ReadKeyed is Read with an explicit event key and atomicity flag.
+func (b *Builder) ReadKeyed(key Key, addr memsys.Addr, val uint64, atomic bool) relation.EventID {
+	if key.TID == InitTID {
+		b.fail("read key %v uses the reserved initial-write TID", key)
+		return 0
+	}
+	return b.x.AddEvent(Event{
+		Key:    key,
+		Kind:   KindRead,
+		Addr:   addr,
+		Value:  val,
+		Atomic: atomic,
+	})
+}
+
+// Write appends a write of val to addr to tid's program order.
+func (b *Builder) Write(tid int, addr memsys.Addr, val uint64) relation.EventID {
+	return b.WriteKeyed(b.autoKey(tid), addr, val, false)
+}
+
+// WriteKeyed is Write with an explicit event key and atomicity flag.
+func (b *Builder) WriteKeyed(key Key, addr memsys.Addr, val uint64, atomic bool) relation.EventID {
+	if key.TID == InitTID {
+		b.fail("write key %v uses the reserved initial-write TID", key)
+		return 0
+	}
+	id := b.x.AddEvent(Event{
+		Key:    key,
+		Kind:   KindWrite,
+		Addr:   addr,
+		Value:  val,
+		Atomic: atomic,
+	})
+	b.coSeq[addr] = append(b.coSeq[addr], id)
+	return id
+}
+
+// Fence appends a fence of the given flavour to tid's program order.
+func (b *Builder) Fence(tid int, kind FenceKind) relation.EventID {
+	return b.FenceKeyed(b.autoKey(tid), kind)
+}
+
+// FenceKeyed is Fence with an explicit event key.
+func (b *Builder) FenceKeyed(key Key, kind FenceKind) relation.EventID {
+	if key.TID == InitTID {
+		b.fail("fence key %v uses the reserved initial-write TID", key)
+		return 0
+	}
+	if kind >= NumFenceKinds {
+		b.fail("fence key %v has unknown fence kind %d", key, kind)
+		return 0
+	}
+	return b.x.AddEvent(Event{Key: key, Kind: KindFence, Fence: kind})
+}
+
+// RMW appends an atomic read-modify-write reading old and writing new:
+// two events sharing one instruction slot (sub 0 and 1), both Atomic —
+// the pairing CheckAtomicity verifies.
+func (b *Builder) RMW(tid int, addr memsys.Addr, old, new uint64) (r, w relation.EventID) {
+	key := b.autoKey(tid)
+	r = b.ReadKeyed(key, addr, old, true)
+	key.Sub = 1
+	w = b.WriteKeyed(key, addr, new, true)
+	return r, w
+}
+
+// SetRF pins read r to source write w, overriding value resolution.
+func (b *Builder) SetRF(r, w relation.EventID) {
+	if !b.has(r) || !b.has(w) {
+		b.fail("SetRF(%d, %d) references an unknown event", r, w)
+		return
+	}
+	re, we := b.x.Event(r), b.x.Event(w)
+	if !re.IsRead() {
+		b.fail("SetRF target %v is not a read", re)
+		return
+	}
+	if !we.IsWrite() {
+		b.fail("SetRF source %v is not a write", we)
+		return
+	}
+	if re.Addr != we.Addr {
+		b.fail("SetRF address mismatch: %v reads-from %v", re, we)
+		return
+	}
+	if _, dup := b.rfPin[r]; dup || b.rfInit[r] {
+		b.fail("read %v has two rf edges", re)
+		return
+	}
+	b.rfPin[r] = w
+}
+
+// SetRFInit pins read r to the initial write of its address.
+func (b *Builder) SetRFInit(r relation.EventID) {
+	if !b.has(r) {
+		b.fail("SetRFInit(%d) references an unknown event", r)
+		return
+	}
+	re := b.x.Event(r)
+	if !re.IsRead() {
+		b.fail("SetRFInit target %v is not a read", re)
+		return
+	}
+	if _, dup := b.rfPin[r]; dup || b.rfInit[r] {
+		b.fail("read %v has two rf edges", re)
+		return
+	}
+	b.rfInit[r] = true
+}
+
+// CO overrides the coherence order of addr with the given writes. Every
+// registered write to addr must appear exactly once; the initial write
+// (if later created by rf resolution) stays implicitly co-minimal and
+// must not be listed.
+func (b *Builder) CO(addr memsys.Addr, writes ...relation.EventID) {
+	if _, dup := b.coOverride[addr]; dup {
+		b.fail("coherence order of %v set twice", addr)
+		return
+	}
+	seen := make(map[relation.EventID]bool, len(writes))
+	for _, w := range writes {
+		if !b.has(w) {
+			b.fail("CO(%v) references an unknown event %d", addr, w)
+			return
+		}
+		we := b.x.Event(w)
+		if !we.IsWrite() {
+			b.fail("CO(%v) element %v is not a write", addr, we)
+			return
+		}
+		if we.Addr != addr {
+			b.fail("CO(%v) element %v writes a different address", addr, we)
+			return
+		}
+		if seen[w] {
+			b.fail("CO(%v) lists write %v twice", addr, we)
+			return
+		}
+		seen[w] = true
+	}
+	if len(writes) != len(b.coSeq[addr]) {
+		b.fail("CO(%v) lists %d writes, %d registered", addr, len(writes), len(b.coSeq[addr]))
+		return
+	}
+	b.coOverride[addr] = writes
+}
+
+func (b *Builder) has(id relation.EventID) bool {
+	return int(id) >= 0 && int(id) < b.x.NumEvents()
+}
+
+// Build wires coherence order and read-from, validates the execution,
+// and returns it. Unpinned reads resolve by value: 0 reads the initial
+// write; any other value must match exactly one write to the address
+// (ambiguous or unproduced values are errors). Build consumes the
+// builder.
+func (b *Builder) Build() (*Execution, error) {
+	if b.done {
+		return nil, fmt.Errorf("memmodel: builder: Build called twice")
+	}
+	b.done = true
+	if b.err != nil {
+		return nil, b.err
+	}
+	x := b.x
+
+	// Coherence order first (the recorder's order too): initial writes
+	// created during rf resolution prepend themselves co-minimally.
+	for _, addr := range b.coAddrs() {
+		order := b.coSeq[addr]
+		if ov, ok := b.coOverride[addr]; ok {
+			order = ov
+		}
+		for _, w := range order {
+			if err := x.AppendCO(w); err != nil {
+				return nil, fmt.Errorf("memmodel: builder: %v", err)
+			}
+		}
+	}
+
+	// Read-from: pins first, then value resolution for the rest.
+	valueOf := make(map[memsys.Addr]map[uint64][]relation.EventID)
+	for addr, seq := range b.coSeq {
+		m := make(map[uint64][]relation.EventID)
+		for _, w := range seq {
+			v := x.Event(w).Value
+			m[v] = append(m[v], w)
+		}
+		valueOf[addr] = m
+	}
+	events := x.Events()
+	for i := range events {
+		e := &events[i]
+		if !e.IsRead() {
+			continue
+		}
+		var w relation.EventID
+		switch {
+		case b.rfInit[e.ID]:
+			w = x.InitWrite(e.Addr)
+		default:
+			if pin, ok := b.rfPin[e.ID]; ok {
+				w = pin
+				break
+			}
+			if e.Value == 0 {
+				w = x.InitWrite(e.Addr)
+				break
+			}
+			cands := valueOf[e.Addr][e.Value]
+			switch len(cands) {
+			case 1:
+				w = cands[0]
+			case 0:
+				return nil, fmt.Errorf(
+					"memmodel: builder: read %v observes value %#x with no producing write (add an rf edge)", e, e.Value)
+			default:
+				return nil, fmt.Errorf(
+					"memmodel: builder: read %v observes value %#x produced by %d writes (pin the rf edge)", e, e.Value, len(cands))
+			}
+		}
+		if err := x.SetRF(e.ID, w); err != nil {
+			return nil, fmt.Errorf("memmodel: builder: %v", err)
+		}
+	}
+
+	if err := x.Validate(); err != nil {
+		return nil, fmt.Errorf("memmodel: builder: %v", err)
+	}
+	return x, nil
+}
+
+// coAddrs returns the written addresses in first-write order — a
+// deterministic iteration for the map of per-address sequences.
+func (b *Builder) coAddrs() []memsys.Addr {
+	seen := make(map[memsys.Addr]bool, len(b.coSeq))
+	addrs := make([]memsys.Addr, 0, len(b.coSeq))
+	events := b.x.Events()
+	for i := range events {
+		e := &events[i]
+		if e.IsWrite() && !e.IsInit() && !seen[e.Addr] {
+			seen[e.Addr] = true
+			addrs = append(addrs, e.Addr)
+		}
+	}
+	return addrs
+}
+
+// MustBuild is Build panicking on error — for tests and generators
+// whose inputs are statically well-formed.
+func (b *Builder) MustBuild() *Execution {
+	x, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return x
+}

@@ -114,6 +114,11 @@ var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
 // incrementally with the first order-closing insertion yielding the
 // witness cycle. Working state comes from a shared pool; see CheckWith
 // to supply your own.
+//
+// Deprecated: new callers should go through a Checker (or the public
+// oracle package), which unifies exact checking, scratch ownership and
+// the fast-path dispatch behind one type. Check remains the exact-check
+// core Checker wraps and is not going away.
 func Check(x *Execution, arch Arch) Result {
 	s := scratchPool.Get().(*Scratch)
 	res := CheckWith(x, arch, s)
@@ -123,6 +128,10 @@ func Check(x *Execution, arch Arch) Result {
 
 // CheckWith is Check with caller-provided scratch. The returned Result
 // shares no state with s, so s may be reused immediately.
+//
+// Deprecated: new callers should hold a Checker built with WithScratch
+// instead of threading a Scratch by hand; CheckWith remains the
+// underlying implementation.
 func CheckWith(x *Execution, arch Arch, s *Scratch) Result {
 	if err := x.Validate(); err != nil {
 		return Result{Kind: ViolationStructural, Detail: err.Error()}
@@ -194,6 +203,11 @@ func uniprocViolation(x *Execution, cycle []relation.EventID) Result {
 // Key.Instr, consecutive Sub numbers, both Atomic). Exported so the
 // fastpath checker shares the one implementation and, with it, the
 // exact checker's Result for atomicity violations.
+//
+// Deprecated: CheckAtomicity is a constraint internal to the decision
+// procedure; callers wanting a verdict should use a Checker, which runs
+// it as part of the full check. It stays exported for the fastpath
+// subpackage.
 func CheckAtomicity(x *Execution) (Result, bool) {
 	for _, tid := range x.Threads() {
 		events := x.ThreadEvents(tid)

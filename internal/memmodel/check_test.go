@@ -8,133 +8,81 @@ import (
 	"repro/internal/relation"
 )
 
-// builder assembles candidate executions for litmus-style tests. Writes
-// are registered in the order given per address (that order becomes co);
-// reads name the value they observe, and rf is resolved by value.
+// builder is litmus-listing sugar over the public Builder: writes
+// serialize in registration order unless co overrides by observed
+// VALUE, reads resolve by value, fences are full fences. The heavy
+// lifting — key assignment, rf/co resolution, validation — is
+// Builder's; this shim only keeps the table tests below terse.
 type builder struct {
-	t       *testing.T
-	x       *Execution
-	writes  map[memsys.Addr]map[uint64]relation.EventID
-	reads   []relation.EventID
-	instr   map[int]int
-	coSeq   map[memsys.Addr][]relation.EventID
-	coOrder map[memsys.Addr][]uint64
+	t      *testing.T
+	b      *Builder
+	x      *Execution // the built execution, set by done
+	writes map[memsys.Addr]map[uint64]relation.EventID
+	coVals map[memsys.Addr][]uint64
 }
 
 func newBuilder(t *testing.T) *builder {
 	return &builder{
-		t:       t,
-		x:       NewExecution(),
-		writes:  make(map[memsys.Addr]map[uint64]relation.EventID),
-		instr:   make(map[int]int),
-		coSeq:   make(map[memsys.Addr][]relation.EventID),
-		coOrder: make(map[memsys.Addr][]uint64),
+		t:      t,
+		b:      NewBuilder(),
+		writes: make(map[memsys.Addr]map[uint64]relation.EventID),
+		coVals: make(map[memsys.Addr][]uint64),
 	}
 }
 
-// co overrides the coherence order for addr; by default writes serialize
-// in registration order.
+// co overrides the coherence order for addr, naming writes by the
+// values they store; by default writes serialize in registration order.
 func (b *builder) co(addr memsys.Addr, vals ...uint64) {
-	b.coOrder[addr] = vals
+	b.coVals[addr] = vals
 }
 
-func (b *builder) nextInstr(tid int) int {
-	n := b.instr[tid]
-	b.instr[tid] = n + 1
-	return n
-}
-
-func (b *builder) write(tid int, addr memsys.Addr, val uint64) relation.EventID {
-	id := b.x.AddEvent(Event{
-		Key:   Key{TID: tid, Instr: b.nextInstr(tid)},
-		Kind:  KindWrite,
-		Addr:  addr,
-		Value: val,
-	})
+func (b *builder) noteWrite(addr memsys.Addr, val uint64, id relation.EventID) {
 	if b.writes[addr] == nil {
 		b.writes[addr] = make(map[uint64]relation.EventID)
 	}
 	b.writes[addr][val] = id
-	b.coSeq[addr] = append(b.coSeq[addr], id)
+}
+
+func (b *builder) write(tid int, addr memsys.Addr, val uint64) relation.EventID {
+	id := b.b.Write(tid, addr, val)
+	b.noteWrite(addr, val, id)
 	return id
 }
 
 func (b *builder) read(tid int, addr memsys.Addr, val uint64) relation.EventID {
-	id := b.x.AddEvent(Event{
-		Key:   Key{TID: tid, Instr: b.nextInstr(tid)},
-		Kind:  KindRead,
-		Addr:  addr,
-		Value: val,
-	})
-	b.reads = append(b.reads, id)
-	return id
+	return b.b.Read(tid, addr, val)
 }
 
 func (b *builder) fence(tid int) relation.EventID {
-	return b.x.AddEvent(Event{
-		Key:  Key{TID: tid, Instr: b.nextInstr(tid)},
-		Kind: KindFence,
-	})
+	return b.b.Fence(tid, FenceFull)
 }
 
 // rmw adds an atomic read+write pair reading old and writing new.
 func (b *builder) rmw(tid int, addr memsys.Addr, old, new uint64) {
-	instr := b.nextInstr(tid)
-	r := b.x.AddEvent(Event{
-		Key: Key{TID: tid, Instr: instr, Sub: 0}, Kind: KindRead,
-		Addr: addr, Value: old, Atomic: true,
-	})
-	b.reads = append(b.reads, r)
-	w := b.x.AddEvent(Event{
-		Key: Key{TID: tid, Instr: instr, Sub: 1}, Kind: KindWrite,
-		Addr: addr, Value: new, Atomic: true,
-	})
-	if b.writes[addr] == nil {
-		b.writes[addr] = make(map[uint64]relation.EventID)
-	}
-	b.writes[addr][new] = w
-	b.coSeq[addr] = append(b.coSeq[addr], w)
+	_, w := b.b.RMW(tid, addr, old, new)
+	b.noteWrite(addr, new, w)
 }
 
-// done resolves co (explicit order if given, else registration order) and
-// rf edges by value (0 resolves to the initial write), then returns the
-// execution.
+// done translates value-named co overrides into event IDs, builds, and
+// returns the execution.
 func (b *builder) done() *Execution {
-	for addr, seq := range b.coSeq {
-		order := seq
-		if vals, ok := b.coOrder[addr]; ok {
-			order = order[:0:0]
-			for _, v := range vals {
-				w, ok := b.writes[addr][v]
-				if !ok {
-					b.t.Fatalf("co override: no write of %d to %v", v, addr)
-				}
-				order = append(order, w)
-			}
-		}
-		for _, w := range order {
-			if err := b.x.AppendCO(w); err != nil {
-				b.t.Fatalf("AppendCO: %v", err)
-			}
-		}
-	}
-	for _, r := range b.reads {
-		e := b.x.Event(r)
-		var w relation.EventID
-		if e.Value == 0 {
-			w = b.x.InitWrite(e.Addr)
-		} else {
-			var ok bool
-			w, ok = b.writes[e.Addr][e.Value]
+	for addr, vals := range b.coVals {
+		ids := make([]relation.EventID, 0, len(vals))
+		for _, v := range vals {
+			w, ok := b.writes[addr][v]
 			if !ok {
-				b.t.Fatalf("no write of %d to %v", e.Value, e.Addr)
+				b.t.Fatalf("co override: no write of %d to %v", v, addr)
 			}
+			ids = append(ids, w)
 		}
-		if err := b.x.SetRF(r, w); err != nil {
-			b.t.Fatalf("SetRF: %v", err)
-		}
+		b.b.CO(addr, ids...)
 	}
-	return b.x
+	x, err := b.b.Build()
+	if err != nil {
+		b.t.Fatalf("Build: %v", err)
+	}
+	b.x = x
+	return x
 }
 
 const (
@@ -313,15 +261,20 @@ func TestRMWFencingForbidsSB(t *testing.T) {
 	}
 }
 
+// TestStructuralValueMismatch builds its execution raw: Builder's own
+// validation (correctly) refuses an rf edge whose value disagrees, and
+// the point here is that Check catches the malformation too.
 func TestStructuralValueMismatch(t *testing.T) {
-	bld := newBuilder(t)
-	w := bld.write(1, x, 1)
-	r := bld.read(2, x, 2) // claims to read 2
-	bld.reads = nil        // bypass value resolution
-	if err := bld.x.SetRF(r, w); err != nil {
+	x1 := NewExecution()
+	w := x1.AddEvent(Event{Key: Key{TID: 1}, Kind: KindWrite, Addr: x, Value: 1})
+	if err := x1.AppendCO(w); err != nil {
+		t.Fatalf("AppendCO: %v", err)
+	}
+	r := x1.AddEvent(Event{Key: Key{TID: 2}, Kind: KindRead, Addr: x, Value: 2}) // claims to read 2
+	if err := x1.SetRF(r, w); err != nil {
 		t.Fatalf("SetRF: %v", err)
 	}
-	res := Check(bld.x, TSO{})
+	res := Check(x1, TSO{})
 	if res.Valid || res.Kind != ViolationStructural {
 		t.Fatalf("value mismatch not caught: %+v", res)
 	}

@@ -121,6 +121,22 @@ func (c *Checker) Check(x *memmodel.Execution, arch memmodel.Arch) (memmodel.Res
 	return memmodel.Check(x, arch), v
 }
 
+// DecideFast implements memmodel.FastDecider: the pure clock pass
+// mapped onto the unified checker's outcome vocabulary, so a
+// memmodel.NewChecker(memmodel.WithFastDecider(fastpath.New())) decides
+// fast-path-first with exact fallback — the configuration
+// checker.Recorder runs by default.
+func (c *Checker) DecideFast(x *memmodel.Execution, arch memmodel.Arch) memmodel.FastOutcome {
+	switch c.Decide(x, arch).Outcome {
+	case OutcomeValid:
+		return memmodel.FastValid
+	case OutcomeInvalid:
+		return memmodel.FastInvalid
+	default:
+		return memmodel.FastFallback
+	}
+}
+
 // Decide runs the pure clock pass with no fallback. The constraint
 // order mirrors the exact checker — structural, uniproc, atomicity,
 // GHB — so a conclusive Kind always matches the exact Result's Kind.

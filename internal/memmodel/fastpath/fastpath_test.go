@@ -10,58 +10,49 @@ import (
 	"repro/internal/relation"
 )
 
-// randExec builds a random execution by simulating one SC interleaving:
-// threads step in random order against a flat memory, writes serialize
-// into co in execution order, reads take the current value. The result
-// is SC-consistent, hence valid under every bundled model. Fences of
-// all flavours and atomic RMW pairs are sprinkled in.
+// randExec builds a random execution by simulating one SC interleaving
+// on the public Builder: threads step in random order against a flat
+// memory, writes serialize into co in registration order, reads pin rf
+// to the current write (or the initial write). The result is
+// SC-consistent, hence valid under every bundled model. Fences of all
+// flavours and atomic RMW pairs are sprinkled in. Keys are explicit
+// because the interleaving appends threads' events out of program
+// order.
 func randExec(rng *rand.Rand) *memmodel.Execution {
-	x := memmodel.NewExecution()
+	b := memmodel.NewBuilder()
 	nThreads := 2 + rng.Intn(3)
 	nAddrs := 2 + rng.Intn(2)
 	addrs := make([]memsys.Addr, nAddrs)
 	for i := range addrs {
 		addrs[i] = memsys.Addr(0x100 + 8*i)
 	}
-	mem := make(map[memsys.Addr]relation.EventID) // addr -> last write event
+	// mem is the flat memory: last write (and its value) per address;
+	// addresses never written read from the implicit initial write.
+	type cell struct {
+		id  relation.EventID
+		val uint64
+		ok  bool
+	}
+	mem := make(map[memsys.Addr]cell)
 	nextVal := uint64(1)
 
 	type thState struct{ instr int }
 	threads := make([]thState, nThreads)
 	steps := nThreads * (4 + rng.Intn(7))
 
-	writeTo := func(tid int, addr memsys.Addr, atomic bool, instr, sub int) relation.EventID {
-		id := x.AddEvent(memmodel.Event{
-			Key:    memmodel.Key{TID: tid, Instr: instr, Sub: sub},
-			Kind:   memmodel.KindWrite,
-			Addr:   addr,
-			Value:  nextVal,
-			Atomic: atomic,
-		})
+	writeTo := func(tid int, addr memsys.Addr, atomic bool, instr, sub int) {
+		id := b.WriteKeyed(memmodel.Key{TID: tid, Instr: instr, Sub: sub}, addr, nextVal, atomic)
+		mem[addr] = cell{id: id, val: nextVal, ok: true}
 		nextVal++
-		if err := x.AppendCO(id); err != nil {
-			panic(err)
-		}
-		mem[addr] = id
-		return id
 	}
-	readFrom := func(tid int, addr memsys.Addr, atomic bool, instr, sub int) relation.EventID {
-		src, ok := mem[addr]
-		if !ok {
-			src = x.InitWrite(addr)
-			mem[addr] = src
+	readFrom := func(tid int, addr memsys.Addr, atomic bool, instr, sub int) {
+		c := mem[addr]
+		id := b.ReadKeyed(memmodel.Key{TID: tid, Instr: instr, Sub: sub}, addr, c.val, atomic)
+		if c.ok {
+			b.SetRF(id, c.id)
+		} else {
+			b.SetRFInit(id)
 		}
-		id := x.AddEvent(memmodel.Event{
-			Key:    memmodel.Key{TID: tid, Instr: instr, Sub: sub},
-			Kind:   memmodel.KindRead,
-			Addr:   addr,
-			Value:  x.Event(src).Value,
-			Atomic: atomic,
-		})
-		if err := x.SetRF(id, src); err != nil {
-			panic(err)
-		}
-		return id
 	}
 
 	for s := 0; s < steps; s++ {
@@ -81,14 +72,11 @@ func randExec(rng *rand.Rand) *memmodel.Execution {
 			readFrom(tid, addr, true, instr, 0)
 			writeTo(tid, addr, true, instr, 1)
 		default:
-			x.AddEvent(memmodel.Event{
-				Key:   memmodel.Key{TID: tid, Instr: instr},
-				Kind:  memmodel.KindFence,
-				Fence: memmodel.FenceKind(rng.Intn(int(memmodel.NumFenceKinds))),
-			})
+			b.FenceKeyed(memmodel.Key{TID: tid, Instr: instr},
+				memmodel.FenceKind(rng.Intn(int(memmodel.NumFenceKinds))))
 		}
 	}
-	return x
+	return b.MustBuild()
 }
 
 // mutate perturbs a valid execution into a (usually) invalid or

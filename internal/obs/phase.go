@@ -23,6 +23,10 @@ const (
 	// PhaseSim covers simulated execution: program load, event-kernel
 	// ticks, quiesce and test-memory resets.
 	PhaseSim
+	// PhaseDecode covers external trace ingestion: parsing a trace
+	// stream and materializing candidate executions — the oracle-mode
+	// analogue of PhaseSim (the execution is read, not simulated).
+	PhaseDecode
 	// PhaseFastCheck covers verification laps the clock-rule fast path
 	// decided conclusively — no exact model check ran (invalid
 	// detections also land here: the fast path found the violation and
@@ -42,7 +46,7 @@ const (
 	NumPhases
 )
 
-var phaseNames = [NumPhases]string{"testgen", "sim", "fastcheck", "check", "memo", "merge"}
+var phaseNames = [NumPhases]string{"testgen", "sim", "decode", "fastcheck", "check", "memo", "merge"}
 
 func (p Phase) String() string {
 	if p < 0 || p >= NumPhases {
@@ -127,6 +131,7 @@ func (s PhaseStat) add(o PhaseStat) PhaseStat {
 type Snapshot struct {
 	Testgen   PhaseStat `json:"testgen"`
 	Sim       PhaseStat `json:"sim"`
+	Decode    PhaseStat `json:"decode"`
 	FastCheck PhaseStat `json:"fastcheck"`
 	Check     PhaseStat `json:"check"`
 	Memo      PhaseStat `json:"memo"`
@@ -150,6 +155,8 @@ func (s Snapshot) Phase(p Phase) PhaseStat {
 		return s.Testgen
 	case PhaseSim:
 		return s.Sim
+	case PhaseDecode:
+		return s.Decode
 	case PhaseFastCheck:
 		return s.FastCheck
 	case PhaseCheck:
@@ -169,6 +176,8 @@ func (s *Snapshot) set(p Phase, st PhaseStat) {
 		s.Testgen = st
 	case PhaseSim:
 		s.Sim = st
+	case PhaseDecode:
+		s.Decode = st
 	case PhaseFastCheck:
 		s.FastCheck = st
 	case PhaseCheck:

@@ -159,7 +159,7 @@ func TestAgg(t *testing.T) {
 }
 
 func TestPhaseNames(t *testing.T) {
-	want := []string{"testgen", "sim", "fastcheck", "check", "memo", "merge"}
+	want := []string{"testgen", "sim", "decode", "fastcheck", "check", "memo", "merge"}
 	for i, p := range Phases() {
 		if p.String() != want[i] {
 			t.Errorf("phase %d = %q, want %q", i, p, want[i])

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 )
@@ -37,6 +38,11 @@ type WorkerOptions struct {
 	// way (the snapshot also rides the ShardResult to the service);
 	// results are byte-identical regardless.
 	Obs *obs.Agg
+	// Store, when non-nil, is the durable verdict tier shared by every
+	// shard this worker runs: signatures decided in earlier shards,
+	// runs, or processes are answered from disk. Shard results are
+	// byte-identical with or without it.
+	Store collective.VerdictStore
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -116,6 +122,7 @@ func runLease(ctx context.Context, src Source, lease *Lease, opts WorkerOptions)
 		Workers:    opts.FleetWorkers,
 		Collective: true,
 		Obs:        true,
+		Store:      opts.Store,
 	})
 	cancel()
 	wg.Wait()
@@ -169,6 +176,7 @@ func (s *Service) StartWorkers(ctx context.Context, n int) *sync.WaitGroup {
 				Name:         fmt.Sprintf("embedded-%d", i),
 				Poll:         5 * time.Millisecond,
 				FleetWorkers: s.cfg.FleetWorkers,
+				Store:        s.cfg.VerdictStore,
 			})
 		}(i)
 	}

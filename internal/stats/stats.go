@@ -22,6 +22,12 @@ type Dedupe struct {
 	// Unique counts distinct execution signatures (Checks - Hits when
 	// the counters come from a single scope).
 	Unique uint64
+	// Durable counts signatures resolved from the durable on-disk
+	// verdict store instead of a fresh model check — the cross-campaign
+	// tier below the in-RAM memo. Durable hits are a subset of Unique,
+	// not of Hits: the store answers the *first* in-process submission
+	// of a signature, so Checks - Unique == Hits still holds.
+	Durable uint64
 }
 
 // Note records one submission.
@@ -39,6 +45,7 @@ func (d *Dedupe) Merge(o Dedupe) {
 	d.Checks += o.Checks
 	d.Hits += o.Hits
 	d.Unique += o.Unique
+	d.Durable += o.Durable
 }
 
 // HitRate returns Hits/Checks, or 0 when nothing was checked.
@@ -59,9 +66,16 @@ func Ratio(num, den uint64) float64 {
 	return float64(num) / float64(den)
 }
 
+// DurableRate returns Durable/Checks, or 0 when nothing was checked.
+func (d Dedupe) DurableRate() float64 { return Ratio(d.Durable, d.Checks) }
+
 func (d Dedupe) String() string {
-	return fmt.Sprintf("%d checks, %d unique, %d hits (%.1f%% dedupe)",
+	s := fmt.Sprintf("%d checks, %d unique, %d hits (%.1f%% dedupe)",
 		d.Checks, d.Unique, d.Hits, 100*d.HitRate())
+	if d.Durable > 0 {
+		s += fmt.Sprintf(", %d durable", d.Durable)
+	}
+	return s
 }
 
 // Fastpath aggregates checker fast-path outcome counters: of the

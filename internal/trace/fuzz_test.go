@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTextDecoder: arbitrary input must never panic the text decoder,
+// and anything it accepts must re-encode and re-decode to the same
+// traces (decode∘encode is the identity on the decoder's image up to
+// canonicalization of a second pass).
+func FuzzTextDecoder(f *testing.F) {
+	f.Add("mctrace 1\ntrace mp\nthread 1\nw 0x100 1\nw 0x140 1\nthread 2\nr 0x140 1\nr 0x100 0\nrf 2:0 1:1\nrf 2:1 init\nco 0x100 1:0\nco 0x140 1:1\nend\n")
+	f.Add("mctrace 1\ntrace\nthread 0\nu 0x100 0 1\nf full\nf ss\nf ll\nw 0x100 2 a @7\nend\n")
+	f.Add("mctrace 1\n# comment\n\ntrace x\nthread 3\nr 0x0 0\nend\ntrace y\nthread 0\nend\n")
+	f.Add("mctrace 2\n")
+	f.Add("mctrace 1\ntrace t\nthread 0\nw 99999999999999999999 1\nend\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		traces, err := DecodeAll(bytes.NewReader([]byte(in)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, traces...); err != nil {
+			t.Fatalf("accepted traces failed to encode: %v", err)
+		}
+		again, err := DecodeAll(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded stream failed to decode: %v\n%s", err, buf.String())
+		}
+		if len(traces) > 0 && !reflect.DeepEqual(traces, again) {
+			t.Fatalf("decode(encode(decode(in))) != decode(in)\nin: %q", in)
+		}
+		// Materialization may legitimately fail (structural errors), but
+		// must not panic.
+		for _, tr := range traces {
+			_, _ = tr.Execution()
+		}
+	})
+}
+
+// FuzzBinaryDecoder: arbitrary bytes must never panic or over-allocate
+// the binary decoder.
+func FuzzBinaryDecoder(f *testing.F) {
+	tr := &Trace{
+		Name: "seed",
+		Threads: []Thread{
+			{TID: 0, Ops: []Op{
+				{Kind: OpWrite, Addr: 0x100, Value: 1},
+				{Kind: OpRMW, Addr: 0x100, Value: 1, Value2: 2},
+				{Kind: OpFence},
+				{Kind: OpRead, Addr: 0x100, Value: 2, Keyed: true, Instr: 9},
+			}},
+		},
+		RF: []RFEdge{{Read: Ref{TID: 0, Instr: 9}, Write: Ref{TID: 0, Instr: 1, Sub: 1}}},
+		CO: []COOrder{{Addr: 0x100, Writes: []Ref{{TID: 0}, {TID: 0, Instr: 1, Sub: 1}}}},
+	}
+	var seed bytes.Buffer
+	if err := WriteBinary(&seed, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("MCVB\x01"))
+	f.Add([]byte("MCVB\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		traces, err := DecodeAllBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, traces...); err != nil {
+			return // decoder is laxer than the encoder (e.g. odd flags)
+		}
+		again, err := DecodeAllBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded stream failed to decode: %v", err)
+		}
+		if len(traces) > 0 && !reflect.DeepEqual(traces, again) {
+			t.Fatal("binary decode(encode(decode(in))) != decode(in)")
+		}
+	})
+}

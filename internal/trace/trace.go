@@ -1,0 +1,373 @@
+// Package trace defines the external execution-trace interchange format
+// that makes the checker usable as an oracle: simulators and silicon
+// harnesses outside this repository dump candidate executions as traces,
+// and cmd/check (through the public oracle package) decides them against
+// the axiomatic models without the producer importing any internal
+// package.
+//
+// A trace is the canonical shape of a candidate execution — per-thread
+// op lists in program order plus the observed conflict orders — i.e.
+// exactly the information collective.Signature hashes. Two encodings
+// carry it:
+//
+//   - a line-oriented text format (text.go), versioned by a "mctrace 1"
+//     header, designed to be written by hand and by non-Go tooling;
+//   - a compact binary framing (binary.go), versioned by a "MCVB" magic,
+//     for high-volume replay dumps.
+//
+// Both encodings round-trip losslessly: decode(encode(x)) reproduces an
+// execution with the same collective signature (event keys are carried
+// explicitly whenever they differ from their positional defaults, so
+// RMW pairing and signature identity survive), and encode(decode(t))
+// is byte-identical for canonically encoded traces.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+	"repro/internal/memsys"
+	"repro/internal/relation"
+)
+
+// FormatVersion is the trace format version both encodings carry.
+// Decoders reject any other version rather than guessing.
+const FormatVersion = 1
+
+// OpKind classifies a trace op.
+type OpKind uint8
+
+const (
+	// OpRead is a load observing Value.
+	OpRead OpKind = iota
+	// OpWrite is a store of Value.
+	OpWrite
+	// OpFence is a standalone fence of flavour Fence.
+	OpFence
+	// OpRMW is an atomic read-modify-write reading Value and writing
+	// Value2; it expands to a read and a write event sharing one
+	// instruction slot (subs 0 and 1), both atomic.
+	OpRMW
+
+	numOpKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "r"
+	case OpWrite:
+		return "w"
+	case OpFence:
+		return "f"
+	case OpRMW:
+		return "u"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one instruction-level step of a thread's program, in program
+// order. Event keys default to the op's position (running instruction
+// index, sub 0); Keyed pins an explicit (Instr, Sub) for traces whose
+// producers number instructions sparsely or pair RMW halves manually —
+// keys feed collective.Signature, so preserving them preserves verdict
+// identity across encode/decode.
+type Op struct {
+	// Kind is the op class.
+	Kind OpKind `json:"kind"`
+	// Addr is the word address accessed (unused for fences).
+	Addr memsys.Addr `json:"addr,omitempty"`
+	// Value is the value read (OpRead, OpRMW) or written (OpWrite).
+	Value uint64 `json:"value,omitempty"`
+	// Value2 is the value written by an OpRMW.
+	Value2 uint64 `json:"value2,omitempty"`
+	// Fence is the fence flavour for OpFence.
+	Fence memmodel.FenceKind `json:"fence,omitempty"`
+	// Atomic marks a plain read or write as an RMW half for producers
+	// that pair halves via explicit keys instead of OpRMW.
+	Atomic bool `json:"atomic,omitempty"`
+	// Keyed marks Instr/Sub as explicit; when false the key is
+	// positional.
+	Keyed bool `json:"keyed,omitempty"`
+	// Instr is the explicit instruction index when Keyed.
+	Instr int `json:"instr,omitempty"`
+	// Sub is the explicit sub-event number when Keyed (OpRMW ignores
+	// it: the pair always takes subs 0 and 1).
+	Sub int `json:"sub,omitempty"`
+}
+
+// Ref names an event by its stable key — the external form of
+// memmodel.Key. Initial writes are never referenced by Ref; rf edges
+// use RFEdge.Init and co orders list only program writes (the initial
+// write is implicitly co-minimal).
+type Ref struct {
+	TID   int `json:"tid"`
+	Instr int `json:"instr"`
+	Sub   int `json:"sub,omitempty"`
+}
+
+func (r Ref) String() string {
+	if r.Sub != 0 {
+		return fmt.Sprintf("%d:%d.%d", r.TID, r.Instr, r.Sub)
+	}
+	return fmt.Sprintf("%d:%d", r.TID, r.Instr)
+}
+
+// RFEdge is one observed read-from edge: Read observed Write's value,
+// or the initial value when Init. Reads without an explicit edge
+// resolve by value at Execution time (0 reads the initial write, any
+// other value must match exactly one write to the address).
+type RFEdge struct {
+	Read  Ref  `json:"read"`
+	Write Ref  `json:"write,omitzero"`
+	Init  bool `json:"init,omitempty"`
+}
+
+// COOrder is the observed coherence order of one address: every
+// program write to Addr, oldest first. The initial write is implicit
+// and co-minimal. Addresses without a COOrder default to per-thread
+// program order of their writes, in thread declaration order — only
+// unambiguous for single-writer addresses, so canonical encoders emit
+// a COOrder for every written address.
+type COOrder struct {
+	Addr   memsys.Addr `json:"addr"`
+	Writes []Ref       `json:"writes"`
+}
+
+// Thread is one thread's program slice in program order.
+type Thread struct {
+	TID int  `json:"tid"`
+	Ops []Op `json:"ops"`
+}
+
+// Trace is one candidate execution in interchange form.
+type Trace struct {
+	// Name labels the trace in verdicts (optional).
+	Name    string    `json:"name,omitempty"`
+	Threads []Thread  `json:"threads"`
+	RF      []RFEdge  `json:"rf,omitempty"`
+	CO      []COOrder `json:"co,omitempty"`
+}
+
+// key computes the effective memmodel.Key of op i given the thread's
+// running instruction counter, returning the key and the updated
+// counter. The rule is shared by the decoder (assigning keys) and the
+// encoder (detecting when an explicit key is needed): positional ops
+// take (next, 0) and advance by one; keyed ops take their pinned key
+// and advance the counter past it.
+func (o *Op) key(tid, next int) (memmodel.Key, int) {
+	if o.Keyed {
+		k := memmodel.Key{TID: tid, Instr: o.Instr, Sub: o.Sub}
+		if o.Kind == OpRMW {
+			k.Sub = 0
+		}
+		if o.Instr >= next {
+			next = o.Instr + 1
+		}
+		return k, next
+	}
+	return memmodel.Key{TID: tid, Instr: next}, next + 1
+}
+
+// Execution materializes the trace as a candidate execution via
+// memmodel.Builder, sharing its well-formedness rules: explicit rf/co
+// observations are pinned, everything else resolves by value and
+// registration order. Events are added thread-major in declaration
+// order, so decoding the same trace always yields byte-identical
+// executions.
+func (t *Trace) Execution() (*memmodel.Execution, error) {
+	b := memmodel.NewBuilder()
+	byKey := make(map[Ref]relation.EventID)
+	note := func(tid int, k memmodel.Key, id relation.EventID) error {
+		ref := Ref{TID: tid, Instr: k.Instr, Sub: k.Sub}
+		if _, dup := byKey[ref]; dup {
+			return fmt.Errorf("trace %s: duplicate event key %v", t.label(), ref)
+		}
+		byKey[ref] = id
+		return nil
+	}
+	seenTID := make(map[int]bool)
+	for _, th := range t.Threads {
+		if seenTID[th.TID] {
+			return nil, fmt.Errorf("trace %s: thread %d declared twice", t.label(), th.TID)
+		}
+		seenTID[th.TID] = true
+		next := 0
+		for i := range th.Ops {
+			op := &th.Ops[i]
+			var k memmodel.Key
+			k, next = op.key(th.TID, next)
+			switch op.Kind {
+			case OpRead:
+				id := b.ReadKeyed(k, op.Addr, op.Value, op.Atomic)
+				if err := note(th.TID, k, id); err != nil {
+					return nil, err
+				}
+			case OpWrite:
+				id := b.WriteKeyed(k, op.Addr, op.Value, op.Atomic)
+				if err := note(th.TID, k, id); err != nil {
+					return nil, err
+				}
+			case OpFence:
+				id := b.FenceKeyed(k, op.Fence)
+				if err := note(th.TID, k, id); err != nil {
+					return nil, err
+				}
+			case OpRMW:
+				r := b.ReadKeyed(k, op.Addr, op.Value, true)
+				if err := note(th.TID, k, r); err != nil {
+					return nil, err
+				}
+				wk := k
+				wk.Sub = 1
+				w := b.WriteKeyed(wk, op.Addr, op.Value2, true)
+				if err := note(th.TID, wk, w); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("trace %s: thread %d op %d: unknown kind %d", t.label(), th.TID, i, op.Kind)
+			}
+		}
+	}
+	resolve := func(ref Ref, what string) (relation.EventID, error) {
+		id, ok := byKey[ref]
+		if !ok {
+			return 0, fmt.Errorf("trace %s: %s references unknown event %v", t.label(), what, ref)
+		}
+		return id, nil
+	}
+	for _, e := range t.RF {
+		r, err := resolve(e.Read, "rf")
+		if err != nil {
+			return nil, err
+		}
+		if e.Init {
+			b.SetRFInit(r)
+			continue
+		}
+		w, err := resolve(e.Write, "rf")
+		if err != nil {
+			return nil, err
+		}
+		b.SetRF(r, w)
+	}
+	for _, c := range t.CO {
+		writes := make([]relation.EventID, len(c.Writes))
+		for i, ref := range c.Writes {
+			w, err := resolve(ref, "co")
+			if err != nil {
+				return nil, err
+			}
+			writes[i] = w
+		}
+		b.CO(c.Addr, writes...)
+	}
+	x, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("trace %s: %v", t.label(), err)
+	}
+	return x, nil
+}
+
+func (t *Trace) label() string {
+	if t.Name == "" {
+		return "(unnamed)"
+	}
+	return t.Name
+}
+
+// FromExecution encodes a candidate execution as a canonical trace:
+// threads in Threads() order, explicit keys only where they differ from
+// positional defaults, adjacent atomic (read, write) pairs sharing an
+// instruction collapsed to OpRMW, every rf edge explicit, and a COOrder
+// for every address with at least one program write. Canonical traces
+// re-encode byte-identically after a decode.
+func FromExecution(name string, x *memmodel.Execution) (*Trace, error) {
+	t := &Trace{Name: name}
+	for _, tid := range x.Threads() {
+		if tid == memmodel.InitTID {
+			continue
+		}
+		th := Thread{TID: tid}
+		ids := x.ThreadEvents(tid)
+		next := 0
+		for i := 0; i < len(ids); i++ {
+			e := x.Event(ids[i])
+			// Collapse an RMW pair into one OpRMW when it matches the
+			// canonical shape CheckAtomicity pairs on.
+			if i+1 < len(ids) {
+				w := x.Event(ids[i+1])
+				if e.Atomic && w.Atomic && e.IsRead() && w.IsWrite() &&
+					e.Key.Instr == w.Key.Instr && e.Addr == w.Addr &&
+					e.Key.Sub == 0 && w.Key.Sub == 1 {
+					op := Op{Kind: OpRMW, Addr: e.Addr, Value: e.Value, Value2: w.Value}
+					if e.Key.Instr != next {
+						op.Keyed, op.Instr = true, e.Key.Instr
+					}
+					_, next = op.key(tid, next)
+					th.Ops = append(th.Ops, op)
+					i++
+					continue
+				}
+			}
+			var op Op
+			switch {
+			case e.IsRead():
+				op = Op{Kind: OpRead, Addr: e.Addr, Value: e.Value, Atomic: e.Atomic}
+			case e.IsWrite():
+				op = Op{Kind: OpWrite, Addr: e.Addr, Value: e.Value, Atomic: e.Atomic}
+			case e.Kind == memmodel.KindFence:
+				op = Op{Kind: OpFence, Fence: e.Fence}
+			default:
+				return nil, fmt.Errorf("trace: event %v has unknown kind", e)
+			}
+			if e.Key.Instr != next || e.Key.Sub != 0 {
+				op.Keyed, op.Instr, op.Sub = true, e.Key.Instr, e.Key.Sub
+			}
+			_, next = op.key(tid, next)
+			th.Ops = append(th.Ops, op)
+		}
+		t.Threads = append(t.Threads, th)
+	}
+
+	ref := func(id relation.EventID) Ref {
+		e := x.Event(id)
+		return Ref{TID: e.Key.TID, Instr: e.Key.Instr, Sub: e.Key.Sub}
+	}
+	for _, tid := range x.Threads() {
+		if tid == memmodel.InitTID {
+			continue
+		}
+		for _, id := range x.ThreadEvents(tid) {
+			e := x.Event(id)
+			if !e.IsRead() {
+				continue
+			}
+			w, ok := x.RF(id)
+			if !ok {
+				return nil, fmt.Errorf("trace: read %v has no rf edge", e)
+			}
+			edge := RFEdge{Read: ref(id)}
+			if x.Event(w).IsInit() {
+				edge.Init = true
+			} else {
+				edge.Write = ref(w)
+			}
+			t.RF = append(t.RF, edge)
+		}
+	}
+	for _, addr := range x.Addresses() {
+		var writes []Ref
+		for _, id := range x.CO(addr) {
+			if x.Event(id).IsInit() {
+				continue
+			}
+			writes = append(writes, ref(id))
+		}
+		if len(writes) > 0 {
+			t.CO = append(t.CO, COOrder{Addr: addr, Writes: writes})
+		}
+	}
+	return t, nil
+}

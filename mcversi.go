@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/bugs"
 	"repro/internal/collective"
+	"repro/internal/collective/store"
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/cpu"
@@ -200,6 +201,23 @@ type CollectiveMemo = collective.Memo
 // NewCollectiveMemo returns an empty verdict memo, e.g. for sharing
 // verdicts across several fleet runs via CampaignConfig.Memo.
 func NewCollectiveMemo() *CollectiveMemo { return collective.NewMemo() }
+
+// VerdictStore is the durable tier beneath a CollectiveMemo: verdicts
+// keyed by scoped signature, persisted across processes and campaigns.
+type VerdictStore = collective.VerdictStore
+
+// DurableVerdictStore is the bundled append-only on-disk VerdictStore
+// (crash-safe segments, CRC-checked records; see
+// internal/collective/store).
+type DurableVerdictStore = store.Store
+
+// OpenVerdictStore opens (creating if needed) the append-only on-disk
+// verdict store in dir. Attach it via FleetOptions.Store — campaigns in
+// later runs (or other processes pointed at the same directory) answer
+// already-decided signatures from disk, reported as Dedupe.Durable.
+// Results are byte-identical with or without a store. Close it after
+// the fleet run to flush and fsync the active segment.
+func OpenVerdictStore(dir string) (*store.Store, error) { return store.Open(dir) }
 
 // FleetOptions tune a parallel campaign fleet (worker count, early
 // stop, GP island migration, collective checking, progress events).

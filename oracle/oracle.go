@@ -1,0 +1,336 @@
+// Package oracle is the public checker-as-oracle surface: external Go
+// consumers decide candidate executions — their own, or ones decoded
+// from trace streams — against the bundled axiomatic memory models
+// without importing any internal package. cmd/check is a thin CLI over
+// exactly this API.
+//
+// The shape mirrors the in-repo campaign pipeline: a Checker holds one
+// model plus the unified fast-path-first decision procedure, consults a
+// shareable verdict Memo (optionally backed by a durable on-disk Store
+// shared across processes and campaigns), and returns Results
+// byte-identical to the exact checker's regardless of which tier or
+// pass decided. A Checker is single-goroutine; Checkers may share a
+// Memo and through it a Store.
+//
+//	checker, err := oracle.NewChecker("TSO", oracle.Options{})
+//	traces, err := oracle.DecodeTraces(f)
+//	for i, tr := range traces {
+//		v, err := checker.CheckTrace(tr, i)
+//		// v.Valid, v.Kind, v.Detail ...
+//	}
+package oracle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/collective/store"
+	"repro/internal/litmus"
+	"repro/internal/memmodel"
+	"repro/internal/memmodel/fastpath"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Aliases into the internal packages: these are the real types, not
+// wrappers, so values flow freely between the oracle API and any
+// internal-package values a consumer receives from elsewhere in the
+// module.
+type (
+	// Result is the outcome of checking one candidate execution.
+	Result = memmodel.Result
+	// ViolationKind classifies why an execution is invalid.
+	ViolationKind = memmodel.ViolationKind
+	// Model is an axiomatic memory model (SC, TSO, PSO, RMO).
+	Model = memmodel.Arch
+	// Execution is one candidate execution.
+	Execution = memmodel.Execution
+	// Builder assembles executions with validation.
+	Builder = memmodel.Builder
+	// Trace is one candidate execution in interchange form.
+	Trace = trace.Trace
+	// Memo is the shareable in-RAM verdict table.
+	Memo = collective.Memo
+	// Sig is the 128-bit canonical execution signature verdicts key on.
+	Sig = collective.Sig
+	// VerdictStore is the durable tier below a Memo.
+	VerdictStore = collective.VerdictStore
+	// Store is the bundled append-only on-disk VerdictStore.
+	Store = store.Store
+	// Dedupe counts memo effectiveness (checks, hits, durable hits).
+	Dedupe = stats.Dedupe
+	// FastpathStats counts fast-pass outcomes.
+	FastpathStats = stats.Fastpath
+	// PhaseSnapshot breaks oracle time down by pipeline phase.
+	PhaseSnapshot = obs.Snapshot
+)
+
+// NewBuilder returns an empty execution builder.
+func NewBuilder() *Builder { return memmodel.NewBuilder() }
+
+// NewMemo returns an empty shareable verdict table.
+func NewMemo() *Memo { return collective.NewMemo() }
+
+// OpenStore opens (creating if needed) the durable verdict store in
+// dir. Attach it via Options.Store — every process pointing at the same
+// directory shares verdicts across restarts.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// Models returns the bundled model names in containment order.
+func Models() []string { return memmodel.Names() }
+
+// ModelByName resolves a model name (case-insensitive).
+func ModelByName(name string) (Model, error) { return memmodel.ByName(name) }
+
+// Signature computes the canonical signature of x — the key verdicts
+// are memoized and persisted under (after the scope fold; see
+// ScopedKey).
+func Signature(x *Execution) Sig { return collective.Signature(x) }
+
+// ScopedKey folds (scenario scope, model, signature) into the key a
+// Memo — and through it a Store — looks verdicts up under.
+func ScopedKey(scope string, sig Sig, model Model) Sig {
+	return collective.ScopedKey(scope, sig, model)
+}
+
+// Trace codec surface, re-exported so cmd/check and external consumers
+// need only this package.
+
+// DecodeTraces reads every trace in a text stream.
+func DecodeTraces(r io.Reader) ([]*Trace, error) { return trace.DecodeAll(r) }
+
+// DecodeTracesBinary reads every trace in a binary stream.
+func DecodeTracesBinary(r io.Reader) ([]*Trace, error) { return trace.DecodeAllBinary(r) }
+
+// WriteTraces encodes traces canonically in the text format.
+func WriteTraces(w io.Writer, traces ...*Trace) error { return trace.WriteText(w, traces...) }
+
+// WriteTracesBinary encodes traces in the binary framing.
+func WriteTracesBinary(w io.Writer, traces ...*Trace) error {
+	return trace.WriteBinary(w, traces...)
+}
+
+// TraceFromExecution encodes an execution as a canonical trace.
+func TraceFromExecution(name string, x *Execution) (*Trace, error) {
+	return trace.FromExecution(name, x)
+}
+
+// TraceReader streams traces from either encoding; see NewTraceReader.
+type TraceReader interface {
+	// Next returns the next trace, or io.EOF after the last one.
+	Next() (*Trace, error)
+}
+
+// NewTraceReader returns a streaming reader for the named format:
+// "text", "binary", or "auto" (sniff the stream's magic — binary
+// streams open with "MCVB", text streams with the "mctrace" header).
+func NewTraceReader(r io.Reader, format string) (TraceReader, error) {
+	switch format {
+	case "text":
+		return trace.NewDecoder(r), nil
+	case "binary":
+		return trace.NewBinaryDecoder(r), nil
+	case "auto", "":
+		br := bufio.NewReader(r)
+		magic, err := br.Peek(len(trace.BinaryMagic))
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("oracle: sniff trace format: %w", err)
+		}
+		if string(magic) == trace.BinaryMagic {
+			return trace.NewBinaryDecoder(br), nil
+		}
+		return trace.NewDecoder(br), nil
+	default:
+		return nil, fmt.Errorf("oracle: unknown trace format %q (want text, binary, or auto)", format)
+	}
+}
+
+// Options configures a Checker.
+type Options struct {
+	// Exact disables the fast-path pass: every execution is decided by
+	// the exact procedure. Results are byte-identical either way; Exact
+	// is the A/B reference configuration.
+	Exact bool
+	// Memo is a shared verdict table (nil = a private one per Checker).
+	// Checkers of different models may share one memo; it keys on the
+	// model.
+	Memo *Memo
+	// Store attaches a durable verdict tier to the Checker's memo. Set
+	// it on the first Checker built over a shared memo, before
+	// concurrent use.
+	Store VerdictStore
+	// Scope isolates this Checker's verdicts from other scenarios
+	// sharing the memo or store (empty is itself a scope).
+	Scope string
+}
+
+// Checker decides traces and executions against one model. It is
+// single-goroutine, like the underlying scratch; build one per worker
+// and share the Memo.
+type Checker struct {
+	arch   Model
+	chk    *memmodel.Checker
+	memo   *Memo
+	scope  string
+	phases obs.PhaseStats
+}
+
+// NewChecker returns a Checker for the named model ("SC", "TSO",
+// "PSO", "RMO"; case-insensitive).
+func NewChecker(model string, opts Options) (*Checker, error) {
+	arch, err := memmodel.ByName(model)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %v", err)
+	}
+	copts := []memmodel.CheckerOption{memmodel.WithScratch(memmodel.NewScratch())}
+	if !opts.Exact {
+		copts = append(copts, memmodel.WithFastDecider(fastpath.New()))
+	}
+	memo := opts.Memo
+	if memo == nil {
+		memo = collective.NewMemo()
+	}
+	if opts.Store != nil {
+		memo.SetStore(opts.Store)
+	}
+	return &Checker{
+		arch:  arch,
+		chk:   memmodel.NewChecker(copts...),
+		memo:  memo,
+		scope: opts.Scope,
+	}, nil
+}
+
+// Model returns the model this Checker decides against.
+func (c *Checker) Model() Model { return c.arch }
+
+// CheckExecution decides x, routing through the memo (and the durable
+// store when attached). The Result is byte-identical to
+// memmodel.Check(x, model) on every route.
+func (c *Checker) CheckExecution(x *Execution) Result {
+	sig := collective.Signature(x)
+	res, _ := c.CheckSig(sig, x)
+	return res
+}
+
+// CheckSig is CheckExecution for callers that already computed the
+// signature; hit reports whether the memo answered without a fresh
+// check.
+func (c *Checker) CheckSig(sig Sig, x *Execution) (Result, bool) {
+	//mcvlint:allow nondeterm phase telemetry; never feeds results
+	t0 := time.Now()
+	fastBefore := c.chk.Fastpath()
+	res, hit := c.memo.CheckScopedVia(c.scope, sig, x, c.arch, c.chk.Check)
+	fastAfter := c.chk.Fastpath()
+	phase := obs.PhaseCheck
+	switch {
+	case hit:
+		phase = obs.PhaseMemo
+	case fastAfter.Valid > fastBefore.Valid && res.Valid:
+		// The fast pass proved it; invalid and fallback routes pay the
+		// exact checker, so they count as PhaseCheck.
+		phase = obs.PhaseFastCheck
+	}
+	//mcvlint:allow nondeterm phase telemetry; never feeds results
+	c.phases.Observe(phase, time.Since(t0))
+	return res, hit
+}
+
+// Verdict is one trace's JSON-friendly check outcome — the shape
+// cmd/check emits with -json.
+type Verdict struct {
+	// Name is the trace's name, when it carries one.
+	Name string `json:"name,omitempty"`
+	// Index is the trace's position in its stream (0-based).
+	Index int `json:"index"`
+	// Model is the model the trace was decided against.
+	Model string `json:"model"`
+	// Sig is the canonical execution signature, hex-encoded.
+	Sig string `json:"sig"`
+	// Valid reports whether the execution satisfies the model.
+	Valid bool `json:"valid"`
+	// Kind names the violated constraint when invalid.
+	Kind string `json:"kind,omitempty"`
+	// Detail is the human-readable diagnosis when invalid.
+	Detail string `json:"detail,omitempty"`
+}
+
+// CheckTrace materializes the trace and decides it, labelling the
+// verdict with the trace's name and stream index. Malformed traces
+// (events that cannot form an execution at all) return an error rather
+// than a verdict.
+func (c *Checker) CheckTrace(t *Trace, index int) (Verdict, error) {
+	//mcvlint:allow nondeterm phase telemetry; never feeds results
+	t0 := time.Now()
+	x, err := t.Execution()
+	//mcvlint:allow nondeterm phase telemetry; never feeds results
+	c.phases.Observe(obs.PhaseDecode, time.Since(t0))
+	if err != nil {
+		return Verdict{}, err
+	}
+	sig := collective.Signature(x)
+	res, _ := c.CheckSig(sig, x)
+	v := Verdict{
+		Name:  t.Name,
+		Index: index,
+		Model: c.arch.Name(),
+		Sig:   fmt.Sprintf("%016x%016x", sig.Hi, sig.Lo),
+		Valid: res.Valid,
+	}
+	if !res.Valid {
+		v.Kind = res.Kind.String()
+		v.Detail = res.Detail
+	}
+	return v, nil
+}
+
+// Dedupe snapshots the memo's effectiveness counters (shared across
+// every Checker on the same memo).
+func (c *Checker) Dedupe() Dedupe { return c.memo.Stats() }
+
+// Fastpath snapshots this Checker's fast-pass outcome counters.
+func (c *Checker) Fastpath() FastpathStats { return c.chk.Fastpath() }
+
+// Phases snapshots this Checker's per-phase time breakdown: decode
+// (trace materialization), fastcheck (fast-pass-proved decisions),
+// check (exact decisions), memo (answered from a tier).
+func (c *Checker) Phases() PhaseSnapshot { return c.phases.Snapshot() }
+
+// LitmusCorpus returns the bundled weak-memory classics as traces of
+// their forbidden outcomes, with per-model expected verdicts — the
+// known answers CI pins cmd/check against.
+func LitmusCorpus() ([]CorpusEntry, error) {
+	var out []CorpusEntry
+	for _, k := range litmus.Corpus() {
+		t, ok := k.Materialize()
+		if !ok {
+			return nil, fmt.Errorf("oracle: litmus classic %s failed to materialize", k.Name)
+		}
+		x, ok := t.Execution()
+		if !ok {
+			return nil, fmt.Errorf("oracle: litmus classic %s has no consistent execution", k.Name)
+		}
+		tr, err := trace.FromExecution(k.Name, x)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: litmus classic %s: %v", k.Name, err)
+		}
+		out = append(out, CorpusEntry{
+			Trace:          tr,
+			ForbiddenUnder: k.ForbiddenUnder,
+		})
+	}
+	return out, nil
+}
+
+// CorpusEntry is one litmus classic as a trace plus its known answer.
+type CorpusEntry struct {
+	// Trace is the classic's forbidden outcome.
+	Trace *Trace `json:"trace"`
+	// ForbiddenUnder maps model name to whether that outcome is
+	// forbidden (i.e. the expected verdict is invalid).
+	ForbiddenUnder map[string]bool `json:"forbidden_under"`
+}
